@@ -1,0 +1,45 @@
+//! DESIGN.md ablation workload: cost of one training epoch under each
+//! variant of the tri-state update rule (damped default, undamped, relax-only
+//! neighbours, winner-only).
+
+use bsom_bench::bench_dataset;
+use bsom_som::{BSom, BSomConfig, NeighbourRule, SelfOrganizingMap, TrainSchedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn ablation(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let base = BSomConfig::paper_default();
+    let variants: Vec<(&str, BSomConfig)> = vec![
+        ("damped_default", base),
+        ("undamped", base.with_update_probabilities(1.0, 1.0)),
+        (
+            "relax_only_neighbours",
+            base.with_neighbour_rule(NeighbourRule::RelaxOnly),
+        ),
+        (
+            "winner_only",
+            base.with_neighbour_rule(NeighbourRule::WinnerOnly),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablation_update_rule");
+    group.sample_size(10);
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::new("one_epoch", name), &config, |b, cfg| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0xAB);
+                let mut som = BSom::new(*cfg, &mut rng);
+                som.train_labelled_data(&dataset.train, TrainSchedule::new(1), &mut rng)
+                    .unwrap();
+                black_box(som)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

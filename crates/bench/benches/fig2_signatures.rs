@@ -1,0 +1,44 @@
+//! Figure 2 workload: colour-histogram construction, mean-threshold
+//! binarisation and the Hamming-distance primitives underneath the bSOM.
+
+use bsom_dataset::{AppearanceModel, CorruptionConfig};
+use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn fig2(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let pixels: Vec<Rgb> = (0..2000)
+        .map(|_| Rgb::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+
+    c.bench_function("fig2/histogram_2000_pixels", |b| {
+        b.iter(|| black_box(ColorHistogram::from_pixels(pixels.iter().copied())))
+    });
+
+    let hist = ColorHistogram::from_pixels(pixels.iter().copied());
+    c.bench_function("fig2/mean_threshold_binarise", |b| {
+        b.iter(|| black_box(hist.to_signature()))
+    });
+
+    let model = AppearanceModel::generate(0, &mut rng);
+    c.bench_function("fig2/sample_signature_from_appearance_model", |b| {
+        b.iter(|| black_box(model.sample_signature(&CorruptionConfig::default(), &mut rng)))
+    });
+
+    let a = BinaryVector::random(768, &mut rng);
+    let bvec = BinaryVector::random(768, &mut rng);
+    c.bench_function("fig2/hamming_768_binary", |b| {
+        b.iter(|| black_box(a.hamming(&bvec).unwrap()))
+    });
+
+    let w = TriStateVector::random_with_dont_care(768, 0.3, &mut rng);
+    c.bench_function("fig2/hamming_768_tristate", |b| {
+        b.iter(|| black_box(w.hamming(&bvec).unwrap()))
+    });
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

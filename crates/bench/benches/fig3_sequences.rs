@@ -1,0 +1,30 @@
+//! Figure 3 workload: generation of temporally-coherent signature sequences.
+
+use bsom_dataset::{signature_sequence, AppearanceModel, CorruptionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fig3(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = AppearanceModel::generate(0, &mut rng);
+    let corruption = CorruptionConfig::default();
+
+    let mut group = c.benchmark_group("fig3");
+    for &frames in &[20usize, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("signature_sequence", frames),
+            &frames,
+            |b, &n| {
+                b.iter(|| {
+                    black_box(signature_sequence(&model, &corruption, n, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 4/5 workload: the cycle-accurate FPGA blocks — weight
+//! initialisation, recognition front end and on-chip training presentations.
+
+use bsom_bench::{bench_dataset, trained_bsom};
+use bsom_fpga::{FpgaBSom, FpgaConfig};
+use bsom_signature::BinaryVector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let som = trained_bsom(&dataset, 3);
+    let input = BinaryVector::from_bits((0..768).map(|i| i % 5 == 0));
+
+    c.bench_function("fig5/weight_initialisation_768_cycles", |b| {
+        b.iter(|| {
+            let mut fpga = FpgaBSom::new(FpgaConfig::paper_default(), 0xF15);
+            black_box(fpga.initialize())
+        })
+    });
+
+    c.bench_function("fig5/classify_one_signature", |b| {
+        let mut fpga = FpgaBSom::from_trained(&som);
+        b.iter(|| black_box(fpga.classify(&input).unwrap()))
+    });
+
+    c.bench_function("fig5/train_one_pattern_on_chip", |b| {
+        let mut fpga = FpgaBSom::from_trained(&som);
+        b.iter(|| black_box(fpga.train_pattern(&input, 0, 100).unwrap()))
+    });
+
+    c.bench_function("fig5/display_block_render_40_neurons", |b| {
+        let fpga = FpgaBSom::from_trained(&som);
+        b.iter(|| black_box(fpga.display_frames()))
+    });
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 6 / Fig. 1 workload: the vision substrate feeding the bSOM —
+//! scene rendering, background subtraction, connected components, tracking
+//! and signature extraction.
+
+use bsom_vision::connected::label_components;
+use bsom_vision::pipeline::{PipelineConfig, SurveillancePipeline};
+use bsom_vision::scene::{SceneConfig, SceneSimulator};
+use bsom_signature::BinaryImage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let config = SceneConfig {
+        entry_probability: 0.0,
+        ..SceneConfig::small()
+    };
+    let mut scene = SceneSimulator::new(config, &mut rng);
+    scene.spawn_person(2, true);
+    let frame = (0..8).map(|_| scene.render_frame(&mut rng)).last().unwrap();
+
+    c.bench_function("fig6/render_scene_frame", |b| {
+        b.iter(|| black_box(scene.render_frame(&mut rng)))
+    });
+
+    c.bench_function("fig6/pipeline_process_frame", |b| {
+        let mut pipeline = SurveillancePipeline::with_config(
+            160,
+            120,
+            PipelineConfig {
+                min_object_pixels: Some(300),
+                ..PipelineConfig::default()
+            },
+        );
+        pipeline.observe_background(&frame.image);
+        b.iter(|| black_box(pipeline.process_frame(&frame.image)))
+    });
+
+    // Connected components on a mid-density mask.
+    let mut mask = BinaryImage::new(160, 120);
+    for y in 0..120 {
+        for x in 0..160 {
+            mask.set(x, y, (x / 7 + y / 5) % 3 == 0);
+        }
+    }
+    c.bench_function("fig6/connected_components_160x120", |b| {
+        b.iter(|| black_box(label_components(&mask)))
+    });
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

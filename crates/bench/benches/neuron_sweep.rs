@@ -1,0 +1,44 @@
+//! §IV neuron-sweep workload: winner search and one training epoch as a
+//! function of the competitive-layer size.
+
+use bsom_bench::bench_dataset;
+use bsom_som::{BSom, BSomConfig, SelfOrganizingMap, TrainSchedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn neuron_sweep(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let probe = dataset.test[0].0.clone();
+
+    let mut group = c.benchmark_group("neuron_sweep");
+    group.sample_size(20);
+    for &neurons in &[10usize, 40, 100] {
+        let mut rng = StdRng::seed_from_u64(neurons as u64);
+        let som = BSom::new(BSomConfig::new(neurons, 768), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("winner_search", neurons),
+            &neurons,
+            |b, _| b.iter(|| black_box(som.winner(&probe).unwrap())),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("one_training_epoch", neurons),
+            &neurons,
+            |b, &n| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(n as u64);
+                    let mut som = BSom::new(BSomConfig::new(n, 768), &mut rng);
+                    som.train_labelled_data(&dataset.train, TrainSchedule::new(1), &mut rng)
+                        .unwrap();
+                    black_box(som)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, neuron_sweep);
+criterion_main!(benches);

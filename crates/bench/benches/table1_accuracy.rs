@@ -1,0 +1,33 @@
+//! Table I workload: one full train + label + evaluate run of each SOM at a
+//! representative low and high iteration budget.
+
+use bsom_bench::bench_dataset;
+use bsom_eval::table1::{bsom_accuracy, csom_accuracy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for &iterations in &[5usize, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("bsom_train_eval", iterations),
+            &iterations,
+            |b, &iters| {
+                b.iter(|| black_box(bsom_accuracy(&dataset, 40, iters, 7)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csom_train_eval", iterations),
+            &iterations,
+            |b, &iters| {
+                b.iter(|| black_box(csom_accuracy(&dataset, 40, iters, 7)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

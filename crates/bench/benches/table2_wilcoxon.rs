@@ -1,0 +1,41 @@
+//! Table II workload: the Wilcoxon rank-sum analysis over ten-repetition
+//! accuracy samples.
+
+use bsom_stats::{wilcoxon_rank_sum, Alternative};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    // Ten repetitions per algorithm, the paper's protocol.
+    let csom: Vec<f64> = (0..10).map(|i| 81.0 + i as f64 * 0.3).collect();
+    let bsom: Vec<f64> = (0..10).map(|i| 84.0 + (i % 4) as f64 * 0.4).collect();
+
+    c.bench_function("table2/wilcoxon_rank_sum_10v10", |b| {
+        b.iter(|| {
+            black_box(wilcoxon_rank_sum(
+                black_box(&csom),
+                black_box(&bsom),
+                Alternative::Less,
+            ))
+        })
+    });
+
+    // The full fourteen-budget analysis, as Table II actually runs it.
+    let budgets: Vec<(Vec<f64>, Vec<f64>)> = (0..14)
+        .map(|k| {
+            let a: Vec<f64> = (0..10).map(|i| 80.0 + (i + k) as f64 * 0.17).collect();
+            let b: Vec<f64> = (0..10).map(|i| 83.0 + (i * k % 7) as f64 * 0.21).collect();
+            (a, b)
+        })
+        .collect();
+    c.bench_function("table2/all_fourteen_budgets", |b| {
+        b.iter(|| {
+            for (a, bb) in &budgets {
+                black_box(wilcoxon_rank_sum(a, bb, Alternative::TwoSided));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table IV workload: the analytical resource model of the XC4VLX160 and the
+//! report rendering, across design sizes.
+
+use bsom_fpga::{ResourceReport, ResourceUsage};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    for &neurons in &[40usize, 100, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("estimate_bsom", neurons),
+            &neurons,
+            |b, &n| b.iter(|| black_box(ResourceUsage::estimate_bsom(black_box(n), 768))),
+        );
+    }
+    group.bench_function("render_report_40x768", |b| {
+        b.iter(|| {
+            let report = ResourceReport::for_bsom(40, 768);
+            black_box(report.to_string())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! §V-E/§V-F throughput workload: batch recognition and batch training on
+//! both the software bSOM and the cycle-accurate FPGA model, the comparison
+//! behind the paper's 25,000 signatures/s and sub-second training claims.
+
+use bsom_bench::{bench_dataset, trained_bsom};
+use bsom_fpga::FpgaBSom;
+use bsom_som::{LabelledSom, SelfOrganizingMap, TrainSchedule};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn throughput(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let som = trained_bsom(&dataset, 3);
+    let classifier = LabelledSom::label(som.clone(), &dataset.train);
+    let signatures: Vec<_> = dataset.test.iter().map(|(s, _)| s.clone()).collect();
+
+    let mut group = c.benchmark_group("throughput");
+    group.throughput(Throughput::Elements(signatures.len() as u64));
+
+    group.bench_function("software_classify_batch", |b| {
+        b.iter(|| {
+            for s in &signatures {
+                black_box(classifier.classify(s));
+            }
+        })
+    });
+
+    group.bench_function("fpga_model_classify_batch", |b| {
+        let mut fpga = FpgaBSom::from_trained(&som);
+        b.iter(|| {
+            for s in &signatures {
+                black_box(fpga.classify(s).unwrap());
+            }
+        })
+    });
+
+    group.throughput(Throughput::Elements(dataset.train.len() as u64));
+    group.bench_function("software_train_one_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut fresh = som.clone();
+            fresh
+                .train_labelled_data(&dataset.train, TrainSchedule::new(1), &mut rng)
+                .unwrap();
+            black_box(fresh)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -1,0 +1,277 @@
+//! Whole-dataset generation mirroring the paper's data volumes.
+//!
+//! §III-B / §IV: nine people, 2,248 labelled training signatures, 1,139
+//! labelled test signatures, all drawn from the same footage (so the same
+//! corruption processes) but disjoint in time. [`SurveillanceDataset::generate`]
+//! reproduces that structure; instance counts per identity are drawn from a
+//! mildly unbalanced distribution because some people simply walk past the
+//! camera more often than others.
+
+use bsom_signature::BinaryVector;
+use bsom_som::ObjectLabel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::appearance::{AppearanceModel, CorruptionConfig};
+use crate::LabelledSignature;
+
+/// Configuration of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of distinct identities (the paper uses nine).
+    pub identities: usize,
+    /// Number of labelled training instances (paper: 2,248).
+    pub train_instances: usize,
+    /// Number of labelled test instances (paper: 1,139).
+    pub test_instances: usize,
+    /// Corruption processes applied to every sampled frame.
+    pub corruption: CorruptionConfig,
+    /// Degree of class imbalance: 0.0 gives equal instance counts, 1.0 makes
+    /// the most frequent identity roughly three times as common as the least
+    /// frequent.
+    pub imbalance: f64,
+}
+
+impl DatasetConfig {
+    /// The paper's dataset shape: nine identities, 2,248 / 1,139 instances.
+    pub fn paper_default() -> Self {
+        DatasetConfig {
+            identities: 9,
+            train_instances: 2248,
+            test_instances: 1139,
+            corruption: CorruptionConfig::default(),
+            imbalance: 0.5,
+        }
+    }
+
+    /// A small dataset for fast tests (nine identities, 180 / 90 instances).
+    pub fn small() -> Self {
+        DatasetConfig {
+            identities: 9,
+            train_instances: 180,
+            test_instances: 90,
+            corruption: CorruptionConfig::default(),
+            imbalance: 0.3,
+        }
+    }
+
+    /// Overrides the number of identities.
+    pub fn with_identities(mut self, identities: usize) -> Self {
+        self.identities = identities;
+        self
+    }
+
+    /// Overrides the corruption configuration.
+    pub fn with_corruption(mut self, corruption: CorruptionConfig) -> Self {
+        self.corruption = corruption;
+        self
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A complete generated dataset: train and test splits plus the appearance
+/// models they were drawn from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveillanceDataset {
+    /// The configuration the dataset was generated from.
+    pub config: DatasetConfig,
+    /// The appearance model of every identity.
+    pub models: Vec<AppearanceModel>,
+    /// Labelled training signatures (paper: 2,248).
+    pub train: Vec<LabelledSignature>,
+    /// Labelled test signatures (paper: 1,139).
+    pub test: Vec<LabelledSignature>,
+}
+
+impl SurveillanceDataset {
+    /// Generates a dataset.
+    ///
+    /// Identity appearance models are generated first, then each split is
+    /// filled by sampling identities according to a fixed (per-dataset)
+    /// unbalanced prior and sampling one corrupted frame per instance. Train
+    /// and test share the prior and the models — as in the paper, where both
+    /// splits come from the same nine people in the same scene — but every
+    /// frame is sampled independently.
+    pub fn generate<R: Rng + ?Sized>(config: &DatasetConfig, rng: &mut R) -> Self {
+        let identities = config.identities.max(1);
+        let models: Vec<AppearanceModel> = (0..identities)
+            .map(|i| AppearanceModel::generate(i, rng))
+            .collect();
+
+        // Unbalanced identity prior: weight_i = 1 + imbalance * u_i, u ~ U(0, 2).
+        let weights: Vec<f64> = (0..identities)
+            .map(|_| 1.0 + config.imbalance.clamp(0.0, 1.0) * rng.gen_range(0.0..2.0))
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let sample_split = |count: usize, rng: &mut R| -> Vec<LabelledSignature> {
+            let mut split = Vec::with_capacity(count);
+            for _ in 0..count {
+                // Draw an identity from the weighted prior.
+                let mut roll = rng.gen_range(0.0..total_weight);
+                let mut identity = identities - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if roll < *w {
+                        identity = i;
+                        break;
+                    }
+                    roll -= w;
+                }
+                let signature = models[identity].sample_signature(&config.corruption, rng);
+                split.push((signature, ObjectLabel::new(identity)));
+            }
+            split
+        };
+
+        let train = sample_split(config.train_instances, rng);
+        let test = sample_split(config.test_instances, rng);
+
+        SurveillanceDataset {
+            config: *config,
+            models,
+            train,
+            test,
+        }
+    }
+
+    /// Number of identities in the dataset.
+    pub fn identity_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Number of training instances carrying each label, indexed by identity.
+    pub fn train_label_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.identity_count()];
+        for (_, label) in &self.train {
+            if label.id() < counts.len() {
+                counts[label.id()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// All training signatures without their labels (the unsupervised view
+    /// used while training the SOM itself).
+    pub fn train_signatures(&self) -> Vec<BinaryVector> {
+        self.train.iter().map(|(s, _)| s.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5E7)
+    }
+
+    #[test]
+    fn paper_default_matches_reported_volumes() {
+        let c = DatasetConfig::paper_default();
+        assert_eq!(c.identities, 9);
+        assert_eq!(c.train_instances, 2248);
+        assert_eq!(c.test_instances, 1139);
+        assert_eq!(DatasetConfig::default(), c);
+    }
+
+    #[test]
+    fn generated_dataset_has_requested_shape() {
+        let mut r = rng();
+        let config = DatasetConfig::small();
+        let ds = SurveillanceDataset::generate(&config, &mut r);
+        assert_eq!(ds.train.len(), 180);
+        assert_eq!(ds.test.len(), 90);
+        assert_eq!(ds.identity_count(), 9);
+        assert_eq!(ds.train_signatures().len(), 180);
+        for (sig, label) in ds.train.iter().chain(ds.test.iter()) {
+            assert_eq!(sig.len(), 768);
+            assert!(label.id() < 9);
+        }
+    }
+
+    #[test]
+    fn every_identity_appears_in_a_reasonably_sized_training_split() {
+        let mut r = rng();
+        let config = DatasetConfig::small();
+        let ds = SurveillanceDataset::generate(&config, &mut r);
+        let counts = ds.train_label_counts();
+        assert_eq!(counts.len(), 9);
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every identity should appear at least once: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn imbalance_zero_gives_roughly_uniform_counts() {
+        let mut r = rng();
+        let config = DatasetConfig {
+            imbalance: 0.0,
+            train_instances: 900,
+            ..DatasetConfig::small()
+        };
+        let ds = SurveillanceDataset::generate(&config, &mut r);
+        let counts = ds.train_label_counts();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        // With 900 uniform draws over 9 classes (expected 100 each), the
+        // spread stays well under 2x.
+        assert!(max < 2 * min, "counts too spread for uniform prior: {counts:?}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_datasets() {
+        let config = DatasetConfig::small();
+        let a = SurveillanceDataset::generate(&config, &mut StdRng::seed_from_u64(1));
+        let b = SurveillanceDataset::generate(&config, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a.train[0].0, b.train[0].0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_dataset() {
+        let config = DatasetConfig::small();
+        let a = SurveillanceDataset::generate(&config, &mut StdRng::seed_from_u64(7));
+        let b = SurveillanceDataset::generate(&config, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn with_identities_changes_model_count() {
+        let mut r = rng();
+        let config = DatasetConfig::small().with_identities(4);
+        let ds = SurveillanceDataset::generate(&config, &mut r);
+        assert_eq!(ds.identity_count(), 4);
+        assert!(ds.train.iter().all(|(_, l)| l.id() < 4));
+    }
+
+    #[test]
+    fn zero_identities_is_clamped_to_one() {
+        let mut r = rng();
+        let config = DatasetConfig::small().with_identities(0);
+        let ds = SurveillanceDataset::generate(&config, &mut r);
+        assert_eq!(ds.identity_count(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = rng();
+        let config = DatasetConfig {
+            train_instances: 10,
+            test_instances: 5,
+            ..DatasetConfig::small()
+        };
+        let ds = SurveillanceDataset::generate(&config, &mut r);
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: SurveillanceDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds.train, back.train);
+        assert_eq!(ds.test, back.test);
+    }
+}

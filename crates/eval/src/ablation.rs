@@ -1,0 +1,236 @@
+//! Design-choice ablations called out in DESIGN.md: the bSOM update rule
+//! (neighbour policy and stochastic damping) and the histogram binarisation
+//! threshold (mean versus median).
+
+use bsom_dataset::{DatasetConfig, SurveillanceDataset};
+use bsom_som::{
+    evaluate, BSom, BSomConfig, LabelledSom, NeighbourRule, ObjectLabel, SelfOrganizingMap,
+    TrainSchedule,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// Configuration of the ablation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationConfig {
+    /// Dataset shape.
+    pub dataset: DatasetConfig,
+    /// Training iterations (full passes) per variant.
+    pub iterations: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl AblationConfig {
+    /// A tractable default (600/300 instances, 20 iterations).
+    pub fn quick() -> Self {
+        AblationConfig {
+            dataset: DatasetConfig {
+                train_instances: 600,
+                test_instances: 300,
+                ..DatasetConfig::paper_default()
+            },
+            iterations: 20,
+            seed: 77,
+        }
+    }
+
+    /// A smoke-test configuration.
+    pub fn smoke() -> Self {
+        AblationConfig {
+            dataset: DatasetConfig {
+                train_instances: 150,
+                test_instances: 80,
+                ..DatasetConfig::paper_default()
+            },
+            iterations: 8,
+            seed: 77,
+        }
+    }
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Accuracy of one ablation variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Human-readable variant name.
+    pub variant: String,
+    /// Recognition accuracy in percent.
+    pub accuracy: f64,
+}
+
+/// The full ablation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Update-rule variants.
+    pub update_rule: Vec<AblationRow>,
+    /// Binarisation-threshold variants.
+    pub binarisation: Vec<AblationRow>,
+}
+
+impl AblationResult {
+    /// Renders both ablation groups.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(["Group", "Variant", "Accuracy"]);
+        for row in &self.update_rule {
+            table.push_row([
+                "update-rule".to_owned(),
+                row.variant.clone(),
+                format!("{:.2}%", row.accuracy),
+            ]);
+        }
+        for row in &self.binarisation {
+            table.push_row([
+                "binarisation".to_owned(),
+                row.variant.clone(),
+                format!("{:.2}%", row.accuracy),
+            ]);
+        }
+        table
+    }
+
+    /// The accuracy of a named update-rule variant (None if missing).
+    pub fn update_rule_accuracy(&self, variant: &str) -> Option<f64> {
+        self.update_rule
+            .iter()
+            .find(|r| r.variant == variant)
+            .map(|r| r.accuracy)
+    }
+}
+
+fn bsom_accuracy_with(
+    data_train: &[(bsom_signature::BinaryVector, ObjectLabel)],
+    data_test: &[(bsom_signature::BinaryVector, ObjectLabel)],
+    config: BSomConfig,
+    iterations: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut som = BSom::new(config, &mut rng);
+    som.train_labelled_data(data_train, TrainSchedule::new(iterations), &mut rng)
+        .expect("training data present");
+    let classifier = LabelledSom::label(som, data_train);
+    evaluate(&classifier, data_test).accuracy_percent()
+}
+
+/// Runs the ablation study.
+pub fn run(config: &AblationConfig) -> AblationResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dataset = SurveillanceDataset::generate(&config.dataset, &mut rng);
+
+    let base = BSomConfig {
+        neurons: 40,
+        vector_len: 768,
+        ..BSomConfig::paper_default()
+    };
+    let update_variants: Vec<(String, BSomConfig)> = vec![
+        ("damped + full neighbourhood (default)".to_owned(), base),
+        (
+            "undamped tri-state rule".to_owned(),
+            base.with_update_probabilities(1.0, 1.0),
+        ),
+        (
+            "relax-only neighbours".to_owned(),
+            base.with_neighbour_rule(NeighbourRule::RelaxOnly),
+        ),
+        (
+            "winner-only updates".to_owned(),
+            base.with_neighbour_rule(NeighbourRule::WinnerOnly),
+        ),
+    ];
+    let update_rule = update_variants
+        .into_iter()
+        .map(|(variant, cfg)| AblationRow {
+            variant,
+            accuracy: bsom_accuracy_with(
+                &dataset.train,
+                &dataset.test,
+                cfg,
+                config.iterations,
+                config.seed ^ 0xAB1,
+            ),
+        })
+        .collect();
+
+    // Binarisation ablation: rebuild the signatures from the stored models
+    // with mean vs median thresholds and evaluate the default bSOM on each.
+    let mut threshold_rng = StdRng::seed_from_u64(config.seed ^ 0x7137);
+    let resample = |median: bool, rng: &mut StdRng| -> (Vec<_>, Vec<_>) {
+        let make = |count: usize, rng: &mut StdRng| {
+            (0..count)
+                .map(|i| {
+                    let model = &dataset.models[i % dataset.models.len()];
+                    let hist = model.sample_histogram(&config.dataset.corruption, rng);
+                    let threshold = if median {
+                        hist.median_threshold()
+                    } else {
+                        hist.mean_threshold()
+                    };
+                    (
+                        hist.to_signature_with_threshold(threshold),
+                        ObjectLabel::new(model.label()),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        (
+            make(config.dataset.train_instances, rng),
+            make(config.dataset.test_instances, rng),
+        )
+    };
+    let binarisation = ["mean threshold (paper)", "median threshold"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let (train, test) = resample(i == 1, &mut threshold_rng);
+            AblationRow {
+                variant: (*name).to_owned(),
+                accuracy: bsom_accuracy_with(&train, &test, base, config.iterations, config.seed),
+            }
+        })
+        .collect();
+
+    AblationResult {
+        update_rule,
+        binarisation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ablation_covers_all_variants() {
+        let result = run(&AblationConfig::smoke());
+        assert_eq!(result.update_rule.len(), 4);
+        assert_eq!(result.binarisation.len(), 2);
+        for row in result.update_rule.iter().chain(&result.binarisation) {
+            assert!(row.accuracy >= 0.0 && row.accuracy <= 100.0);
+        }
+        let text = result.render().to_string();
+        assert!(text.contains("update-rule"));
+        assert!(text.contains("median threshold"));
+    }
+
+    #[test]
+    fn damped_default_beats_winner_only_collapse() {
+        let result = run(&AblationConfig::smoke());
+        let default = result
+            .update_rule_accuracy("damped + full neighbourhood (default)")
+            .unwrap();
+        let winner_only = result.update_rule_accuracy("winner-only updates").unwrap();
+        assert!(
+            default > winner_only,
+            "default {default:.1}% should beat winner-only {winner_only:.1}%"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Figure 3: per-identity signature evolution over time.
+//!
+//! The paper stacks the per-frame binary signatures of three of the nine
+//! tracked people into time × bits rasters, showing that a person's signature
+//! is broadly consistent across their walk-through while still evolving
+//! frame to frame. This experiment generates the equivalent rasters from the
+//! synthetic appearance models and summarises their consistency.
+
+use bsom_dataset::{signature_sequence, AppearanceModel, CorruptionConfig, SignatureFrame};
+use bsom_stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// The signature raster of one identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdentityRaster {
+    /// The identity index.
+    pub identity: usize,
+    /// The per-frame signatures (rows of the raster).
+    pub frames: Vec<SignatureFrame>,
+    /// Mean Hamming distance between consecutive frames.
+    pub mean_consecutive_distance: f64,
+    /// Mean Hamming distance between arbitrary frame pairs of the identity.
+    pub mean_pairwise_distance: f64,
+}
+
+/// The Fig. 3 reproduction output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// One raster per plotted identity (the paper plots three).
+    pub rasters: Vec<IdentityRaster>,
+    /// Mean Hamming distance between signatures of *different* identities,
+    /// for contrast with the within-identity numbers.
+    pub mean_cross_identity_distance: f64,
+}
+
+impl Fig3Result {
+    /// Renders the per-identity consistency summary.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new([
+            "Identity",
+            "Frames",
+            "Consecutive dist",
+            "Within dist",
+            "Cross dist",
+        ]);
+        for raster in &self.rasters {
+            table.push_row([
+                raster.identity.to_string(),
+                raster.frames.len().to_string(),
+                format!("{:.1}", raster.mean_consecutive_distance),
+                format!("{:.1}", raster.mean_pairwise_distance),
+                format!("{:.1}", self.mean_cross_identity_distance),
+            ]);
+        }
+        table
+    }
+
+    /// Renders one identity's raster as rows of `#`/`.` characters,
+    /// subsampling the bit axis to fit a terminal (one character per
+    /// `bit_stride` bits).
+    pub fn ascii_raster(&self, identity_index: usize, bit_stride: usize) -> String {
+        let Some(raster) = self.rasters.get(identity_index) else {
+            return String::new();
+        };
+        let stride = bit_stride.max(1);
+        let mut out = String::new();
+        for frame in &raster.frames {
+            for bit in (0..frame.signature.len()).step_by(stride) {
+                out.push(if frame.signature.bit(bit) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the Fig. 3 reproduction: `identities` rasters of `frames` frames each.
+pub fn run(identities: usize, frames: usize, seed: u64) -> Fig3Result {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corruption = CorruptionConfig::default();
+    let models: Vec<AppearanceModel> = (0..identities.max(1))
+        .map(|i| AppearanceModel::generate(i, &mut rng))
+        .collect();
+
+    let rasters: Vec<IdentityRaster> = models
+        .iter()
+        .map(|model| {
+            let frames = signature_sequence(model, &corruption, frames, &mut rng);
+            let mut consecutive = Vec::new();
+            let mut pairwise = Vec::new();
+            for i in 0..frames.len() {
+                if i + 1 < frames.len() {
+                    consecutive.push(
+                        frames[i].signature.hamming(&frames[i + 1].signature).unwrap() as f64,
+                    );
+                }
+                for j in (i + 1)..frames.len() {
+                    pairwise
+                        .push(frames[i].signature.hamming(&frames[j].signature).unwrap() as f64);
+                }
+            }
+            IdentityRaster {
+                identity: model.label(),
+                frames,
+                mean_consecutive_distance: Summary::of(&consecutive).mean,
+                mean_pairwise_distance: Summary::of(&pairwise).mean,
+            }
+        })
+        .collect();
+
+    // Cross-identity contrast: first frame of every raster against the others.
+    let mut cross = Vec::new();
+    for i in 0..rasters.len() {
+        for j in (i + 1)..rasters.len() {
+            if let (Some(a), Some(b)) = (rasters[i].frames.first(), rasters[j].frames.first()) {
+                cross.push(a.signature.hamming(&b.signature).unwrap() as f64);
+            }
+        }
+    }
+
+    Fig3Result {
+        rasters,
+        mean_cross_identity_distance: Summary::of(&cross).mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_raster_per_identity() {
+        let result = run(3, 20, 1);
+        assert_eq!(result.rasters.len(), 3);
+        for (i, raster) in result.rasters.iter().enumerate() {
+            assert_eq!(raster.identity, i);
+            assert_eq!(raster.frames.len(), 20);
+        }
+    }
+
+    #[test]
+    fn within_identity_distances_are_smaller_than_cross_identity() {
+        let result = run(3, 25, 42);
+        for raster in &result.rasters {
+            assert!(
+                raster.mean_pairwise_distance < result.mean_cross_identity_distance,
+                "identity {} within {} !< cross {}",
+                raster.identity,
+                raster.mean_pairwise_distance,
+                result.mean_cross_identity_distance
+            );
+        }
+    }
+
+    #[test]
+    fn ascii_raster_has_one_row_per_frame() {
+        let result = run(1, 10, 5);
+        let ascii = result.ascii_raster(0, 8);
+        assert_eq!(ascii.lines().count(), 10);
+        assert!(ascii.contains('#'));
+        assert_eq!(result.ascii_raster(9, 8), "");
+    }
+
+    #[test]
+    fn render_contains_every_identity() {
+        let result = run(3, 10, 2);
+        let text = result.render().to_string();
+        assert!(text.contains("Identity"));
+        assert_eq!(result.render().row_count(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Figures 4–5 and the §V timing claims: per-block cycle counts, WTA tree
+//! depth versus network size, and the derived throughput at 40 MHz.
+
+use bsom_fpga::{
+    recognition_throughput, training_throughput, FpgaBSom, FpgaConfig, ThroughputReport,
+    WinnerTakeAllBlock,
+};
+use bsom_signature::BinaryVector;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// The timing reproduction output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// Cycles for the weight-initialisation block (paper: 768).
+    pub init_cycles: u64,
+    /// Cycles to load one pattern (paper: 768).
+    pub load_cycles: u64,
+    /// Cycles for the parallel Hamming units (paper: 768).
+    pub hamming_cycles: u64,
+    /// Cycles for the WTA comparator tree at 40 neurons (paper: 7).
+    pub wta_cycles: u64,
+    /// Cycles for the neighbourhood update pass.
+    pub update_cycles: u64,
+    /// WTA tree depth for a range of network sizes.
+    pub wta_sweep: Vec<(usize, u64)>,
+    /// Recognition throughput at the paper's clock.
+    pub recognition: ThroughputReport,
+    /// Training throughput at the paper's clock.
+    pub training: ThroughputReport,
+    /// Seconds to train one pass over the paper's 2,248-signature set.
+    pub seconds_per_training_epoch: f64,
+}
+
+impl Fig5Result {
+    /// Renders the per-block cycle counts alongside the paper's figures.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(["Block", "Cycles", "Paper"]);
+        table.push_row([
+            "Weight initialisation".to_owned(),
+            self.init_cycles.to_string(),
+            "768".to_owned(),
+        ]);
+        table.push_row([
+            "Pattern input".to_owned(),
+            self.load_cycles.to_string(),
+            "768".to_owned(),
+        ]);
+        table.push_row([
+            "Hamming distances (parallel)".to_owned(),
+            self.hamming_cycles.to_string(),
+            "768".to_owned(),
+        ]);
+        table.push_row([
+            "WTA comparator tree (40 neurons)".to_owned(),
+            self.wta_cycles.to_string(),
+            "7".to_owned(),
+        ]);
+        table.push_row([
+            "Neighbourhood update".to_owned(),
+            self.update_cycles.to_string(),
+            "768".to_owned(),
+        ]);
+        table.push_row([
+            "Recognition signatures/s @40MHz".to_owned(),
+            format!("{:.0}", self.recognition.patterns_per_second),
+            ">= 25000".to_owned(),
+        ]);
+        table.push_row([
+            "Training patterns/s @40MHz".to_owned(),
+            format!("{:.0}", self.training.patterns_per_second),
+            "(thousands/s)".to_owned(),
+        ]);
+        table
+    }
+}
+
+/// Runs the timing reproduction for the paper's design point.
+pub fn run() -> Fig5Result {
+    let config = FpgaConfig::paper_default();
+    let mut fpga = FpgaBSom::new(config, 0xF15);
+    let init = fpga.initialize();
+    let input = BinaryVector::from_bits((0..config.vector_len).map(|i| i % 4 == 0));
+    let classify = fpga.classify(&input).expect("initialised design");
+    let train = fpga
+        .train_pattern(&input, 0, 100)
+        .expect("initialised design");
+
+    let wta_sweep = (10..=100)
+        .step_by(10)
+        .map(|n| (n, WinnerTakeAllBlock::cycles_for(n)))
+        .collect();
+
+    let recognition = recognition_throughput(config);
+    let training = training_throughput(config);
+    let seconds_per_training_epoch = training.seconds_for(2248);
+
+    Fig5Result {
+        init_cycles: init.init_cycles,
+        load_cycles: classify.cycles.load_cycles,
+        hamming_cycles: classify.cycles.hamming_cycles,
+        wta_cycles: classify.cycles.wta_cycles,
+        update_cycles: train.cycles.update_cycles,
+        wta_sweep,
+        recognition,
+        training,
+        seconds_per_training_epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_counts_match_the_paper() {
+        let result = run();
+        assert_eq!(result.init_cycles, 768);
+        assert_eq!(result.load_cycles, 768);
+        assert_eq!(result.hamming_cycles, 768);
+        assert_eq!(result.wta_cycles, 7);
+        assert_eq!(result.update_cycles, 768);
+    }
+
+    #[test]
+    fn throughput_claims_hold() {
+        let result = run();
+        assert!(result.recognition.patterns_per_second >= 25_000.0);
+        assert!(result.seconds_per_training_epoch < 1.0);
+    }
+
+    #[test]
+    fn wta_sweep_covers_ten_to_one_hundred_neurons() {
+        let result = run();
+        assert_eq!(result.wta_sweep.len(), 10);
+        assert_eq!(result.wta_sweep[0], (10, 5));
+        assert_eq!(result.wta_sweep[3], (40, 7));
+        assert!(result.wta_sweep.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn rendering_mentions_every_block() {
+        let text = run().render().to_string();
+        assert!(text.contains("Weight initialisation"));
+        assert!(text.contains("WTA comparator tree"));
+        assert!(text.contains("25000"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Figure 6: the end-to-end recognition flow — signatures from tracked
+//! objects fed to the FPGA-hosted bSOM, whose labelled neurons identify the
+//! object.
+//!
+//! Reproduction: train a software bSOM off-line on the synthetic dataset
+//! (§V-F's off-line training on PC-extracted signatures), load its weights
+//! into the cycle-accurate FPGA model, then run the synthetic scene through
+//! the vision pipeline and classify every observation on the "FPGA",
+//! scoring against the scene's ground truth.
+
+use bsom_dataset::{DatasetConfig, SurveillanceDataset};
+use bsom_fpga::FpgaBSom;
+use bsom_som::{BSom, BSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// Configuration of the end-to-end experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Config {
+    /// Dataset used for the off-line training phase.
+    pub dataset: DatasetConfig,
+    /// Training iterations (full passes) for the off-line phase.
+    pub train_iterations: usize,
+    /// Number of live test signatures classified on the FPGA model.
+    pub live_signatures: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Fig6Config {
+    /// A tractable default: a 900/450 dataset, 30 training iterations, 300
+    /// live signatures.
+    pub fn quick() -> Self {
+        Fig6Config {
+            dataset: DatasetConfig {
+                train_instances: 900,
+                test_instances: 450,
+                ..DatasetConfig::paper_default()
+            },
+            train_iterations: 30,
+            live_signatures: 300,
+            seed: 6,
+        }
+    }
+
+    /// A smoke-test configuration for the integration tests.
+    pub fn smoke() -> Self {
+        Fig6Config {
+            dataset: DatasetConfig {
+                train_instances: 150,
+                test_instances: 80,
+                ..DatasetConfig::paper_default()
+            },
+            train_iterations: 10,
+            live_signatures: 60,
+            seed: 6,
+        }
+    }
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// The end-to-end result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Number of live signatures presented to the FPGA model.
+    pub presented: usize,
+    /// Number identified with the correct label.
+    pub correct: usize,
+    /// Number rejected (unlabelled winning neuron).
+    pub unknown: usize,
+    /// Recognition accuracy in percent.
+    pub accuracy_percent: f64,
+    /// Total FPGA cycles consumed by the live phase.
+    pub fpga_cycles: u64,
+    /// Wall-clock seconds those cycles correspond to at 40 MHz.
+    pub fpga_seconds: f64,
+    /// Number of neurons that ended up labelled.
+    pub labelled_neurons: usize,
+}
+
+impl Fig6Result {
+    /// Renders the summary.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(["Metric", "Value"]);
+        table.push_row(["Live signatures".to_owned(), self.presented.to_string()]);
+        table.push_row(["Correct".to_owned(), self.correct.to_string()]);
+        table.push_row(["Unknown".to_owned(), self.unknown.to_string()]);
+        table.push_row([
+            "Accuracy".to_owned(),
+            format!("{:.2}%", self.accuracy_percent),
+        ]);
+        table.push_row(["Labelled neurons".to_owned(), self.labelled_neurons.to_string()]);
+        table.push_row(["FPGA cycles".to_owned(), self.fpga_cycles.to_string()]);
+        table.push_row([
+            "FPGA time @40MHz".to_owned(),
+            format!("{:.4} s", self.fpga_seconds),
+        ]);
+        table
+    }
+}
+
+/// Runs the end-to-end experiment.
+pub fn run(config: &Fig6Config) -> Fig6Result {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dataset = SurveillanceDataset::generate(&config.dataset, &mut rng);
+
+    // Off-line training on the PC (software bSOM), §V-F.
+    let mut som = BSom::new(
+        BSomConfig {
+            neurons: 40,
+            vector_len: 768,
+            ..BSomConfig::paper_default()
+        },
+        &mut rng,
+    );
+    som.train_labelled_data(
+        &dataset.train,
+        TrainSchedule::new(config.train_iterations),
+        &mut rng,
+    )
+    .expect("training data is non-empty");
+    let classifier = LabelledSom::label(som, &dataset.train);
+    let labelled_neurons = classifier
+        .neuron_labels()
+        .iter()
+        .filter(|l| l.is_some())
+        .count();
+
+    // Deploy the weights onto the FPGA model.
+    let mut fpga = FpgaBSom::from_trained(classifier.map());
+    let start_cycles = fpga.total_cycles();
+
+    // Live identification of held-out signatures.
+    let live: Vec<_> = dataset
+        .test
+        .iter()
+        .take(config.live_signatures)
+        .cloned()
+        .collect();
+    let mut correct = 0usize;
+    let mut unknown = 0usize;
+    for (signature, actual) in &live {
+        let outcome = fpga.classify(signature).expect("weights loaded");
+        match classifier.neuron_labels()[outcome.winner.index] {
+            Some(label) if label == *actual => correct += 1,
+            Some(_) => {}
+            None => unknown += 1,
+        }
+    }
+    let fpga_cycles = fpga.total_cycles() - start_cycles;
+    let presented = live.len();
+
+    Fig6Result {
+        presented,
+        correct,
+        unknown,
+        accuracy_percent: if presented == 0 {
+            0.0
+        } else {
+            correct as f64 / presented as f64 * 100.0
+        },
+        fpga_cycles,
+        fpga_seconds: fpga.config().clock.cycles_to_secs(fpga_cycles),
+        labelled_neurons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_identifies_most_live_signatures() {
+        let result = run(&Fig6Config::smoke());
+        assert_eq!(result.presented, 60);
+        assert!(result.labelled_neurons > 5);
+        assert!(
+            result.accuracy_percent > 40.0,
+            "end-to-end accuracy too low: {:.2}%",
+            result.accuracy_percent
+        );
+        // 1543 cycles per recognition.
+        assert_eq!(result.fpga_cycles, 60 * 1543);
+        assert!(result.fpga_seconds < 0.01);
+        let text = result.render().to_string();
+        assert!(text.contains("Accuracy"));
+    }
+
+    #[test]
+    fn accuracy_is_consistent_with_counts() {
+        let result = run(&Fig6Config::smoke());
+        let expected = result.correct as f64 / result.presented as f64 * 100.0;
+        assert!((result.accuracy_percent - expected).abs() < 1e-9);
+    }
+}

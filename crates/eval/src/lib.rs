@@ -1,0 +1,37 @@
+//! # bsom-eval
+//!
+//! The experiment harness: one module per table / figure of the paper's
+//! evaluation, each exposing a `Config`, a `run` function returning a
+//! serialisable result, and a text renderer that prints the same rows the
+//! paper reports. The `bsom-eval` binary exposes every experiment as a
+//! subcommand (`bsom-eval table1`, `bsom-eval fig5`, `bsom-eval all`, …).
+//!
+//! | Experiment | Paper artefact | Module |
+//! |---|---|---|
+//! | Table I | cSOM vs bSOM accuracy across iteration budgets | [`table1`] |
+//! | Table II | One-tailed Wilcoxon rank-sum on Table I runs | [`table2`] |
+//! | Table III | FPGA design specification | [`table3`] |
+//! | Table IV | XC4VLX160 resource utilisation | [`table4`] |
+//! | Fig. 2 | Histogram → binary signature worked example | [`fig2`] |
+//! | Fig. 3 | Per-identity signature evolution over time | [`fig3`] |
+//! | Fig. 4/5 + §V | Block cycle counts and throughput | [`fig5`] |
+//! | Fig. 6 | End-to-end FPGA recognition after off-line training | [`fig6`] |
+//! | §IV text | Neuron-count sweep (both SOMs > 90 % above 50 neurons) | [`neuron_sweep`] |
+//! | DESIGN.md ablations | Update rule / binarisation threshold ablations | [`ablation`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod neuron_sweep;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use report::TextTable;

@@ -1,0 +1,173 @@
+//! `bsom-eval`: regenerate every table and figure of the paper from the
+//! reproduction.
+//!
+//! ```text
+//! bsom-eval <experiment> [--quick|--paper] [--json]
+//!
+//! experiments:
+//!   table1        Table I   — cSOM vs bSOM accuracy across iteration budgets
+//!   table2        Table II  — Wilcoxon rank-sum analysis of Table I
+//!   table3        Table III — FPGA design specification
+//!   table4        Table IV  — XC4VLX160 resource utilisation
+//!   fig2          Fig. 2    — histogram -> binary signature example
+//!   fig3          Fig. 3    — signature evolution rasters
+//!   fig5          Fig. 4/5  — block cycle counts and throughput
+//!   fig6          Fig. 6    — end-to-end FPGA recognition
+//!   neuron-sweep  §IV       — accuracy vs neuron count
+//!   ablation      DESIGN.md — update-rule / binarisation ablations
+//!   all           every experiment above (table1/2 use the selected profile)
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use bsom_eval::{ablation, fig2, fig3, fig5, fig6, neuron_sweep, table1, table2, table3, table4};
+
+/// Which Table I protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Profile {
+    Quick,
+    Paper,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut profile = Profile::Quick;
+    let mut json = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => profile = Profile::Quick,
+            "--paper" => profile = Profile::Paper,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_owned());
+            }
+            other => {
+                eprintln!("unrecognised argument: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(experiment) = experiment else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+
+    match experiment.as_str() {
+        "table1" => run_table1(profile, json),
+        "table2" => run_table2(profile, json),
+        "table3" => emit(json, &table3::run(), |r| r.render().to_string()),
+        "table4" => emit(json, &table4::run(), |r| r.render().to_string()),
+        "fig2" => emit(json, &fig2::run(2), |r| {
+            format!(
+                "{}\ntoy threshold = {:.2}\nfull signature: {} of 768 bits set (theta = {:.2})\n",
+                r.render(),
+                r.toy_threshold,
+                r.full_ones,
+                r.full_threshold
+            )
+        }),
+        "fig3" => emit(json, &fig3::run(3, 40, 3), |r| {
+            format!("{}\n{}", r.render(), r.ascii_raster(0, 12))
+        }),
+        "fig5" => emit(json, &fig5::run(), |r| r.render().to_string()),
+        "fig6" => emit(json, &fig6::run(&fig6::Fig6Config::quick()), |r| {
+            r.render().to_string()
+        }),
+        "neuron-sweep" | "neuron_sweep" => emit(
+            json,
+            &neuron_sweep::run(&neuron_sweep::NeuronSweepConfig::paper_default()),
+            |r| r.render().to_string(),
+        ),
+        "ablation" => emit(json, &ablation::run(&ablation::AblationConfig::quick()), |r| {
+            r.render().to_string()
+        }),
+        "all" => {
+            run_all(profile, json);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: bsom-eval <table1|table2|table3|table4|fig2|fig3|fig5|fig6|neuron-sweep|ablation|all> [--quick|--paper] [--json]"
+    );
+}
+
+fn table1_config(profile: Profile) -> table1::Table1Config {
+    match profile {
+        Profile::Quick => table1::Table1Config::quick(),
+        Profile::Paper => table1::Table1Config::paper_default(),
+    }
+}
+
+fn run_table1(profile: Profile, json: bool) -> ExitCode {
+    let result = table1::run(&table1_config(profile));
+    emit(json, &result, |r| r.render().to_string())
+}
+
+fn run_table2(profile: Profile, json: bool) -> ExitCode {
+    let t1 = table1::run(&table1_config(profile));
+    let result = table2::run(&t1);
+    emit(json, &result, |r| r.render().to_string())
+}
+
+fn run_all(profile: Profile, json: bool) {
+    println!("== Table I ==");
+    let t1 = table1::run(&table1_config(profile));
+    print_result(json, &t1, |r| r.render().to_string());
+    println!("\n== Table II ==");
+    print_result(json, &table2::run(&t1), |r| r.render().to_string());
+    println!("\n== Table III ==");
+    print_result(json, &table3::run(), |r| r.render().to_string());
+    println!("\n== Table IV ==");
+    print_result(json, &table4::run(), |r| r.render().to_string());
+    println!("\n== Figure 2 ==");
+    print_result(json, &fig2::run(2), |r| r.render().to_string());
+    println!("\n== Figure 3 ==");
+    print_result(json, &fig3::run(3, 40, 3), |r| r.render().to_string());
+    println!("\n== Figure 4/5 + timing ==");
+    print_result(json, &fig5::run(), |r| r.render().to_string());
+    println!("\n== Figure 6 ==");
+    print_result(json, &fig6::run(&fig6::Fig6Config::quick()), |r| {
+        r.render().to_string()
+    });
+    println!("\n== Neuron sweep (§IV) ==");
+    print_result(
+        json,
+        &neuron_sweep::run(&neuron_sweep::NeuronSweepConfig::paper_default()),
+        |r| r.render().to_string(),
+    );
+    println!("\n== Ablations ==");
+    print_result(json, &ablation::run(&ablation::AblationConfig::quick()), |r| {
+        r.render().to_string()
+    });
+}
+
+fn emit<T: serde::Serialize>(json: bool, value: &T, text: impl Fn(&T) -> String) -> ExitCode {
+    print_result(json, value, text);
+    ExitCode::SUCCESS
+}
+
+fn print_result<T: serde::Serialize>(json: bool, value: &T, text: impl Fn(&T) -> String) {
+    if json {
+        match serde_json::to_string_pretty(value) {
+            Ok(s) => println!("{s}"),
+            Err(e) => eprintln!("failed to serialise result: {e}"),
+        }
+    } else {
+        println!("{}", text(value));
+    }
+}

@@ -1,0 +1,194 @@
+//! §IV text: the neuron-count sweep.
+//!
+//! The paper tests network sizes from 10 to 100 neurons in steps of 10 and
+//! reports that above 50 neurons both SOMs exceed 90 % recognition but leave
+//! some neurons unused. This experiment reproduces that sweep and records the
+//! unused-neuron counts.
+
+use bsom_dataset::{DatasetConfig, SurveillanceDataset};
+use bsom_som::{
+    evaluate, BSom, BSomConfig, CSom, CSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// Configuration of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuronSweepConfig {
+    /// Neuron counts to evaluate.
+    pub neuron_counts: Vec<usize>,
+    /// Training iterations (full passes) per run.
+    pub iterations: usize,
+    /// Dataset shape.
+    pub dataset: DatasetConfig,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl NeuronSweepConfig {
+    /// The paper's sweep: 10–100 neurons in steps of 10.
+    pub fn paper_default() -> Self {
+        NeuronSweepConfig {
+            neuron_counts: (1..=10).map(|i| i * 10).collect(),
+            iterations: 30,
+            dataset: DatasetConfig {
+                train_instances: 900,
+                test_instances: 450,
+                ..DatasetConfig::paper_default()
+            },
+            // Same seed as the Table I quick profile so the 40-neuron row of
+            // the sweep is directly comparable with Table I.
+            seed: 2010,
+        }
+    }
+
+    /// A smoke-test sweep over two sizes.
+    pub fn smoke() -> Self {
+        NeuronSweepConfig {
+            neuron_counts: vec![10, 40],
+            iterations: 10,
+            dataset: DatasetConfig {
+                train_instances: 200,
+                test_instances: 100,
+                ..DatasetConfig::paper_default()
+            },
+            seed: 90,
+        }
+    }
+}
+
+impl Default for NeuronSweepConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One row of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeuronSweepRow {
+    /// Number of neurons in both maps.
+    pub neurons: usize,
+    /// bSOM accuracy (percent).
+    pub bsom_accuracy: f64,
+    /// cSOM accuracy (percent).
+    pub csom_accuracy: f64,
+    /// Neurons that never won a training signature in the bSOM.
+    pub bsom_unused: usize,
+    /// Neurons that never won a training signature in the cSOM.
+    pub csom_unused: usize,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuronSweepResult {
+    /// The configuration the sweep ran with.
+    pub config: NeuronSweepConfig,
+    /// One row per neuron count.
+    pub rows: Vec<NeuronSweepRow>,
+}
+
+impl NeuronSweepResult {
+    /// Renders the sweep.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new([
+            "Neurons",
+            "bSOM acc",
+            "cSOM acc",
+            "bSOM unused",
+            "cSOM unused",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                row.neurons.to_string(),
+                format!("{:.2}%", row.bsom_accuracy),
+                format!("{:.2}%", row.csom_accuracy),
+                row.bsom_unused.to_string(),
+                row.csom_unused.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the sweep.
+pub fn run(config: &NeuronSweepConfig) -> NeuronSweepResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dataset = SurveillanceDataset::generate(&config.dataset, &mut rng);
+    let schedule = TrainSchedule::new(config.iterations);
+
+    let rows = config
+        .neuron_counts
+        .iter()
+        .map(|&neurons| {
+            let mut run_rng = StdRng::seed_from_u64(config.seed ^ (neurons as u64) << 8);
+
+            let mut bsom = BSom::new(
+                BSomConfig {
+                    neurons,
+                    vector_len: 768,
+                    ..BSomConfig::paper_default()
+                },
+                &mut run_rng,
+            );
+            bsom.train_labelled_data(&dataset.train, schedule, &mut run_rng)
+                .expect("training data present");
+            let bsom_classifier = LabelledSom::label(bsom, &dataset.train);
+            let bsom_eval = evaluate(&bsom_classifier, &dataset.test);
+
+            let mut csom = CSom::new(
+                CSomConfig {
+                    neurons,
+                    vector_len: 768,
+                    ..CSomConfig::paper_default()
+                },
+                &mut run_rng,
+            );
+            csom.train_labelled_data(&dataset.train, schedule, &mut run_rng)
+                .expect("training data present");
+            let csom_classifier = LabelledSom::label(csom, &dataset.train);
+            let csom_eval = evaluate(&csom_classifier, &dataset.test);
+
+            NeuronSweepRow {
+                neurons,
+                bsom_accuracy: bsom_eval.accuracy_percent(),
+                csom_accuracy: csom_eval.accuracy_percent(),
+                bsom_unused: bsom_classifier.unused_neurons(),
+                csom_unused: csom_classifier.unused_neurons(),
+            }
+        })
+        .collect();
+
+    NeuronSweepResult {
+        config: config.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_covers_ten_to_one_hundred() {
+        let config = NeuronSweepConfig::paper_default();
+        assert_eq!(config.neuron_counts, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn smoke_sweep_produces_rows_with_sane_values() {
+        let result = run(&NeuronSweepConfig::smoke());
+        assert_eq!(result.rows.len(), 2);
+        for row in &result.rows {
+            assert!(row.bsom_accuracy >= 0.0 && row.bsom_accuracy <= 100.0);
+            assert!(row.csom_accuracy >= 0.0 && row.csom_accuracy <= 100.0);
+            assert!(row.bsom_unused <= row.neurons);
+            assert!(row.csom_unused <= row.neurons);
+        }
+        // More neurons should not hurt accuracy dramatically on this data.
+        assert!(result.rows[1].bsom_accuracy + 15.0 > result.rows[0].bsom_accuracy);
+        assert!(result.render().to_string().contains("Neurons"));
+    }
+}

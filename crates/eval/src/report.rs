@@ -1,0 +1,116 @@
+//! Plain-text table rendering shared by every experiment.
+
+use std::fmt;
+
+/// A simple fixed-width text table: a header row plus data rows, rendered
+/// with column widths fitted to the content.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row; short rows are padded with empty cells and long
+    /// rows are truncated to the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column widths fitted to content.
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render_row(&self.header))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_separator_and_rows() {
+        let mut t = TextTable::new(["Iterations", "cSOM", "bSOM"]);
+        t.push_row(["10", "81.84%", "84.41%"]);
+        t.push_row(["500", "87.42%", "86.89%"]);
+        let text = t.to_string();
+        assert!(text.contains("Iterations"));
+        assert!(text.contains("84.41%"));
+        assert!(text.contains("---"));
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["1"]);
+        t.push_row(["1", "2", "3"]);
+        let text = t.to_string();
+        assert_eq!(text.lines().count(), 4);
+        assert!(!text.contains('3'));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["x"]);
+        assert_eq!(t.to_string().lines().count(), 2);
+        assert_eq!(t.row_count(), 0);
+    }
+}

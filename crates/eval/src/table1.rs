@@ -1,0 +1,279 @@
+//! Table I: mean recognition accuracy of the cSOM and the bSOM across
+//! training-iteration budgets (10–100 in steps of 10, then 200–500 in steps
+//! of 100), ten repetitions each, on a 40-neuron map over the nine-identity
+//! surveillance dataset.
+
+use bsom_dataset::{DatasetConfig, SurveillanceDataset};
+use bsom_som::{
+    evaluate, BSom, BSomConfig, CSom, CSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule,
+};
+use bsom_stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// The iteration budgets evaluated by Table I.
+pub const PAPER_ITERATION_BUDGETS: [usize; 14] =
+    [10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 300, 400, 500];
+
+/// Configuration of the Table I experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Config {
+    /// Iteration budgets to evaluate.
+    pub iteration_budgets: Vec<usize>,
+    /// Repetitions per budget (the paper uses 10).
+    pub repetitions: usize,
+    /// Number of neurons in both maps (the paper uses 40).
+    pub neurons: usize,
+    /// Dataset shape and corruption.
+    pub dataset: DatasetConfig,
+    /// Base random seed; every repetition derives its own seed from it.
+    pub seed: u64,
+}
+
+impl Table1Config {
+    /// The paper's full protocol: all 14 budgets, 10 repetitions,
+    /// 2,248 / 1,139 instances. Takes tens of minutes of CPU time.
+    pub fn paper_default() -> Self {
+        Table1Config {
+            iteration_budgets: PAPER_ITERATION_BUDGETS.to_vec(),
+            repetitions: 10,
+            neurons: 40,
+            dataset: DatasetConfig::paper_default(),
+            seed: 2010,
+        }
+    }
+
+    /// A reduced protocol preserving the shape of the sweep while staying
+    /// tractable on one core: all 14 budgets, 3 repetitions, a 900 / 450
+    /// instance dataset.
+    pub fn quick() -> Self {
+        Table1Config {
+            iteration_budgets: PAPER_ITERATION_BUDGETS.to_vec(),
+            repetitions: 3,
+            neurons: 40,
+            dataset: DatasetConfig {
+                train_instances: 900,
+                test_instances: 450,
+                ..DatasetConfig::paper_default()
+            },
+            seed: 2010,
+        }
+    }
+
+    /// A tiny smoke-test protocol used by the integration tests.
+    pub fn smoke() -> Self {
+        Table1Config {
+            iteration_budgets: vec![5, 20],
+            repetitions: 2,
+            neurons: 20,
+            dataset: DatasetConfig {
+                train_instances: 150,
+                test_instances: 80,
+                ..DatasetConfig::paper_default()
+            },
+            seed: 2010,
+        }
+    }
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Accuracy results at one iteration budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The iteration budget.
+    pub iterations: usize,
+    /// Per-repetition cSOM accuracies (percent).
+    pub csom_runs: Vec<f64>,
+    /// Per-repetition bSOM accuracies (percent).
+    pub bsom_runs: Vec<f64>,
+}
+
+impl Table1Row {
+    /// Mean cSOM accuracy over the repetitions.
+    pub fn csom_mean(&self) -> f64 {
+        Summary::of(&self.csom_runs).mean
+    }
+
+    /// Mean bSOM accuracy over the repetitions.
+    pub fn bsom_mean(&self) -> f64 {
+        Summary::of(&self.bsom_runs).mean
+    }
+}
+
+/// The complete Table I result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// The configuration the experiment ran with.
+    pub config: Table1Config,
+    /// One row per iteration budget.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Renders the result in the layout of Table I.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(["Iterations", "cSOM", "bSOM"]);
+        for row in &self.rows {
+            table.push_row([
+                row.iterations.to_string(),
+                format!("{:.2}%", row.csom_mean()),
+                format!("{:.2}%", row.bsom_mean()),
+            ]);
+        }
+        table
+    }
+
+    /// The overall bSOM accuracy band (min and max of the per-budget means),
+    /// used by the shape checks in the integration tests.
+    pub fn bsom_band(&self) -> (f64, f64) {
+        band(self.rows.iter().map(Table1Row::bsom_mean))
+    }
+
+    /// The overall cSOM accuracy band.
+    pub fn csom_band(&self) -> (f64, f64) {
+        band(self.rows.iter().map(Table1Row::csom_mean))
+    }
+}
+
+fn band<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+/// Trains and evaluates one bSOM run, returning accuracy in percent.
+pub fn bsom_accuracy(
+    dataset: &SurveillanceDataset,
+    neurons: usize,
+    iterations: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = BSomConfig {
+        neurons,
+        vector_len: 768,
+        ..BSomConfig::paper_default()
+    };
+    let mut som = BSom::new(config, &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(iterations), &mut rng)
+        .expect("non-empty training data");
+    let classifier = LabelledSom::label(som, &dataset.train);
+    evaluate(&classifier, &dataset.test).accuracy_percent()
+}
+
+/// Trains and evaluates one cSOM run, returning accuracy in percent.
+pub fn csom_accuracy(
+    dataset: &SurveillanceDataset,
+    neurons: usize,
+    iterations: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = CSomConfig {
+        neurons,
+        vector_len: 768,
+        ..CSomConfig::paper_default()
+    };
+    let mut som = CSom::new(config, &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(iterations), &mut rng)
+        .expect("non-empty training data");
+    let classifier = LabelledSom::label(som, &dataset.train);
+    evaluate(&classifier, &dataset.test).accuracy_percent()
+}
+
+/// Runs the Table I experiment.
+pub fn run(config: &Table1Config) -> Table1Result {
+    let mut dataset_rng = StdRng::seed_from_u64(config.seed);
+    let dataset = SurveillanceDataset::generate(&config.dataset, &mut dataset_rng);
+
+    let rows = config
+        .iteration_budgets
+        .iter()
+        .map(|&iterations| {
+            let mut csom_runs = Vec::with_capacity(config.repetitions);
+            let mut bsom_runs = Vec::with_capacity(config.repetitions);
+            for rep in 0..config.repetitions {
+                let seed = config
+                    .seed
+                    .wrapping_mul(31)
+                    .wrapping_add(iterations as u64 * 1009 + rep as u64);
+                csom_runs.push(csom_accuracy(&dataset, config.neurons, iterations, seed));
+                bsom_runs.push(bsom_accuracy(
+                    &dataset,
+                    config.neurons,
+                    iterations,
+                    seed ^ 0xB50A,
+                ));
+            }
+            Table1Row {
+                iterations,
+                csom_runs,
+                bsom_runs,
+            }
+        })
+        .collect();
+
+    Table1Result {
+        config: config.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budgets_match_table_one() {
+        assert_eq!(PAPER_ITERATION_BUDGETS.len(), 14);
+        assert_eq!(PAPER_ITERATION_BUDGETS[0], 10);
+        assert_eq!(PAPER_ITERATION_BUDGETS[13], 500);
+        let config = Table1Config::paper_default();
+        assert_eq!(config.repetitions, 10);
+        assert_eq!(config.neurons, 40);
+        assert_eq!(config.dataset.train_instances, 2248);
+    }
+
+    #[test]
+    fn smoke_run_produces_sane_accuracies() {
+        let result = run(&Table1Config::smoke());
+        assert_eq!(result.rows.len(), 2);
+        for row in &result.rows {
+            assert_eq!(row.csom_runs.len(), 2);
+            assert_eq!(row.bsom_runs.len(), 2);
+            for acc in row.csom_runs.iter().chain(&row.bsom_runs) {
+                assert!(*acc >= 0.0 && *acc <= 100.0, "accuracy {acc}");
+            }
+            // Nine roughly balanced classes: anything learning at all beats
+            // 25 % even on the tiny smoke dataset.
+            assert!(row.bsom_mean() > 25.0);
+            assert!(row.csom_mean() > 25.0);
+        }
+        let rendered = result.render().to_string();
+        assert!(rendered.contains("Iterations"));
+        assert!(rendered.contains('%'));
+        let (lo, hi) = result.bsom_band();
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    fn repeated_runs_with_same_seed_are_identical() {
+        let config = Table1Config {
+            iteration_budgets: vec![5],
+            repetitions: 1,
+            ..Table1Config::smoke()
+        };
+        let a = run(&config);
+        let b = run(&config);
+        assert_eq!(a.rows[0].bsom_runs, b.rows[0].bsom_runs);
+        assert_eq!(a.rows[0].csom_runs, b.rows[0].csom_runs);
+    }
+}

@@ -1,0 +1,198 @@
+//! Table II: one-tailed Wilcoxon rank-sum tests on the per-repetition
+//! accuracies underlying Table I, reporting the mean rank of each algorithm,
+//! the z statistic and the direction of any significant difference at the
+//! 5 % level.
+
+use bsom_stats::{wilcoxon_rank_sum, Alternative, SignificanceDirection};
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+use crate::table1::Table1Result;
+
+/// The direction symbol used in the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// bSOM significantly higher (the paper's "≻").
+    BsomBetter,
+    /// cSOM significantly higher (the paper's "≺").
+    CsomBetter,
+    /// No significant difference (the paper's "−").
+    NoDifference,
+}
+
+impl Direction {
+    /// The symbol printed in the rendered table.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Direction::BsomBetter => "bSOM>",
+            Direction::CsomBetter => "cSOM>",
+            Direction::NoDifference => "-",
+        }
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// The iteration budget.
+    pub iterations: usize,
+    /// Mean rank of the cSOM repetitions under joint ranking.
+    pub csom_mean_rank: f64,
+    /// Mean rank of the bSOM repetitions under joint ranking.
+    pub bsom_mean_rank: f64,
+    /// The z statistic (negative when the cSOM ranks lower).
+    pub z: f64,
+    /// One-tailed p-value in the direction favoured by the data.
+    pub p_value: f64,
+    /// Verdict at the 5 % level.
+    pub direction: Direction,
+}
+
+/// The complete Table II result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// Significance level used (the paper uses 0.05).
+    pub alpha: f64,
+    /// One row per iteration budget.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Result {
+    /// Renders the result in the layout of Table II.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(["Iteration", "cSOM rank", "bSOM rank", "z", "p", "Sig."]);
+        for row in &self.rows {
+            table.push_row([
+                row.iterations.to_string(),
+                format!("{:.2}", row.csom_mean_rank),
+                format!("{:.2}", row.bsom_mean_rank),
+                format!("{:.2}", row.z),
+                format!("{:.4}", row.p_value),
+                row.direction.symbol().to_owned(),
+            ]);
+        }
+        table
+    }
+
+    /// Number of budgets where the bSOM is declared significantly better.
+    pub fn bsom_wins(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.direction == Direction::BsomBetter)
+            .count()
+    }
+
+    /// Number of budgets where the cSOM is declared significantly better.
+    pub fn csom_wins(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.direction == Direction::CsomBetter)
+            .count()
+    }
+}
+
+/// Runs the Table II analysis on a Table I result (α = 0.05, as in the
+/// paper).
+pub fn run(table1: &Table1Result) -> Table2Result {
+    run_with_alpha(table1, 0.05)
+}
+
+/// Runs the analysis at an explicit significance level.
+pub fn run_with_alpha(table1: &Table1Result, alpha: f64) -> Table2Result {
+    let rows = table1
+        .rows
+        .iter()
+        .map(|row| {
+            // First sample = cSOM, second = bSOM, matching the paper's layout.
+            let test = wilcoxon_rank_sum(&row.csom_runs, &row.bsom_runs, Alternative::TwoSided);
+            let direction = match test.direction(alpha) {
+                SignificanceDirection::FirstHigher => Direction::CsomBetter,
+                SignificanceDirection::SecondHigher => Direction::BsomBetter,
+                SignificanceDirection::NotSignificant => Direction::NoDifference,
+            };
+            // Report the one-tailed p-value in the favoured direction, as the
+            // paper's one-tailed protocol does.
+            let p_one_tailed = (test.p_value / 2.0).min(1.0);
+            Table2Row {
+                iterations: row.iterations,
+                csom_mean_rank: test.mean_rank1,
+                bsom_mean_rank: test.mean_rank2,
+                z: test.z,
+                p_value: p_one_tailed,
+                direction,
+            }
+        })
+        .collect();
+    Table2Result { alpha, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table1::{Table1Config, Table1Result, Table1Row};
+
+    fn synthetic_table1(csom: Vec<f64>, bsom: Vec<f64>) -> Table1Result {
+        Table1Result {
+            config: Table1Config::smoke(),
+            rows: vec![Table1Row {
+                iterations: 10,
+                csom_runs: csom,
+                bsom_runs: bsom,
+            }],
+        }
+    }
+
+    #[test]
+    fn clearly_separated_runs_flag_the_bsom_as_better() {
+        let t1 = synthetic_table1(
+            vec![80.0, 80.5, 81.0, 80.2, 80.8, 80.1, 80.9, 80.4, 80.6, 80.3],
+            vec![84.0, 84.5, 85.0, 84.2, 84.8, 84.1, 84.9, 84.4, 84.6, 84.3],
+        );
+        let t2 = run(&t1);
+        assert_eq!(t2.rows.len(), 1);
+        let row = &t2.rows[0];
+        assert!((row.csom_mean_rank - 5.5).abs() < 1e-9);
+        assert!((row.bsom_mean_rank - 15.5).abs() < 1e-9);
+        assert!(row.z < -3.0);
+        assert_eq!(row.direction, Direction::BsomBetter);
+        assert_eq!(t2.bsom_wins(), 1);
+        assert_eq!(t2.csom_wins(), 0);
+        assert!(row.p_value < 0.01);
+    }
+
+    #[test]
+    fn reversed_separation_flags_the_csom() {
+        let t1 = synthetic_table1(
+            vec![90.0, 90.5, 91.0, 90.2, 90.8],
+            vec![84.0, 84.5, 85.0, 84.2, 84.8],
+        );
+        let t2 = run(&t1);
+        assert_eq!(t2.rows[0].direction, Direction::CsomBetter);
+        assert!(t2.rows[0].z > 0.0);
+    }
+
+    #[test]
+    fn overlapping_runs_are_not_significant() {
+        let t1 = synthetic_table1(
+            vec![85.0, 84.0, 86.0, 85.5, 84.5],
+            vec![85.2, 84.1, 85.9, 85.4, 84.7],
+        );
+        let t2 = run(&t1);
+        assert_eq!(t2.rows[0].direction, Direction::NoDifference);
+    }
+
+    #[test]
+    fn rendering_contains_the_direction_symbols() {
+        let t1 = synthetic_table1(vec![80.0, 80.1, 80.2], vec![90.0, 90.1, 90.2]);
+        let text = run(&t1).render().to_string();
+        assert!(text.contains("bSOM>"));
+        assert!(text.contains("Iteration"));
+    }
+
+    #[test]
+    fn direction_symbols() {
+        assert_eq!(Direction::BsomBetter.symbol(), "bSOM>");
+        assert_eq!(Direction::CsomBetter.symbol(), "cSOM>");
+        assert_eq!(Direction::NoDifference.symbol(), "-");
+    }
+}

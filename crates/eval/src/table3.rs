@@ -1,0 +1,65 @@
+//! Table III: the specification of the bSOM as implemented on the FPGA
+//! (network size, vector widths, initial weights, maximum neighbourhood).
+
+use bsom_fpga::FpgaConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// The rendered specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// The design the specification describes.
+    pub config: FpgaConfig,
+}
+
+impl Table3Result {
+    /// Renders the specification in the layout of Table III.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(["Parameter", "Value"]);
+        table.push_row([
+            "Network Size".to_owned(),
+            format!("{} neurons", self.config.neurons),
+        ]);
+        table.push_row([
+            "Input vectors".to_owned(),
+            format!("{} bits", self.config.vector_len),
+        ]);
+        table.push_row([
+            "Neuron vectors".to_owned(),
+            format!("{} bits", self.config.vector_len),
+        ]);
+        table.push_row(["Initial weights".to_owned(), "Random".to_owned()]);
+        table.push_row([
+            "Maximum neighbourhood".to_owned(),
+            format!("{} neurons", self.config.max_neighbourhood),
+        ]);
+        table
+    }
+}
+
+/// Produces Table III for the paper's design point.
+pub fn run() -> Table3Result {
+    Table3Result {
+        config: FpgaConfig::paper_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specification_matches_table_three() {
+        let result = run();
+        assert_eq!(result.config.neurons, 40);
+        assert_eq!(result.config.vector_len, 768);
+        assert_eq!(result.config.max_neighbourhood, 4);
+        let text = result.render().to_string();
+        assert!(text.contains("40 neurons"));
+        assert!(text.contains("768 bits"));
+        assert!(text.contains("Random"));
+        assert!(text.contains("Maximum neighbourhood"));
+        assert_eq!(result.render().row_count(), 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Table IV: resource utilisation of the design on the Virtex-4 XC4VLX160,
+//! regenerated from the analytical resource model.
+
+use bsom_fpga::ResourceReport;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// The rendered utilisation report plus the paper's reference numbers for
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Result {
+    /// The regenerated report.
+    pub report: ResourceReport,
+    /// The numbers printed in the paper, in Table IV row order
+    /// (flip-flops, LUTs, IOBs, slices, RAM16s).
+    pub paper_used: [u64; 5],
+}
+
+impl Table4Result {
+    /// Renders the report in the layout of Table IV with an extra column
+    /// showing the paper's reported figure.
+    pub fn render(&self) -> TextTable {
+        let mut table = TextTable::new(["Resource", "Total", "Used", "Per.(%)", "Paper"]);
+        for ((label, total, used, percent), paper) in
+            self.report.rows().into_iter().zip(self.paper_used)
+        {
+            table.push_row([
+                label,
+                total.to_string(),
+                used.to_string(),
+                percent.to_string(),
+                paper.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Maximum relative deviation of the regenerated usage from the paper's
+    /// figures (0.0 = identical).
+    pub fn max_relative_error(&self) -> f64 {
+        self.report
+            .rows()
+            .iter()
+            .zip(self.paper_used)
+            .map(|((_, _, used, _), paper)| {
+                if paper == 0 {
+                    0.0
+                } else {
+                    (*used as f64 - paper as f64).abs() / paper as f64
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Produces Table IV for the paper's design point (40 neurons × 768 bits).
+pub fn run() -> Table4Result {
+    run_for(40, 768)
+}
+
+/// Produces the utilisation table for an arbitrary design shape.
+pub fn run_for(neurons: usize, vector_len: usize) -> Table4Result {
+    Table4Result {
+        report: ResourceReport::for_bsom(neurons, vector_len),
+        paper_used: [4_095, 18_387, 147, 11_468, 43],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regenerated_numbers_match_the_paper_exactly_at_the_design_point() {
+        let result = run();
+        assert_eq!(result.max_relative_error(), 0.0);
+        let text = result.render().to_string();
+        assert!(text.contains("18387"));
+        assert!(text.contains("4095"));
+        assert!(text.contains("RAM16s"));
+        assert!(text.contains("135168"));
+    }
+
+    #[test]
+    fn other_design_points_scale_but_do_not_match_the_paper() {
+        let result = run_for(80, 768);
+        assert!(result.max_relative_error() > 0.5);
+        assert!(result.report.fits());
+    }
+}

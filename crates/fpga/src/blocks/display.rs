@@ -1,0 +1,159 @@
+//! Output display block (§V-E).
+//!
+//! The display block continuously renders the neuron weight vectors as
+//! binary images on an external VGA monitor for visual verification, running
+//! in parallel with the input and WTA blocks at the monitor's refresh rate
+//! (60 Hz). The simulator reproduces the standard 640 × 480 @ 60 Hz timing
+//! and renders the neuron grid into an ASCII/"framebuffer" form that the
+//! examples print.
+
+use bsom_signature::{BinaryImage, TriStateVector};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{ClockDomain, CycleCount};
+
+/// Standard VGA timing parameters (pixels per line / lines per frame include
+/// blanking intervals).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VgaTiming {
+    /// Visible pixels per line.
+    pub h_visible: u32,
+    /// Total pixel clocks per line (visible + front porch + sync + back porch).
+    pub h_total: u32,
+    /// Visible lines per frame.
+    pub v_visible: u32,
+    /// Total lines per frame.
+    pub v_total: u32,
+    /// Pixel clock driving the timing.
+    pub pixel_clock: ClockDomain,
+}
+
+impl VgaTiming {
+    /// The 640 × 480 @ 60 Hz mode used by the paper's display block.
+    pub fn vga_640x480_60() -> Self {
+        VgaTiming {
+            h_visible: 640,
+            h_total: 800,
+            v_visible: 480,
+            v_total: 525,
+            pixel_clock: ClockDomain::vga_pixel_clock(),
+        }
+    }
+
+    /// Pixel clocks per full frame (including blanking).
+    pub fn cycles_per_frame(&self) -> CycleCount {
+        CycleCount::from(self.h_total) * CycleCount::from(self.v_total)
+    }
+
+    /// The refresh rate implied by the timing.
+    pub fn refresh_rate_hz(&self) -> f64 {
+        self.pixel_clock.frequency_hz() / self.cycles_per_frame() as f64
+    }
+}
+
+impl Default for VgaTiming {
+    fn default() -> Self {
+        Self::vga_640x480_60()
+    }
+}
+
+/// The output display block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DisplayBlock {
+    timing: VgaTiming,
+}
+
+impl DisplayBlock {
+    /// Creates the block with the standard VGA timing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The VGA timing the block drives.
+    pub fn timing(&self) -> &VgaTiming {
+        &self.timing
+    }
+
+    /// Renders every neuron's weight vector as a `width × height` binary
+    /// image (don't-care trits rendered as background), the content the VGA
+    /// output shows. Neurons whose length does not match `width × height`
+    /// are skipped.
+    pub fn render_neurons(
+        &self,
+        neurons: &[TriStateVector],
+        width: usize,
+        height: usize,
+    ) -> Vec<BinaryImage> {
+        neurons
+            .iter()
+            .filter(|n| n.len() == width * height)
+            .map(|n| {
+                BinaryImage::from_bits(width, height, n.to_binary(false))
+                    .expect("length checked above")
+            })
+            .collect()
+    }
+
+    /// Number of pixel-clock cycles needed to refresh the display once.
+    pub fn cycles_per_refresh(&self) -> CycleCount {
+        self.timing.cycles_per_frame()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsom_signature::BinaryVector;
+
+    #[test]
+    fn standard_vga_timing_is_sixty_hertz() {
+        let t = VgaTiming::vga_640x480_60();
+        assert_eq!(t.cycles_per_frame(), 800 * 525);
+        let rate = t.refresh_rate_hz();
+        assert!((rate - 59.94).abs() < 0.1, "rate = {rate}");
+        assert_eq!(VgaTiming::default(), t);
+    }
+
+    #[test]
+    fn render_produces_one_image_per_neuron() {
+        let display = DisplayBlock::new();
+        let neurons: Vec<TriStateVector> = (0..5)
+            .map(|i| {
+                TriStateVector::from_binary(&BinaryVector::from_bits(
+                    (0..768).map(|k| (k + i) % 9 == 0),
+                ))
+            })
+            .collect();
+        let images = display.render_neurons(&neurons, 32, 24);
+        assert_eq!(images.len(), 5);
+        for img in &images {
+            assert_eq!(img.width(), 32);
+            assert_eq!(img.height(), 24);
+        }
+    }
+
+    #[test]
+    fn dont_care_trits_render_as_background() {
+        let display = DisplayBlock::new();
+        let neurons = vec![TriStateVector::all_dont_care(768)];
+        let images = display.render_neurons(&neurons, 32, 24);
+        assert_eq!(images[0].count_ones(), 0);
+    }
+
+    #[test]
+    fn mismatched_neuron_lengths_are_skipped() {
+        let display = DisplayBlock::new();
+        let neurons = vec![
+            TriStateVector::all_dont_care(768),
+            TriStateVector::all_dont_care(10),
+        ];
+        assert_eq!(display.render_neurons(&neurons, 32, 24).len(), 1);
+    }
+
+    #[test]
+    fn refresh_cost_matches_timing() {
+        let display = DisplayBlock::new();
+        assert_eq!(display.cycles_per_refresh(), 800 * 525);
+        assert_eq!(display.timing().h_visible, 640);
+    }
+}

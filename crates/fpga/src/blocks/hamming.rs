@@ -1,0 +1,180 @@
+//! The Hamming-distance computation unit of the WTA block (§V-C, Eq. 3).
+//!
+//! One unit per neuron walks the input vector and the neuron's tri-state
+//! weight vector one bit per cycle, incrementing a counter when the weight is
+//! concrete and disagrees with the input; `#` positions never contribute.
+//! All units run in parallel, so the whole bank finishes in exactly
+//! `vector_len` cycles regardless of the neuron count.
+
+use bsom_signature::{BinaryVector, TriStateVector, Trit};
+
+use crate::clock::CycleCount;
+
+/// A single bit-serial Hamming-distance unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HammingUnit {
+    accumulator: u32,
+    position: usize,
+}
+
+impl HammingUnit {
+    /// Creates a unit with a cleared accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the accumulator for a new pattern.
+    pub fn reset(&mut self) {
+        self.accumulator = 0;
+        self.position = 0;
+    }
+
+    /// Processes one bit position (one cycle).
+    pub fn step(&mut self, weight: Trit, input_bit: bool) {
+        if !weight.matches(input_bit) {
+            self.accumulator += 1;
+        }
+        self.position += 1;
+    }
+
+    /// The distance accumulated so far.
+    pub fn distance(&self) -> u32 {
+        self.accumulator
+    }
+
+    /// Number of bit positions processed since the last reset.
+    pub fn bits_processed(&self) -> usize {
+        self.position
+    }
+
+    /// Runs the whole vector through the unit and returns the distance plus
+    /// the cycle count (one cycle per bit).
+    ///
+    /// The shorter of the two vectors bounds the scan, mirroring a hardware
+    /// counter programmed with the vector length.
+    pub fn run(&mut self, weight: &TriStateVector, input: &BinaryVector) -> (u32, CycleCount) {
+        self.reset();
+        let len = weight.len().min(input.len());
+        for k in 0..len {
+            self.step(weight.trit(k), input.bit(k));
+        }
+        (self.accumulator, len as CycleCount)
+    }
+}
+
+/// A bank of Hamming units, one per neuron, stepping in lock-step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HammingBank {
+    units: Vec<HammingUnit>,
+}
+
+impl HammingBank {
+    /// Creates a bank of `neurons` units.
+    pub fn new(neurons: usize) -> Self {
+        HammingBank {
+            units: vec![HammingUnit::new(); neurons],
+        }
+    }
+
+    /// Number of parallel units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Computes the distance from `input` to every weight vector in parallel.
+    ///
+    /// Returns the per-neuron distances and the cycle count, which equals the
+    /// vector length (not `neurons × length`) because the units run
+    /// concurrently — the architectural point of §V-C.
+    pub fn run(
+        &mut self,
+        weights: &[TriStateVector],
+        input: &BinaryVector,
+    ) -> (Vec<u32>, CycleCount) {
+        let mut distances = Vec::with_capacity(weights.len());
+        let mut cycles = 0;
+        for (unit, weight) in self.units.iter_mut().zip(weights) {
+            let (d, c) = unit.run(weight, input);
+            distances.push(d);
+            cycles = cycles.max(c);
+        }
+        (distances, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_counts_mismatches_only_where_concrete() {
+        let mut unit = HammingUnit::new();
+        let weight = TriStateVector::from_str("01#10").unwrap();
+        let input = BinaryVector::from_bit_str("11010").unwrap();
+        let (d, cycles) = unit.run(&weight, &input);
+        // position 0: 0 vs 1 mismatch; position 1: 1 vs 1 ok; position 2: #;
+        // position 3: 1 vs 1 ok; position 4: 0 vs 0 ok.
+        assert_eq!(d, 1);
+        assert_eq!(cycles, 5);
+        assert_eq!(unit.bits_processed(), 5);
+    }
+
+    #[test]
+    fn unit_matches_software_hamming_for_full_width_vectors() {
+        let weight = TriStateVector::from_str(&"01#".repeat(256)).unwrap();
+        let input = BinaryVector::from_bits((0..768).map(|i| i % 2 == 0));
+        let mut unit = HammingUnit::new();
+        let (d, cycles) = unit.run(&weight, &input);
+        assert_eq!(cycles, 768, "§V-C: 768 cycles for a 768-bit vector");
+        assert_eq!(d as usize, weight.hamming(&input).unwrap());
+    }
+
+    #[test]
+    fn all_dont_care_weight_scores_zero() {
+        let weight = TriStateVector::all_dont_care(768);
+        let input = BinaryVector::ones(768);
+        let mut unit = HammingUnit::new();
+        let (d, _) = unit.run(&weight, &input);
+        assert_eq!(d, 0, "the paper calls this case out explicitly");
+    }
+
+    #[test]
+    fn reset_clears_state_between_patterns() {
+        let mut unit = HammingUnit::new();
+        let weight = TriStateVector::from_str("1111").unwrap();
+        let (_, _) = unit.run(&weight, &BinaryVector::from_bit_str("0000").unwrap());
+        assert_eq!(unit.distance(), 4);
+        let (d, _) = unit.run(&weight, &BinaryVector::from_bit_str("1111").unwrap());
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn bank_runs_all_units_in_parallel_cycle_count() {
+        let weights: Vec<TriStateVector> = (0..40)
+            .map(|i| {
+                TriStateVector::from_binary(&BinaryVector::from_bits(
+                    (0..768).map(|k| (k + i) % 5 == 0),
+                ))
+            })
+            .collect();
+        let input = BinaryVector::from_bits((0..768).map(|k| k % 5 == 0));
+        let mut bank = HammingBank::new(40);
+        let (distances, cycles) = bank.run(&weights, &input);
+        assert_eq!(bank.unit_count(), 40);
+        assert_eq!(distances.len(), 40);
+        assert_eq!(cycles, 768, "parallel units: 768 cycles total, not 40x768");
+        assert_eq!(distances[0], 0);
+        for (i, d) in distances.iter().enumerate() {
+            let expected = weights[i].hamming(&input).unwrap() as u32;
+            assert_eq!(*d, expected, "neuron {i}");
+        }
+    }
+
+    #[test]
+    fn bank_with_mismatched_weight_count_only_scores_available_units() {
+        let weights = vec![TriStateVector::all_dont_care(8); 2];
+        let mut bank = HammingBank::new(4);
+        let (distances, _) = bank.run(&weights, &BinaryVector::zeros(8));
+        assert_eq!(distances.len(), 2);
+    }
+}

@@ -1,0 +1,15 @@
+//! The five functional blocks of the FPGA design (Fig. 4).
+//!
+//! Three of the five blocks run in parallel on the real device (pattern
+//! input, WTA and display); the weight-initialisation block runs only at
+//! start-up and the neighbourhood-update block only when a winner has been
+//! found for a training pattern. Each simulator here reports the cycle count
+//! the paper attributes to its block so the top-level [`crate::FpgaBSom`] can
+//! account for whole-operation latency.
+
+pub mod display;
+pub mod hamming;
+pub mod neighbourhood;
+pub mod pattern_input;
+pub mod weight_init;
+pub mod wta;

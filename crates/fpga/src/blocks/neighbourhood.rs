@@ -1,0 +1,205 @@
+//! Neighbourhood-update block (§V-D).
+//!
+//! Once a winner has been identified for a training pattern, the block
+//! selects the window of neuron addresses around the winner (maximum radius
+//! 4, shrinking as training progresses, Table III) and streams the input
+//! vector through the weight memories of the selected neurons, applying the
+//! tri-state update one bit per cycle. The neurons in the window are updated
+//! in parallel, so the block costs one pass over the vector (768 cycles)
+//! regardless of the window size.
+
+use bsom_signature::{BinaryVector, TriStateVector, Trit};
+
+use crate::clock::CycleCount;
+
+/// The neighbourhood-selection and neuron-update block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighbourhoodUpdateBlock {
+    /// Maximum neighbourhood radius (Table III: 4).
+    max_radius: usize,
+    /// LFSR state driving the stochastic damping of the update rule (the
+    /// hardware analogue of `BSomConfig`'s update probabilities).
+    lfsr: u64,
+    /// Probability that a disagreeing concrete bit relaxes to `#`.
+    relax_probability: f64,
+    /// Probability that a `#` bit commits to the input value.
+    commit_probability: f64,
+}
+
+impl NeighbourhoodUpdateBlock {
+    /// Creates the block with the paper's maximum radius of 4 and the given
+    /// update probabilities (use `1.0, 1.0` for the undamped rule).
+    pub fn new(max_radius: usize, relax_probability: f64, commit_probability: f64, seed: u64) -> Self {
+        NeighbourhoodUpdateBlock {
+            max_radius,
+            lfsr: seed | 1,
+            relax_probability,
+            commit_probability,
+        }
+    }
+
+    /// The paper's configuration: radius 4, undamped updates.
+    pub fn paper_default() -> Self {
+        Self::new(4, 1.0, 1.0, 0xACE1)
+    }
+
+    /// The maximum neighbourhood radius.
+    pub fn max_radius(&self) -> usize {
+        self.max_radius
+    }
+
+    /// The radius in force at training iteration `iteration` of
+    /// `total_iterations`, following §V-D: the iteration budget is divided
+    /// into `max_radius` phases and the radius steps down by one per phase.
+    pub fn radius_at(&self, iteration: usize, total_iterations: usize) -> usize {
+        let max = self.max_radius.max(1);
+        if total_iterations == 0 {
+            return max;
+        }
+        let phase_len = total_iterations.div_ceil(max);
+        let phase = (iteration / phase_len.max(1)).min(max - 1);
+        max - phase
+    }
+
+    /// The window of neuron addresses updated around `winner` at the given
+    /// radius (clamped to the address range, winner included).
+    pub fn window(&self, winner: usize, radius: usize, neurons: usize) -> Vec<usize> {
+        let lo = winner.saturating_sub(radius);
+        let hi = (winner + radius).min(neurons.saturating_sub(1));
+        (lo..=hi).collect()
+    }
+
+    fn coin(&mut self, probability: f64) -> bool {
+        if probability >= 1.0 {
+            return true;
+        }
+        if probability <= 0.0 {
+            return false;
+        }
+        // 16-bit Fibonacci LFSR stepped per decision, as a hardware design
+        // would tap a free-running LFSR.
+        let lfsr = &mut self.lfsr;
+        let bit = ((*lfsr >> 0) ^ (*lfsr >> 2) ^ (*lfsr >> 3) ^ (*lfsr >> 5)) & 1;
+        *lfsr = (*lfsr >> 1) | (bit << 15);
+        let sample = (*lfsr & 0xFFFF) as f64 / 65536.0;
+        sample < probability
+    }
+
+    /// Applies the tri-state update to every neuron in the window, one bit
+    /// per cycle, and returns the cycle count (the window updates in
+    /// parallel, so the cost is one pass over the vector).
+    pub fn update(
+        &mut self,
+        weights: &mut [TriStateVector],
+        window: &[usize],
+        input: &BinaryVector,
+    ) -> CycleCount {
+        for k in 0..input.len() {
+            let x = input.bit(k);
+            for &idx in window {
+                let Some(weight) = weights.get_mut(idx) else {
+                    continue;
+                };
+                if k >= weight.len() {
+                    continue;
+                }
+                match weight.trit(k) {
+                    Trit::DontCare => {
+                        if self.coin(self.commit_probability) {
+                            weight.set(k, Trit::from_bit(x));
+                        }
+                    }
+                    t => {
+                        if !t.matches(x) && self.coin(self.relax_probability) {
+                            weight.set(k, Trit::DontCare);
+                        }
+                    }
+                }
+            }
+        }
+        input.len() as CycleCount
+    }
+}
+
+impl Default for NeighbourhoodUpdateBlock {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_schedule_matches_paper_example() {
+        let block = NeighbourhoodUpdateBlock::paper_default();
+        // §V-D example with 100 iterations.
+        assert_eq!(block.radius_at(0, 100), 4);
+        assert_eq!(block.radius_at(24, 100), 4);
+        assert_eq!(block.radius_at(25, 100), 3);
+        assert_eq!(block.radius_at(50, 100), 2);
+        assert_eq!(block.radius_at(75, 100), 1);
+        assert_eq!(block.radius_at(99, 100), 1);
+        assert_eq!(block.max_radius(), 4);
+    }
+
+    #[test]
+    fn window_is_clamped_to_the_address_range() {
+        let block = NeighbourhoodUpdateBlock::paper_default();
+        assert_eq!(block.window(0, 4, 40), vec![0, 1, 2, 3, 4]);
+        assert_eq!(block.window(39, 4, 40), vec![35, 36, 37, 38, 39]);
+        assert_eq!(block.window(20, 2, 40), vec![18, 19, 20, 21, 22]);
+        assert_eq!(block.window(5, 0, 40), vec![5]);
+    }
+
+    #[test]
+    fn undamped_update_applies_the_tristate_rule_exactly() {
+        let mut block = NeighbourhoodUpdateBlock::paper_default();
+        let mut weights = vec![TriStateVector::from_str("01#").unwrap()];
+        let input = BinaryVector::from_bit_str("001").unwrap();
+        let cycles = block.update(&mut weights, &[0], &input);
+        assert_eq!(cycles, 3, "one cycle per bit");
+        assert_eq!(weights[0].to_trit_string(), "0#1");
+    }
+
+    #[test]
+    fn update_cost_is_independent_of_window_size() {
+        let mut block = NeighbourhoodUpdateBlock::paper_default();
+        let mut weights = vec![TriStateVector::all_dont_care(768); 40];
+        let input = BinaryVector::ones(768);
+        let cycles_small = block.update(&mut weights, &[0], &input);
+        let cycles_large = block.update(&mut weights, &(0..40).collect::<Vec<_>>(), &input);
+        assert_eq!(cycles_small, 768);
+        assert_eq!(cycles_large, 768, "parallel window update");
+    }
+
+    #[test]
+    fn zero_probability_update_changes_nothing() {
+        let mut block = NeighbourhoodUpdateBlock::new(4, 0.0, 0.0, 1);
+        let mut weights = vec![TriStateVector::from_str("0101").unwrap()];
+        let before = weights[0].clone();
+        block.update(&mut weights, &[0], &BinaryVector::from_bit_str("1010").unwrap());
+        assert_eq!(weights[0], before);
+    }
+
+    #[test]
+    fn damped_update_changes_some_but_not_all_disagreeing_bits() {
+        let mut block = NeighbourhoodUpdateBlock::new(4, 0.5, 0.5, 0xBEEF);
+        let mut weights = vec![TriStateVector::from_binary(&BinaryVector::zeros(256))];
+        let input = BinaryVector::ones(256);
+        block.update(&mut weights, &[0], &input);
+        let relaxed = weights[0].count_dont_care();
+        assert!(relaxed > 50, "some bits should relax, got {relaxed}");
+        assert!(relaxed < 256, "not every bit should relax, got {relaxed}");
+    }
+
+    #[test]
+    fn out_of_range_window_entries_are_ignored() {
+        let mut block = NeighbourhoodUpdateBlock::paper_default();
+        let mut weights = vec![TriStateVector::from_str("00").unwrap()];
+        let cycles = block.update(&mut weights, &[0, 5], &BinaryVector::from_bit_str("11").unwrap());
+        assert_eq!(cycles, 2);
+        assert_eq!(weights[0].to_trit_string(), "##");
+    }
+}

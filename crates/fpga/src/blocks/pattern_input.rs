@@ -1,0 +1,126 @@
+//! Pattern-input block (§V-B).
+//!
+//! The binary input vector arrives from the external camera (or USB link) as
+//! a 32 × 24 binary image, one bit per cycle; the block is complete when all
+//! 768 bits have been shifted into the input register.
+
+use bsom_signature::BinaryVector;
+
+use crate::clock::CycleCount;
+
+/// The pattern-input block: a serial-in shift register of the configured
+/// width.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PatternInputBlock {
+    register: Vec<bool>,
+    expected_len: usize,
+}
+
+impl PatternInputBlock {
+    /// Creates a block expecting input vectors of `expected_len` bits.
+    pub fn new(expected_len: usize) -> Self {
+        PatternInputBlock {
+            register: Vec::with_capacity(expected_len),
+            expected_len,
+        }
+    }
+
+    /// The configured input width.
+    pub fn expected_len(&self) -> usize {
+        self.expected_len
+    }
+
+    /// Number of bits currently latched.
+    pub fn bits_received(&self) -> usize {
+        self.register.len()
+    }
+
+    /// Whether a complete pattern has been received.
+    pub fn is_complete(&self) -> bool {
+        self.register.len() == self.expected_len
+    }
+
+    /// Shifts one bit in (one cycle). Extra bits beyond the expected length
+    /// are ignored, as the hardware stops sampling once the counter reaches
+    /// the programmed size.
+    pub fn shift_in(&mut self, bit: bool) {
+        if self.register.len() < self.expected_len {
+            self.register.push(bit);
+        }
+    }
+
+    /// Loads an entire pattern bit-serially and returns the latched vector
+    /// plus the cycle count (one cycle per expected bit — short inputs still
+    /// hold the bus for the full transfer window, mirroring the fixed-size
+    /// camera frame).
+    pub fn load(&mut self, input: &BinaryVector) -> (BinaryVector, CycleCount) {
+        self.register.clear();
+        for bit in input.iter().take(self.expected_len) {
+            self.shift_in(bit);
+        }
+        // Missing bits (input shorter than the register) read as zero.
+        while self.register.len() < self.expected_len {
+            self.register.push(false);
+        }
+        let latched = BinaryVector::from_bits(self.register.iter().copied());
+        (latched, self.expected_len as CycleCount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_takes_one_cycle_per_bit() {
+        let mut block = PatternInputBlock::new(768);
+        let input = BinaryVector::from_bits((0..768).map(|i| i % 3 == 0));
+        let (latched, cycles) = block.load(&input);
+        assert_eq!(cycles, 768, "§V-B: 768 bits, one per cycle");
+        assert_eq!(latched, input);
+        assert!(block.is_complete());
+    }
+
+    #[test]
+    fn short_input_is_zero_padded() {
+        let mut block = PatternInputBlock::new(16);
+        let input = BinaryVector::from_bit_str("1111").unwrap();
+        let (latched, cycles) = block.load(&input);
+        assert_eq!(cycles, 16);
+        assert_eq!(latched.len(), 16);
+        assert_eq!(latched.count_ones(), 4);
+        assert!(latched.bit(0) && latched.bit(3) && !latched.bit(4));
+    }
+
+    #[test]
+    fn long_input_is_truncated() {
+        let mut block = PatternInputBlock::new(4);
+        let input = BinaryVector::from_bit_str("10101010").unwrap();
+        let (latched, _) = block.load(&input);
+        assert_eq!(latched.to_bit_string(), "1010");
+    }
+
+    #[test]
+    fn shift_in_fills_incrementally() {
+        let mut block = PatternInputBlock::new(3);
+        assert_eq!(block.bits_received(), 0);
+        assert!(!block.is_complete());
+        block.shift_in(true);
+        block.shift_in(false);
+        assert_eq!(block.bits_received(), 2);
+        block.shift_in(true);
+        assert!(block.is_complete());
+        // Further bits are ignored.
+        block.shift_in(true);
+        assert_eq!(block.bits_received(), 3);
+        assert_eq!(block.expected_len(), 3);
+    }
+
+    #[test]
+    fn reload_clears_previous_pattern() {
+        let mut block = PatternInputBlock::new(4);
+        let (_, _) = block.load(&BinaryVector::from_bit_str("1111").unwrap());
+        let (latched, _) = block.load(&BinaryVector::from_bit_str("0000").unwrap());
+        assert_eq!(latched.count_ones(), 0);
+    }
+}

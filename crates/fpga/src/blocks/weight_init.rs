@@ -1,0 +1,118 @@
+//! Weight-initialisation block (§V-A).
+//!
+//! At start-up every neuron is loaded with a random binary weight vector.
+//! All neurons are initialised in parallel, bit by bit, so the block takes
+//! exactly as many cycles as there are bits in the weight vector — 768 for
+//! the paper's configuration.
+
+use bsom_signature::{TriStateVector, Trit};
+
+use crate::clock::CycleCount;
+
+/// The weight-initialisation block: a per-neuron LFSR feeding one bit per
+/// cycle into the weight memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightInitBlock {
+    /// 64-bit xorshift state per neuron (the hardware uses one LFSR per
+    /// neuron so all weight memories are written in parallel).
+    states: Vec<u64>,
+}
+
+impl WeightInitBlock {
+    /// Creates the block with one pseudo-random generator per neuron, all
+    /// derived from `seed`.
+    pub fn new(neurons: usize, seed: u64) -> Self {
+        let states = (0..neurons)
+            .map(|i| {
+                // SplitMix64 expansion of the seed so neurons differ.
+                let mut z = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) | 1
+            })
+            .collect();
+        WeightInitBlock { states }
+    }
+
+    /// Number of neurons the block initialises in parallel.
+    pub fn neuron_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Runs the block: produces one random *concrete* weight vector per
+    /// neuron, bit-serially, and reports the cycle count (one cycle per bit,
+    /// independent of the neuron count because neurons are written in
+    /// parallel).
+    pub fn run(&mut self, vector_len: usize) -> (Vec<TriStateVector>, CycleCount) {
+        let mut weights = vec![TriStateVector::all_dont_care(vector_len); self.states.len()];
+        for bit in 0..vector_len {
+            for (n, state) in self.states.iter_mut().enumerate() {
+                // xorshift64 step produces this neuron's bit for this cycle.
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                weights[n].set(bit, Trit::from_bit(x & 1 == 1));
+            }
+        }
+        (weights, vector_len as CycleCount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialisation_takes_one_cycle_per_bit() {
+        let mut block = WeightInitBlock::new(40, 1);
+        let (weights, cycles) = block.run(768);
+        assert_eq!(cycles, 768, "§V-A: exactly 768 cycles");
+        assert_eq!(weights.len(), 40);
+        assert_eq!(block.neuron_count(), 40);
+    }
+
+    #[test]
+    fn weights_are_fully_concrete_after_initialisation() {
+        let mut block = WeightInitBlock::new(8, 3);
+        let (weights, _) = block.run(64);
+        for w in &weights {
+            assert_eq!(w.len(), 64);
+            assert_eq!(w.count_dont_care(), 0);
+        }
+    }
+
+    #[test]
+    fn different_neurons_receive_different_weights() {
+        let mut block = WeightInitBlock::new(4, 99);
+        let (weights, _) = block.run(256);
+        for i in 0..weights.len() {
+            for j in (i + 1)..weights.len() {
+                assert_ne!(weights[i], weights[j], "neurons {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_weights() {
+        let (a, _) = WeightInitBlock::new(4, 5).run(128);
+        let (b, _) = WeightInitBlock::new(4, 5).run(128);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = WeightInitBlock::new(4, 5).run(128);
+        let (b, _) = WeightInitBlock::new(4, 6).run(128);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        let mut block = WeightInitBlock::new(1, 42);
+        let (weights, _) = block.run(768);
+        let ones = weights[0].to_binary(false).count_ones();
+        assert!(ones > 300 && ones < 470, "ones = {ones}");
+    }
+}

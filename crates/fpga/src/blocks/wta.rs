@@ -1,0 +1,203 @@
+//! Winner-take-all comparator tree (§V-C, Fig. 5).
+//!
+//! The winning-neuron unit reduces the 40 ten-bit Hamming distances with a
+//! binary tree of two-input comparators: each stage halves the number of
+//! candidates, and the result (minimum distance plus the address of the
+//! corresponding neuron) is registered at the output. For 40 inputs the paper
+//! reports seven clock cycles — six halving stages for the padded 64-wide
+//! tree plus the output register stage — which is exactly what this model
+//! counts.
+//!
+//! The comparator key carried through the tree is `(distance, #-count,
+//! address)`: the secondary key implements the specificity tie-break
+//! documented in `bsom_som::BSom::winner` (DESIGN.md), and the address makes
+//! the reduction deterministic, matching the software map bit for bit.
+
+use crate::clock::CycleCount;
+
+/// One candidate entering the comparator tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WtaCandidate {
+    /// Neuron address.
+    pub address: usize,
+    /// Hamming distance from the Hamming unit.
+    pub distance: u32,
+    /// Number of `#` trits in the neuron (the specificity tie-break key).
+    pub dont_care_count: u32,
+}
+
+impl WtaCandidate {
+    /// The comparator key: smaller wins.
+    fn key(&self) -> (u32, u32, usize) {
+        (self.distance, self.dont_care_count, self.address)
+    }
+}
+
+/// The result registered at the output of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WtaResult {
+    /// Address of the winning neuron.
+    pub winner: usize,
+    /// Its Hamming distance.
+    pub distance: u32,
+    /// Number of comparator stages the reduction used (including the output
+    /// register stage).
+    pub cycles: CycleCount,
+}
+
+/// The comparator-tree winner-take-all block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WinnerTakeAllBlock;
+
+impl WinnerTakeAllBlock {
+    /// Creates the block.
+    pub fn new() -> Self {
+        WinnerTakeAllBlock
+    }
+
+    /// Number of cycles the tree needs for `n` candidates: one per halving
+    /// stage of the power-of-two padded tree, plus one output register cycle.
+    /// For the paper's 40 neurons this is 7 (Fig. 5).
+    pub fn cycles_for(n: usize) -> CycleCount {
+        if n <= 1 {
+            return 1;
+        }
+        let mut stages = 0u64;
+        let mut width = n.next_power_of_two();
+        while width > 1 {
+            width /= 2;
+            stages += 1;
+        }
+        stages + 1
+    }
+
+    /// Reduces the candidates to the winner, simulating the tree stage by
+    /// stage. Returns `None` for an empty candidate list.
+    pub fn run(&self, candidates: &[WtaCandidate]) -> Option<WtaResult> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut level: Vec<WtaCandidate> = candidates.to_vec();
+        let mut stages: CycleCount = 0;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let winner = if pair.len() == 1 {
+                    pair[0]
+                } else if pair[0].key() <= pair[1].key() {
+                    pair[0]
+                } else {
+                    pair[1]
+                };
+                next.push(winner);
+            }
+            level = next;
+            stages += 1;
+        }
+        // Pad the stage count to the full power-of-two tree depth: the
+        // hardware tree is built for the padded width, so narrower inputs do
+        // not finish early. Add one cycle for the output register.
+        let cycles = Self::cycles_for(candidates.len()).max(stages + 1);
+        let winner = level[0];
+        Some(WtaResult {
+            winner: winner.address,
+            distance: winner.distance,
+            cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(address: usize, distance: u32) -> WtaCandidate {
+        WtaCandidate {
+            address,
+            distance,
+            dont_care_count: 0,
+        }
+    }
+
+    #[test]
+    fn forty_candidates_take_seven_cycles() {
+        // Fig. 5: seven cycles for the 40-way reduction.
+        assert_eq!(WinnerTakeAllBlock::cycles_for(40), 7);
+        let candidates: Vec<WtaCandidate> =
+            (0..40).map(|i| candidate(i, (40 - i) as u32)).collect();
+        let result = WinnerTakeAllBlock::new().run(&candidates).unwrap();
+        assert_eq!(result.cycles, 7);
+        assert_eq!(result.winner, 39);
+        assert_eq!(result.distance, 1);
+    }
+
+    #[test]
+    fn cycle_counts_for_other_widths() {
+        assert_eq!(WinnerTakeAllBlock::cycles_for(1), 1);
+        assert_eq!(WinnerTakeAllBlock::cycles_for(2), 2);
+        assert_eq!(WinnerTakeAllBlock::cycles_for(10), 5); // 16-wide tree + register
+        assert_eq!(WinnerTakeAllBlock::cycles_for(64), 7);
+        assert_eq!(WinnerTakeAllBlock::cycles_for(100), 8);
+    }
+
+    #[test]
+    fn winner_is_global_minimum() {
+        let candidates = vec![
+            candidate(0, 17),
+            candidate(1, 3),
+            candidate(2, 9),
+            candidate(3, 3),
+            candidate(4, 25),
+        ];
+        let result = WinnerTakeAllBlock::new().run(&candidates).unwrap();
+        // Tie between addresses 1 and 3 broken towards the lower address.
+        assert_eq!(result.winner, 1);
+        assert_eq!(result.distance, 3);
+    }
+
+    #[test]
+    fn specificity_breaks_distance_ties() {
+        let candidates = vec![
+            WtaCandidate {
+                address: 0,
+                distance: 5,
+                dont_care_count: 700,
+            },
+            WtaCandidate {
+                address: 1,
+                distance: 5,
+                dont_care_count: 3,
+            },
+        ];
+        let result = WinnerTakeAllBlock::new().run(&candidates).unwrap();
+        assert_eq!(result.winner, 1, "the more specific neuron wins the tie");
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert!(WinnerTakeAllBlock::new().run(&[]).is_none());
+    }
+
+    #[test]
+    fn single_candidate_wins_in_one_cycle() {
+        let result = WinnerTakeAllBlock::new().run(&[candidate(7, 42)]).unwrap();
+        assert_eq!(result.winner, 7);
+        assert_eq!(result.cycles, 1);
+    }
+
+    #[test]
+    fn matches_linear_scan_on_many_random_like_inputs() {
+        for offset in 0..25usize {
+            let candidates: Vec<WtaCandidate> = (0..40)
+                .map(|i| candidate(i, ((i * 37 + offset * 11) % 97) as u32))
+                .collect();
+            let tree = WinnerTakeAllBlock::new().run(&candidates).unwrap();
+            let linear = candidates
+                .iter()
+                .min_by_key(|c| (c.distance, c.dont_care_count, c.address))
+                .unwrap();
+            assert_eq!(tree.winner, linear.address);
+            assert_eq!(tree.distance, linear.distance);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Clock-domain modelling.
+//!
+//! The paper's design closes timing at 40 MHz including the camera and VGA
+//! interfaces (§V-E). Cycle counts produced by the block simulators are
+//! converted into wall-clock time and throughput through a [`ClockDomain`].
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A number of clock cycles.
+pub type CycleCount = u64;
+
+/// A synchronous clock domain with a fixed frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    frequency_hz: f64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not strictly positive and finite.
+    pub fn new(frequency_hz: f64) -> Self {
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "clock frequency must be positive and finite, got {frequency_hz}"
+        );
+        ClockDomain { frequency_hz }
+    }
+
+    /// The paper's 40 MHz system clock.
+    pub fn paper_default() -> Self {
+        ClockDomain::new(40_000_000.0)
+    }
+
+    /// The standard 25.175 MHz VGA pixel clock used by the display block.
+    pub fn vga_pixel_clock() -> Self {
+        ClockDomain::new(25_175_000.0)
+    }
+
+    /// The clock frequency in hertz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// The period of one cycle in seconds.
+    pub fn period_secs(&self) -> f64 {
+        1.0 / self.frequency_hz
+    }
+
+    /// Converts a cycle count to elapsed seconds.
+    pub fn cycles_to_secs(&self, cycles: CycleCount) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+
+    /// Converts a cycle count to a [`Duration`].
+    pub fn cycles_to_duration(&self, cycles: CycleCount) -> Duration {
+        Duration::from_secs_f64(self.cycles_to_secs(cycles))
+    }
+
+    /// How many operations per second fit if each takes `cycles_per_op`
+    /// cycles (0 cycles per op returns infinity).
+    pub fn ops_per_second(&self, cycles_per_op: CycleCount) -> f64 {
+        if cycles_per_op == 0 {
+            return f64::INFINITY;
+        }
+        self.frequency_hz / cycles_per_op as f64
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_is_forty_megahertz() {
+        let c = ClockDomain::paper_default();
+        assert_eq!(c.frequency_hz(), 40e6);
+        assert!((c.period_secs() - 25e-9).abs() < 1e-15);
+        assert_eq!(ClockDomain::default(), c);
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let c = ClockDomain::new(1_000_000.0);
+        assert_eq!(c.cycles_to_secs(1_000_000), 1.0);
+        assert_eq!(c.cycles_to_duration(500_000), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn ops_per_second_matches_paper_claim() {
+        // ~1600 cycles per training pattern at 40 MHz -> 25,000 patterns/s.
+        let c = ClockDomain::paper_default();
+        assert!((c.ops_per_second(1600) - 25_000.0).abs() < 1e-9);
+        assert_eq!(c.ops_per_second(0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency")]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::new(0.0);
+    }
+
+    #[test]
+    fn vga_clock_value() {
+        assert_eq!(ClockDomain::vga_pixel_clock().frequency_hz(), 25_175_000.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # bsom-fpga
+//!
+//! A cycle-accurate software model of the paper's FPGA implementation of the
+//! bSOM (§V), together with an analytical resource model of the target
+//! device (Xilinx Virtex-4 XC4VLX160).
+//!
+//! The real design was written in Handel-C and synthesised with the Agility
+//! DK / Xilinx ISE toolchain onto hardware we do not have; what the paper
+//! actually *reports* about that hardware is a set of architectural facts
+//! that a simulator can reproduce exactly:
+//!
+//! * the five-block structure — weight initialisation, pattern input,
+//!   winner-take-all, neighbourhood update and display (Fig. 4);
+//! * cycle counts: 768 cycles to initialise, 768 cycles to load a pattern,
+//!   768 cycles for the bit-serial Hamming distances computed in parallel
+//!   across all 40 neurons, and 7 cycles for the comparator-tree WTA
+//!   (Fig. 5);
+//! * a 40 MHz system clock giving ≥ 25,000 processed signatures per second;
+//! * the resource utilisation of Table IV.
+//!
+//! [`FpgaBSom`] wires the per-block simulators together and counts cycles;
+//! [`resources`] reproduces Table IV; [`throughput`] derives the signatures
+//! per second figures.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use bsom_fpga::{FpgaBSom, FpgaConfig};
+//! use bsom_signature::BinaryVector;
+//!
+//! let mut fpga = FpgaBSom::new(FpgaConfig::paper_default(), 7);
+//! let init = fpga.initialize();
+//! assert_eq!(init.total(), 768); // §V-A: exactly 768 cycles
+//!
+//! let signature = BinaryVector::from_bits((0..768).map(|i| i % 7 == 0));
+//! let outcome = fpga.classify(&signature).unwrap();
+//! assert!(outcome.winner.index < 40);
+//! assert_eq!(outcome.cycles.wta_cycles, 7); // Fig. 5: seven comparator stages
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod clock;
+pub mod core;
+pub mod resources;
+pub mod throughput;
+
+pub use blocks::display::{DisplayBlock, VgaTiming};
+pub use blocks::hamming::HammingUnit;
+pub use blocks::neighbourhood::NeighbourhoodUpdateBlock;
+pub use blocks::pattern_input::PatternInputBlock;
+pub use blocks::weight_init::WeightInitBlock;
+pub use blocks::wta::WinnerTakeAllBlock;
+pub use clock::{ClockDomain, CycleCount};
+pub use core::{ClassificationOutcome, CycleReport, FpgaBSom, FpgaConfig, FpgaError};
+pub use resources::{DeviceModel, ResourceKind, ResourceReport, ResourceUsage};
+pub use throughput::{recognition_throughput, training_throughput, ThroughputReport};

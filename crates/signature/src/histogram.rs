@@ -1,0 +1,364 @@
+//! Colour histograms and mean-threshold binarisation (paper §III-A).
+//!
+//! For every segmented moving object the paper builds a 768-bin histogram —
+//! 256 bins per RGB channel — over the pixels of the object's silhouette,
+//! then converts it into a 768-bit binary signature by thresholding each bin
+//! at the mean bin count θ (Eq. 1–2, Fig. 2): bins ≥ θ map to `1`, the rest
+//! to `0`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BinaryVector;
+use crate::error::SignatureError;
+use crate::image::Rgb;
+
+/// Number of histogram bins per colour channel.
+pub const BINS_PER_CHANNEL: usize = 256;
+
+/// Total number of histogram bins (three channels).
+pub const HISTOGRAM_BINS: usize = 3 * BINS_PER_CHANNEL;
+
+/// A 768-bin RGB colour histogram.
+///
+/// Bins `0..256` count red values, `256..512` green values and `512..768`
+/// blue values, matching the concatenation order used throughout the paper.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_signature::{ColorHistogram, Rgb};
+///
+/// let mut hist = ColorHistogram::new();
+/// hist.add_pixel(Rgb::new(255, 0, 0));
+/// hist.add_pixel(Rgb::new(255, 10, 0));
+/// assert_eq!(hist.pixel_count(), 2);
+/// assert_eq!(hist.red()[255], 2);
+/// let signature = hist.to_signature();
+/// assert!(signature.bit(255)); // the red-255 bin is above the mean
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColorHistogram {
+    bins: Vec<u32>,
+    pixel_count: u64,
+}
+
+impl ColorHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ColorHistogram {
+            bins: vec![0; HISTOGRAM_BINS],
+            pixel_count: 0,
+        }
+    }
+
+    /// Builds a histogram from an iterator of pixels.
+    pub fn from_pixels<I>(pixels: I) -> Self
+    where
+        I: IntoIterator<Item = Rgb>,
+    {
+        let mut hist = Self::new();
+        for p in pixels {
+            hist.add_pixel(p);
+        }
+        hist
+    }
+
+    /// Builds a histogram directly from raw bin counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::LengthMismatch`] unless exactly
+    /// [`HISTOGRAM_BINS`] counts are provided.
+    pub fn from_bins(bins: Vec<u32>) -> Result<Self, SignatureError> {
+        if bins.len() != HISTOGRAM_BINS {
+            return Err(SignatureError::LengthMismatch {
+                left: bins.len(),
+                right: HISTOGRAM_BINS,
+            });
+        }
+        // Each pixel contributes one count to each of the three channels, so
+        // the per-channel totals are equal for a histogram built from pixels;
+        // for raw bins we take the red-channel total as the pixel count.
+        let pixel_count = bins[..BINS_PER_CHANNEL].iter().map(|&c| u64::from(c)).sum();
+        Ok(ColorHistogram { bins, pixel_count })
+    }
+
+    /// Adds a single pixel's colour to the histogram.
+    pub fn add_pixel(&mut self, pixel: Rgb) {
+        self.bins[pixel.r as usize] += 1;
+        self.bins[BINS_PER_CHANNEL + pixel.g as usize] += 1;
+        self.bins[2 * BINS_PER_CHANNEL + pixel.b as usize] += 1;
+        self.pixel_count += 1;
+    }
+
+    /// Merges another histogram into this one bin-by-bin.
+    pub fn merge(&mut self, other: &ColorHistogram) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += *b;
+        }
+        self.pixel_count += other.pixel_count;
+    }
+
+    /// Number of pixels accumulated.
+    pub fn pixel_count(&self) -> u64 {
+        self.pixel_count
+    }
+
+    /// All 768 bins in channel order (R, G, B).
+    pub fn bins(&self) -> &[u32] {
+        &self.bins
+    }
+
+    /// The 256 red-channel bins.
+    pub fn red(&self) -> &[u32] {
+        &self.bins[..BINS_PER_CHANNEL]
+    }
+
+    /// The 256 green-channel bins.
+    pub fn green(&self) -> &[u32] {
+        &self.bins[BINS_PER_CHANNEL..2 * BINS_PER_CHANNEL]
+    }
+
+    /// The 256 blue-channel bins.
+    pub fn blue(&self) -> &[u32] {
+        &self.bins[2 * BINS_PER_CHANNEL..]
+    }
+
+    /// The mean bin value θ of Eq. 1: the sum of all bins divided by the
+    /// number of bins.
+    pub fn mean_threshold(&self) -> f64 {
+        let total: u64 = self.bins.iter().map(|&c| u64::from(c)).sum();
+        total as f64 / HISTOGRAM_BINS as f64
+    }
+
+    /// Converts the histogram to a binary signature by thresholding each bin
+    /// at the mean (Eq. 2): `1` where `bin >= θ`, `0` otherwise.
+    pub fn to_signature(&self) -> BinaryVector {
+        self.to_signature_with_threshold(self.mean_threshold())
+    }
+
+    /// Converts the histogram to a binary signature using an explicit
+    /// threshold instead of the mean. Used by the binarisation ablation.
+    pub fn to_signature_with_threshold(&self, threshold: f64) -> BinaryVector {
+        BinaryVector::from_bits(self.bins.iter().map(|&c| f64::from(c) >= threshold))
+    }
+
+    /// The median bin value, used by the median-threshold ablation.
+    pub fn median_threshold(&self) -> f64 {
+        let mut sorted: Vec<u32> = self.bins.clone();
+        sorted.sort_unstable();
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 0 {
+            f64::from(sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            f64::from(sorted[mid])
+        }
+    }
+
+    /// L1 (sum of absolute differences) distance between two histograms.
+    pub fn l1_distance(&self, other: &ColorHistogram) -> u64 {
+        self.bins
+            .iter()
+            .zip(&other.bins)
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum()
+    }
+
+    /// Normalises the histogram into per-bin probabilities.
+    ///
+    /// Returns an all-zero distribution for an empty histogram.
+    pub fn to_distribution(&self) -> Vec<f64> {
+        let total: u64 = self.bins.iter().map(|&c| u64::from(c)).sum();
+        if total == 0 {
+            return vec![0.0; HISTOGRAM_BINS];
+        }
+        self.bins
+            .iter()
+            .map(|&c| f64::from(c) / total as f64)
+            .collect()
+    }
+}
+
+impl Default for ColorHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<Rgb> for ColorHistogram {
+    fn from_iter<T: IntoIterator<Item = Rgb>>(iter: T) -> Self {
+        Self::from_pixels(iter)
+    }
+}
+
+impl Extend<Rgb> for ColorHistogram {
+    fn extend<T: IntoIterator<Item = Rgb>>(&mut self, iter: T) {
+        for p in iter {
+            self.add_pixel(p);
+        }
+    }
+}
+
+/// A small, generic histogram binarisation helper mirroring Fig. 2 of the
+/// paper, which illustrates the thresholding on a 16-bin example.
+///
+/// Returns one output bit per input bin: `1` where the bin is greater than or
+/// equal to the mean of all bins, `0` otherwise.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_signature::histogram::binarize_at_mean;
+///
+/// // Fig. 2-style toy histogram.
+/// let bins = [5u32, 1, 7, 6, 8, 0, 9, 2, 6, 1, 5, 4, 0, 1, 0, 3];
+/// let bits = binarize_at_mean(&bins);
+/// assert_eq!(bits.len(), 16);
+/// ```
+pub fn binarize_at_mean(bins: &[u32]) -> BinaryVector {
+    if bins.is_empty() {
+        return BinaryVector::zeros(0);
+    }
+    let total: u64 = bins.iter().map(|&c| u64::from(c)).sum();
+    let mean = total as f64 / bins.len() as f64;
+    BinaryVector::from_bits(bins.iter().map(|&c| f64::from(c) >= mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_properties() {
+        let h = ColorHistogram::new();
+        assert_eq!(h.pixel_count(), 0);
+        assert_eq!(h.bins().len(), HISTOGRAM_BINS);
+        assert_eq!(h.mean_threshold(), 0.0);
+        // With θ = 0 every bin satisfies bin >= θ, so the signature is all ones.
+        assert_eq!(h.to_signature().count_ones(), HISTOGRAM_BINS);
+        assert_eq!(h, ColorHistogram::default());
+    }
+
+    #[test]
+    fn add_pixel_updates_all_three_channels() {
+        let mut h = ColorHistogram::new();
+        h.add_pixel(Rgb::new(10, 20, 30));
+        assert_eq!(h.red()[10], 1);
+        assert_eq!(h.green()[20], 1);
+        assert_eq!(h.blue()[30], 1);
+        assert_eq!(h.pixel_count(), 1);
+        let total: u32 = h.bins().iter().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn mean_threshold_matches_equation_one() {
+        let mut h = ColorHistogram::new();
+        for _ in 0..768 {
+            h.add_pixel(Rgb::new(0, 0, 0));
+        }
+        // 768 pixels: bins r=0, g=256.., b=512.. each hold 768; total = 3*768.
+        let expected = (3.0 * 768.0) / 768.0;
+        assert!((h.mean_threshold() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signature_has_one_bit_per_bin() {
+        let h = ColorHistogram::from_pixels((0..100).map(|i| Rgb::new(i as u8, 100, 200)));
+        let sig = h.to_signature();
+        assert_eq!(sig.len(), HISTOGRAM_BINS);
+    }
+
+    #[test]
+    fn uniform_pixel_colour_sets_exactly_three_bits() {
+        // All pixels identical: exactly three bins are non-zero, and they are
+        // far above the mean, so the signature has exactly three ones.
+        let h = ColorHistogram::from_pixels((0..500).map(|_| Rgb::new(12, 200, 45)));
+        let sig = h.to_signature();
+        assert_eq!(sig.count_ones(), 3);
+        assert!(sig.bit(12));
+        assert!(sig.bit(BINS_PER_CHANNEL + 200));
+        assert!(sig.bit(2 * BINS_PER_CHANNEL + 45));
+    }
+
+    #[test]
+    fn from_bins_validates_length() {
+        assert!(ColorHistogram::from_bins(vec![0; 10]).is_err());
+        let h = ColorHistogram::from_bins(vec![1; HISTOGRAM_BINS]).unwrap();
+        assert_eq!(h.pixel_count(), BINS_PER_CHANNEL as u64);
+    }
+
+    #[test]
+    fn merge_adds_bins_and_counts() {
+        let a = ColorHistogram::from_pixels([Rgb::new(1, 2, 3)]);
+        let b = ColorHistogram::from_pixels([Rgb::new(1, 5, 6), Rgb::new(9, 9, 9)]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.pixel_count(), 3);
+        assert_eq!(merged.red()[1], 2);
+        assert_eq!(merged.red()[9], 1);
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric_and_zero_on_self() {
+        let a = ColorHistogram::from_pixels((0..64).map(|i| Rgb::new(i, i, i)));
+        let b = ColorHistogram::from_pixels((0..64).map(|i| Rgb::new(i, 255 - i, 128)));
+        assert_eq!(a.l1_distance(&a), 0);
+        assert_eq!(a.l1_distance(&b), b.l1_distance(&a));
+        assert!(a.l1_distance(&b) > 0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let h = ColorHistogram::from_pixels((0..200).map(|i| Rgb::new(i as u8, 0, 255)));
+        let d = h.to_distribution();
+        let sum: f64 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(ColorHistogram::new().to_distribution().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn median_threshold_of_mostly_empty_histogram_is_zero() {
+        let h = ColorHistogram::from_pixels([Rgb::new(0, 0, 0)]);
+        assert_eq!(h.median_threshold(), 0.0);
+    }
+
+    #[test]
+    fn custom_threshold_changes_signature() {
+        let h = ColorHistogram::from_pixels((0..100).map(|_| Rgb::new(7, 7, 7)));
+        let loose = h.to_signature_with_threshold(0.5);
+        let strict = h.to_signature_with_threshold(1e9);
+        assert!(loose.count_ones() >= 3);
+        assert_eq!(strict.count_ones(), 0);
+    }
+
+    #[test]
+    fn binarize_at_mean_matches_figure_two_shape() {
+        let bins = [5u32, 1, 7, 6, 8, 0, 9, 2, 6, 1, 5, 4, 0, 1, 0, 3];
+        let mean: f64 = bins.iter().map(|&b| f64::from(b)).sum::<f64>() / 16.0;
+        let bits = binarize_at_mean(&bins);
+        for (i, &b) in bins.iter().enumerate() {
+            assert_eq!(bits.bit(i), f64::from(b) >= mean, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn binarize_at_mean_empty_input() {
+        assert!(binarize_at_mean(&[]).is_empty());
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut h: ColorHistogram = (0..10).map(|i| Rgb::new(i, i, i)).collect();
+        h.extend((10..20).map(|i| Rgb::new(i, i, i)));
+        assert_eq!(h.pixel_count(), 20);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = ColorHistogram::from_pixels((0..50).map(|i| Rgb::new(i, 2 * i, 255 - i)));
+        let json = serde_json::to_string(&h).unwrap();
+        let back: ColorHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

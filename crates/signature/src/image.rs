@@ -1,0 +1,514 @@
+//! Minimal image containers used by the surveillance substrate and the FPGA
+//! pattern-input / display blocks.
+//!
+//! The paper's FPGA design exchanges binary signatures as 32 × 24 binary
+//! images (768 bits); the CPU-side tracker works on RGB frames and object
+//! silhouettes. These types are deliberately small — they exist so that the
+//! vision, dataset and FPGA crates share one representation, not to be a
+//! general imaging library.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BinaryVector;
+use crate::error::SignatureError;
+use crate::histogram::ColorHistogram;
+
+/// Width of the binary-image framing of a signature (paper §V-A: 32 × 24).
+pub const SIGNATURE_WIDTH: usize = 32;
+
+/// Height of the binary-image framing of a signature (paper §V-A: 32 × 24).
+pub const SIGNATURE_HEIGHT: usize = 24;
+
+/// An 8-bit-per-channel RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rgb {
+    /// Red component.
+    pub r: u8,
+    /// Green component.
+    pub g: u8,
+    /// Blue component.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a colour from its components.
+    pub fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Pure black, the background colour of the synthetic scenes.
+    pub const BLACK: Rgb = Rgb { r: 0, g: 0, b: 0 };
+
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb {
+        r: 255,
+        g: 255,
+        b: 255,
+    };
+
+    /// Per-channel saturating addition of a signed brightness offset, used to
+    /// model lighting drift in the synthetic scenes.
+    pub fn brightened(self, delta: i16) -> Rgb {
+        let adjust = |c: u8| -> u8 { (i16::from(c) + delta).clamp(0, 255) as u8 };
+        Rgb::new(adjust(self.r), adjust(self.g), adjust(self.b))
+    }
+
+    /// Squared Euclidean distance between two colours, used by the background
+    /// subtractor's change test.
+    pub fn distance_sq(self, other: Rgb) -> u32 {
+        let dr = i32::from(self.r) - i32::from(other.r);
+        let dg = i32::from(self.g) - i32::from(other.g);
+        let db = i32::from(self.b) - i32::from(other.b);
+        (dr * dr + dg * dg + db * db) as u32
+    }
+}
+
+impl From<(u8, u8, u8)> for Rgb {
+    fn from((r, g, b): (u8, u8, u8)) -> Self {
+        Rgb::new(r, g, b)
+    }
+}
+
+/// A dense, row-major RGB image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl RgbImage {
+    /// Creates an image filled with a single colour.
+    pub fn filled(width: usize, height: usize, colour: Rgb) -> Self {
+        RgbImage {
+            width,
+            height,
+            pixels: vec![colour; width * height],
+        }
+    }
+
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, Rgb::BLACK)
+    }
+
+    /// Builds an image from a row-major pixel buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::DimensionMismatch`] if the buffer length is
+    /// not `width * height`.
+    pub fn from_pixels(
+        width: usize,
+        height: usize,
+        pixels: Vec<Rgb>,
+    ) -> Result<Self, SignatureError> {
+        if pixels.len() != width * height {
+            return Err(SignatureError::DimensionMismatch {
+                width,
+                height,
+                pixels: pixels.len(),
+            });
+        }
+        Ok(RgbImage {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels.
+    pub fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Returns the pixel at `(x, y)`, or `None` when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> Option<Rgb> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        Some(self.pixels[y * self.width + x])
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> Rgb {
+        self.get(x, y).unwrap_or_else(|| {
+            panic!(
+                "pixel ({x}, {y}) out of bounds for {}x{} image",
+                self.width, self.height
+            )
+        })
+    }
+
+    /// Sets the pixel at `(x, y)`; out-of-bounds writes are ignored so that
+    /// scene renderers can draw shapes that partially leave the frame.
+    pub fn set(&mut self, x: usize, y: usize, colour: Rgb) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = colour;
+        }
+    }
+
+    /// Row-major pixel buffer.
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Iterator over `(x, y, colour)` triples in row-major order.
+    pub fn enumerate_pixels(&self) -> impl Iterator<Item = (usize, usize, Rgb)> + '_ {
+        let width = self.width;
+        self.pixels
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (i % width, i / width, p))
+    }
+
+    /// Builds the colour histogram of the pixels selected by `mask`.
+    ///
+    /// This is the histogram-of-silhouette operation of paper §III-A: only
+    /// pixels where the mask is set contribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::DimensionMismatch`] if the mask dimensions
+    /// differ from the image dimensions.
+    pub fn masked_histogram(&self, mask: &Silhouette) -> Result<ColorHistogram, SignatureError> {
+        if mask.width() != self.width || mask.height() != self.height {
+            return Err(SignatureError::DimensionMismatch {
+                width: mask.width(),
+                height: mask.height(),
+                pixels: self.pixels.len(),
+            });
+        }
+        let mut hist = ColorHistogram::new();
+        for (x, y, colour) in self.enumerate_pixels() {
+            if mask.get(x, y).unwrap_or(false) {
+                hist.add_pixel(colour);
+            }
+        }
+        Ok(hist)
+    }
+}
+
+/// A binary image (one bit per pixel) backed by a [`BinaryVector`].
+///
+/// Binary images serve two roles in the reproduction: as the 32 × 24 framing
+/// of a signature exchanged with the FPGA, and as foreground masks produced
+/// by the background subtractor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryImage {
+    width: usize,
+    height: usize,
+    bits: BinaryVector,
+}
+
+impl BinaryImage {
+    /// Creates an all-zero binary image.
+    pub fn new(width: usize, height: usize) -> Self {
+        BinaryImage {
+            width,
+            height,
+            bits: BinaryVector::zeros(width * height),
+        }
+    }
+
+    /// Wraps an existing bit vector as an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::DimensionMismatch`] if `bits.len()` is not
+    /// `width * height`.
+    pub fn from_bits(
+        width: usize,
+        height: usize,
+        bits: BinaryVector,
+    ) -> Result<Self, SignatureError> {
+        if bits.len() != width * height {
+            return Err(SignatureError::DimensionMismatch {
+                width,
+                height,
+                pixels: bits.len(),
+            });
+        }
+        Ok(BinaryImage {
+            width,
+            height,
+            bits,
+        })
+    }
+
+    /// Frames a 768-bit signature as the paper's 32 × 24 binary image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::LengthMismatch`] if the signature is not
+    /// exactly 768 bits.
+    pub fn from_signature(signature: &BinaryVector) -> Result<Self, SignatureError> {
+        if signature.len() != SIGNATURE_WIDTH * SIGNATURE_HEIGHT {
+            return Err(SignatureError::LengthMismatch {
+                left: signature.len(),
+                right: SIGNATURE_WIDTH * SIGNATURE_HEIGHT,
+            });
+        }
+        Self::from_bits(SIGNATURE_WIDTH, SIGNATURE_HEIGHT, signature.clone())
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Returns the bit at `(x, y)`, or `None` when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> Option<bool> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        self.bits.get(y * self.width + x)
+    }
+
+    /// Sets the bit at `(x, y)`; out-of-bounds writes are ignored.
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        if x < self.width && y < self.height {
+            self.bits.set(y * self.width + x, value);
+        }
+    }
+
+    /// Number of set (foreground) pixels.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// The underlying bit vector in row-major order.
+    pub fn as_vector(&self) -> &BinaryVector {
+        &self.bits
+    }
+
+    /// Consumes the image and returns the underlying bit vector.
+    pub fn into_vector(self) -> BinaryVector {
+        self.bits
+    }
+
+    /// Renders the image as rows of `'#'` (set) and `'.'` (clear) characters,
+    /// the format used by the examples to visualise neuron weights.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(if self.get(x, y).unwrap_or(false) {
+                    '#'
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A silhouette: the foreground mask of one segmented object, in full-frame
+/// coordinates.
+///
+/// This is a semantic alias for [`BinaryImage`] kept as a newtype so that
+/// masks and signature framings cannot be confused.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Silhouette(BinaryImage);
+
+impl Silhouette {
+    /// Creates an empty (all-background) silhouette.
+    pub fn new(width: usize, height: usize) -> Self {
+        Silhouette(BinaryImage::new(width, height))
+    }
+
+    /// Wraps a binary mask as a silhouette.
+    pub fn from_mask(mask: BinaryImage) -> Self {
+        Silhouette(mask)
+    }
+
+    /// Silhouette width in pixels.
+    pub fn width(&self) -> usize {
+        self.0.width()
+    }
+
+    /// Silhouette height in pixels.
+    pub fn height(&self) -> usize {
+        self.0.height()
+    }
+
+    /// Returns the mask bit at `(x, y)`, or `None` when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> Option<bool> {
+        self.0.get(x, y)
+    }
+
+    /// Marks the pixel at `(x, y)` as foreground.
+    pub fn mark(&mut self, x: usize, y: usize) {
+        self.0.set(x, y, true);
+    }
+
+    /// Number of foreground pixels — the object's area. The paper filters
+    /// objects with fewer than 768 pixels as noise.
+    pub fn area(&self) -> usize {
+        self.0.count_ones()
+    }
+
+    /// Access to the underlying binary mask.
+    pub fn as_mask(&self) -> &BinaryImage {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_constructors_and_conversion() {
+        let c = Rgb::new(1, 2, 3);
+        assert_eq!(Rgb::from((1, 2, 3)), c);
+        assert_eq!(Rgb::default(), Rgb::BLACK);
+    }
+
+    #[test]
+    fn rgb_brightened_saturates() {
+        assert_eq!(Rgb::new(250, 10, 128).brightened(20), Rgb::new(255, 30, 148));
+        assert_eq!(Rgb::new(5, 200, 0).brightened(-20), Rgb::new(0, 180, 0));
+    }
+
+    #[test]
+    fn rgb_distance_sq() {
+        assert_eq!(Rgb::BLACK.distance_sq(Rgb::BLACK), 0);
+        assert_eq!(Rgb::BLACK.distance_sq(Rgb::WHITE), 3 * 255 * 255);
+        let a = Rgb::new(10, 20, 30);
+        let b = Rgb::new(13, 16, 30);
+        assert_eq!(a.distance_sq(b), 9 + 16);
+    }
+
+    #[test]
+    fn rgb_image_get_set_bounds() {
+        let mut img = RgbImage::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.area(), 12);
+        img.set(3, 2, Rgb::WHITE);
+        assert_eq!(img.pixel(3, 2), Rgb::WHITE);
+        assert_eq!(img.get(4, 0), None);
+        assert_eq!(img.get(0, 3), None);
+        // Out-of-bounds set must be a no-op, not a panic.
+        img.set(100, 100, Rgb::WHITE);
+    }
+
+    #[test]
+    fn rgb_image_from_pixels_validates() {
+        assert!(RgbImage::from_pixels(2, 2, vec![Rgb::BLACK; 3]).is_err());
+        assert!(RgbImage::from_pixels(2, 2, vec![Rgb::BLACK; 4]).is_ok());
+    }
+
+    #[test]
+    fn enumerate_pixels_is_row_major() {
+        let mut img = RgbImage::new(2, 2);
+        img.set(1, 0, Rgb::WHITE);
+        let coords: Vec<(usize, usize)> =
+            img.enumerate_pixels().map(|(x, y, _)| (x, y)).collect();
+        assert_eq!(coords, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn masked_histogram_counts_only_masked_pixels() {
+        let mut img = RgbImage::filled(4, 4, Rgb::new(50, 60, 70));
+        img.set(0, 0, Rgb::new(200, 0, 0));
+        let mut mask = Silhouette::new(4, 4);
+        mask.mark(0, 0);
+        mask.mark(1, 1);
+        let hist = img.masked_histogram(&mask).unwrap();
+        assert_eq!(hist.pixel_count(), 2);
+        assert_eq!(hist.red()[200], 1);
+        assert_eq!(hist.red()[50], 1);
+    }
+
+    #[test]
+    fn masked_histogram_rejects_dimension_mismatch() {
+        let img = RgbImage::new(4, 4);
+        let mask = Silhouette::new(3, 4);
+        assert!(img.masked_histogram(&mask).is_err());
+    }
+
+    #[test]
+    fn binary_image_roundtrips_signature() {
+        let sig = BinaryVector::from_bits((0..768).map(|i| i % 5 == 0));
+        let img = BinaryImage::from_signature(&sig).unwrap();
+        assert_eq!(img.width(), SIGNATURE_WIDTH);
+        assert_eq!(img.height(), SIGNATURE_HEIGHT);
+        assert_eq!(img.as_vector(), &sig);
+        assert_eq!(img.clone().into_vector(), sig);
+    }
+
+    #[test]
+    fn binary_image_rejects_wrong_signature_length() {
+        let sig = BinaryVector::zeros(767);
+        assert!(BinaryImage::from_signature(&sig).is_err());
+        assert!(BinaryImage::from_bits(10, 10, BinaryVector::zeros(99)).is_err());
+    }
+
+    #[test]
+    fn binary_image_get_set() {
+        let mut img = BinaryImage::new(8, 4);
+        img.set(7, 3, true);
+        assert_eq!(img.get(7, 3), Some(true));
+        assert_eq!(img.get(8, 0), None);
+        assert_eq!(img.count_ones(), 1);
+        img.set(100, 100, true); // ignored
+        assert_eq!(img.count_ones(), 1);
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let mut img = BinaryImage::new(3, 2);
+        img.set(0, 0, true);
+        img.set(2, 1, true);
+        assert_eq!(img.to_ascii(), "#..\n..#\n");
+    }
+
+    #[test]
+    fn silhouette_area_counts_marks() {
+        let mut s = Silhouette::new(10, 10);
+        assert_eq!(s.area(), 0);
+        for i in 0..10 {
+            s.mark(i, i);
+        }
+        assert_eq!(s.area(), 10);
+        assert_eq!(s.get(3, 3), Some(true));
+        assert_eq!(s.get(3, 4), Some(false));
+        assert_eq!(s.as_mask().count_ones(), 10);
+    }
+
+    #[test]
+    fn serde_roundtrip_images() {
+        let mut img = RgbImage::new(4, 2);
+        img.set(1, 1, Rgb::new(9, 8, 7));
+        let json = serde_json::to_string(&img).unwrap();
+        assert_eq!(serde_json::from_str::<RgbImage>(&json).unwrap(), img);
+
+        let sig = BinaryVector::from_bits((0..768).map(|i| i % 2 == 0));
+        let bimg = BinaryImage::from_signature(&sig).unwrap();
+        let json = serde_json::to_string(&bimg).unwrap();
+        assert_eq!(serde_json::from_str::<BinaryImage>(&json).unwrap(), bimg);
+    }
+}

@@ -1,0 +1,625 @@
+//! Tri-state weight vectors.
+//!
+//! The bSOM's neurons hold weights over the alphabet `{0, 1, #}` where `#`
+//! ("don't care") matches either input bit. [`TriStateVector`] stores a
+//! vector of such trits as two packed bit-planes:
+//!
+//! * the *care* plane — bit set ⇒ the trit is a concrete `0` or `1`;
+//! * the *value* plane — meaningful only where the care bit is set.
+//!
+//! With this layout the #-aware Hamming distance of paper Eq. 3 is
+//! `popcount((x ^ value) & care)`, which is exactly the bit-serial
+//! computation the FPGA's Hamming-distance unit performs, twelve 64-bit words
+//! at a time in software.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BinaryVector;
+use crate::error::SignatureError;
+
+/// A single tri-state value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trit {
+    /// Concrete zero: matches an input bit of `0`.
+    Zero,
+    /// Concrete one: matches an input bit of `1`.
+    One,
+    /// Don't care: matches either input bit and never contributes to the
+    /// Hamming distance.
+    DontCare,
+}
+
+impl Trit {
+    /// Converts a boolean into the corresponding concrete trit.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Returns the concrete bit value, or `None` for [`Trit::DontCare`].
+    pub fn as_bit(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::DontCare => None,
+        }
+    }
+
+    /// Returns `true` if the trit matches the given input bit (a `#` matches
+    /// anything).
+    pub fn matches(self, bit: bool) -> bool {
+        match self {
+            Trit::Zero => !bit,
+            Trit::One => bit,
+            Trit::DontCare => true,
+        }
+    }
+
+    /// The character used in the paper's notation: `'0'`, `'1'` or `'#'`.
+    pub fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::DontCare => '#',
+        }
+    }
+
+    /// Parses a trit from its character representation.
+    ///
+    /// Returns `None` for any character other than `'0'`, `'1'` or `'#'`.
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(Trit::Zero),
+            '1' => Some(Trit::One),
+            '#' => Some(Trit::DontCare),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Trit {
+    fn from(bit: bool) -> Self {
+        Trit::from_bit(bit)
+    }
+}
+
+/// A fixed-length vector of [`Trit`]s, the weight representation of a bSOM
+/// neuron.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_signature::{BinaryVector, TriStateVector, Trit};
+///
+/// let weight = TriStateVector::from_str("01#1").unwrap();
+/// let input = BinaryVector::from_bit_str("0111").unwrap();
+/// // The '#' position is ignored; only bit 1 (weight 1 vs input 1) and the
+/// // others are compared, so the distance is 0.
+/// assert_eq!(weight.hamming(&input).unwrap(), 0);
+///
+/// let far = BinaryVector::from_bit_str("1010").unwrap();
+/// assert_eq!(weight.hamming(&far).unwrap(), 3);
+/// assert_eq!(weight.get(2), Some(Trit::DontCare));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TriStateVector {
+    /// Concrete bit values (meaningful only where `care` is set).
+    value: BinaryVector,
+    /// Care mask: set ⇒ concrete, clear ⇒ `#`.
+    care: BinaryVector,
+}
+
+impl TriStateVector {
+    /// Creates a vector of `len` don't-care (`#`) trits.
+    ///
+    /// A fully-`#` neuron has Hamming distance 0 to every input, a property
+    /// the paper calls out explicitly ("for a neuron with 768 #'s, the
+    /// Hamming distance will always be 0").
+    pub fn all_dont_care(len: usize) -> Self {
+        TriStateVector {
+            value: BinaryVector::zeros(len),
+            care: BinaryVector::zeros(len),
+        }
+    }
+
+    /// Creates a vector of `len` concrete zeros.
+    pub fn zeros(len: usize) -> Self {
+        TriStateVector {
+            value: BinaryVector::zeros(len),
+            care: BinaryVector::ones(len),
+        }
+    }
+
+    /// Creates a concrete tri-state vector from a binary vector (no `#`s).
+    pub fn from_binary(bits: &BinaryVector) -> Self {
+        TriStateVector {
+            value: bits.clone(),
+            care: BinaryVector::ones(bits.len()),
+        }
+    }
+
+    /// Creates a vector from an iterator of trits.
+    pub fn from_trits<I>(trits: I) -> Self
+    where
+        I: IntoIterator<Item = Trit>,
+    {
+        let trits: Vec<Trit> = trits.into_iter().collect();
+        let mut v = Self::all_dont_care(trits.len());
+        for (i, t) in trits.iter().enumerate() {
+            v.set(i, *t);
+        }
+        v
+    }
+
+    /// Parses a vector from a string over `'0'`, `'1'` and `'#'`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::IndexOutOfBounds`] identifying the byte
+    /// offset of the first invalid character.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Result<Self, SignatureError> {
+        let mut trits = Vec::with_capacity(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match Trit::from_char(c) {
+                Some(t) => trits.push(t),
+                None => {
+                    return Err(SignatureError::IndexOutOfBounds {
+                        index: i,
+                        len: s.len(),
+                    })
+                }
+            }
+        }
+        Ok(Self::from_trits(trits))
+    }
+
+    /// Creates a vector of `len` random *concrete* trits (no `#`s), matching
+    /// the FPGA weight-initialisation block, which loads each neuron with a
+    /// random binary image at start-up.
+    pub fn random_concrete<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        TriStateVector {
+            value: BinaryVector::random(len, rng),
+            care: BinaryVector::ones(len),
+        }
+    }
+
+    /// Creates a vector of `len` random trits where each position is `#` with
+    /// probability `dont_care_prob`, otherwise a uniformly random bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dont_care_prob` is not within `[0, 1]`.
+    pub fn random_with_dont_care<R: Rng + ?Sized>(
+        len: usize,
+        dont_care_prob: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&dont_care_prob),
+            "dont_care_prob must be within [0, 1], got {dont_care_prob}"
+        );
+        let mut v = Self::all_dont_care(len);
+        for i in 0..len {
+            if rng.gen::<f64>() >= dont_care_prob {
+                v.set(i, Trit::from_bit(rng.gen()));
+            }
+        }
+        v
+    }
+
+    /// Number of trits in the vector.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the vector holds zero trits.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Returns the trit at `index`, or `None` if out of bounds.
+    pub fn get(&self, index: usize) -> Option<Trit> {
+        let care = self.care.get(index)?;
+        if !care {
+            return Some(Trit::DontCare);
+        }
+        Some(Trit::from_bit(self.value.bit(index)))
+    }
+
+    /// Returns the trit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn trit(&self, index: usize) -> Trit {
+        self.get(index)
+            .unwrap_or_else(|| panic!("trit index {index} out of bounds for length {}", self.len()))
+    }
+
+    /// Sets the trit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, trit: Trit) {
+        match trit {
+            Trit::DontCare => {
+                self.care.set(index, false);
+                self.value.set(index, false);
+            }
+            Trit::Zero => {
+                self.care.set(index, true);
+                self.value.set(index, false);
+            }
+            Trit::One => {
+                self.care.set(index, true);
+                self.value.set(index, true);
+            }
+        }
+    }
+
+    /// Number of `#` (don't care) positions.
+    pub fn count_dont_care(&self) -> usize {
+        self.care.count_zeros()
+    }
+
+    /// Number of concrete (`0`/`1`) positions.
+    pub fn count_concrete(&self) -> usize {
+        self.care.count_ones()
+    }
+
+    /// #-aware Hamming distance to a binary input vector (paper Eq. 3).
+    ///
+    /// Positions where the weight trit is `#` never contribute; elsewhere the
+    /// distance counts bit disagreements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::LengthMismatch`] if the lengths differ.
+    pub fn hamming(&self, input: &BinaryVector) -> Result<usize, SignatureError> {
+        if self.len() != input.len() {
+            return Err(SignatureError::LengthMismatch {
+                left: self.len(),
+                right: input.len(),
+            });
+        }
+        Ok(self
+            .value
+            .as_words()
+            .iter()
+            .zip(input.as_words())
+            .zip(self.care.as_words())
+            .map(|((w, x), c)| ((w ^ x) & c).count_ones() as usize)
+            .sum())
+    }
+
+    /// #-aware Hamming distance between two tri-state vectors.
+    ///
+    /// A position contributes 1 only when *both* vectors are concrete there
+    /// and their bits disagree. Used by the evaluation harness to measure how
+    /// far apart two neurons are.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::LengthMismatch`] if the lengths differ.
+    pub fn hamming_tristate(&self, other: &TriStateVector) -> Result<usize, SignatureError> {
+        if self.len() != other.len() {
+            return Err(SignatureError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(self
+            .value
+            .as_words()
+            .iter()
+            .zip(other.value.as_words())
+            .zip(self.care.as_words().iter().zip(other.care.as_words()))
+            .map(|((a, b), (ca, cb))| ((a ^ b) & ca & cb).count_ones() as usize)
+            .sum())
+    }
+
+    /// Returns `true` if every concrete trit matches the input bit at the
+    /// same position (distance zero).
+    pub fn matches(&self, input: &BinaryVector) -> bool {
+        self.hamming(input).map(|d| d == 0).unwrap_or(false)
+    }
+
+    /// Collapses the tri-state vector to a binary vector, resolving each `#`
+    /// to `dont_care_as`.
+    ///
+    /// The FPGA output-display block needs a concrete binary image per
+    /// neuron; the paper displays `#` positions as background.
+    pub fn to_binary(&self, dont_care_as: bool) -> BinaryVector {
+        BinaryVector::from_bits((0..self.len()).map(|i| match self.trit(i) {
+            Trit::Zero => false,
+            Trit::One => true,
+            Trit::DontCare => dont_care_as,
+        }))
+    }
+
+    /// Iterator over the trits.
+    pub fn iter(&self) -> TritIter<'_> {
+        TritIter {
+            vector: self,
+            index: 0,
+        }
+    }
+
+    /// Renders the vector using the paper's `0`/`1`/`#` notation.
+    pub fn to_trit_string(&self) -> String {
+        self.iter().map(Trit::to_char).collect()
+    }
+
+    /// The care bit-plane (set ⇒ concrete trit).
+    pub fn care_plane(&self) -> &BinaryVector {
+        &self.care
+    }
+
+    /// The value bit-plane (only meaningful where the care plane is set).
+    pub fn value_plane(&self) -> &BinaryVector {
+        &self.value
+    }
+}
+
+impl fmt::Debug for TriStateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 64 {
+            write!(f, "TriStateVector({})", self.to_trit_string())
+        } else {
+            write!(
+                f,
+                "TriStateVector(len={}, dont_care={}, head={}...)",
+                self.len(),
+                self.count_dont_care(),
+                self.iter().take(32).map(Trit::to_char).collect::<String>()
+            )
+        }
+    }
+}
+
+impl fmt::Display for TriStateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_trit_string())
+    }
+}
+
+impl Default for TriStateVector {
+    fn default() -> Self {
+        TriStateVector::all_dont_care(0)
+    }
+}
+
+impl FromIterator<Trit> for TriStateVector {
+    fn from_iter<T: IntoIterator<Item = Trit>>(iter: T) -> Self {
+        TriStateVector::from_trits(iter)
+    }
+}
+
+impl From<&BinaryVector> for TriStateVector {
+    fn from(bits: &BinaryVector) -> Self {
+        TriStateVector::from_binary(bits)
+    }
+}
+
+/// Iterator over the trits of a [`TriStateVector`].
+#[derive(Debug, Clone)]
+pub struct TritIter<'a> {
+    vector: &'a TriStateVector,
+    index: usize,
+}
+
+impl Iterator for TritIter<'_> {
+    type Item = Trit;
+
+    fn next(&mut self) -> Option<Trit> {
+        let trit = self.vector.get(self.index)?;
+        self.index += 1;
+        Some(trit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.vector.len() - self.index.min(self.vector.len());
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for TritIter<'_> {}
+
+impl<'a> IntoIterator for &'a TriStateVector {
+    type Item = Trit;
+    type IntoIter = TritIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trit_matches_semantics() {
+        assert!(Trit::Zero.matches(false));
+        assert!(!Trit::Zero.matches(true));
+        assert!(Trit::One.matches(true));
+        assert!(!Trit::One.matches(false));
+        assert!(Trit::DontCare.matches(true));
+        assert!(Trit::DontCare.matches(false));
+    }
+
+    #[test]
+    fn trit_char_roundtrip() {
+        for t in [Trit::Zero, Trit::One, Trit::DontCare] {
+            assert_eq!(Trit::from_char(t.to_char()), Some(t));
+        }
+        assert_eq!(Trit::from_char('x'), None);
+    }
+
+    #[test]
+    fn trit_as_bit() {
+        assert_eq!(Trit::Zero.as_bit(), Some(false));
+        assert_eq!(Trit::One.as_bit(), Some(true));
+        assert_eq!(Trit::DontCare.as_bit(), None);
+        assert_eq!(Trit::from(true), Trit::One);
+    }
+
+    #[test]
+    fn all_dont_care_has_zero_distance_to_everything() {
+        let w = TriStateVector::all_dont_care(768);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let x = BinaryVector::random(768, &mut rng);
+            assert_eq!(w.hamming(&x).unwrap(), 0);
+        }
+        assert_eq!(w.count_dont_care(), 768);
+        assert_eq!(w.count_concrete(), 0);
+    }
+
+    #[test]
+    fn concrete_vector_matches_binary_hamming() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = BinaryVector::random(768, &mut rng);
+        let b = BinaryVector::random(768, &mut rng);
+        let w = TriStateVector::from_binary(&a);
+        assert_eq!(w.hamming(&b).unwrap(), a.hamming(&b).unwrap());
+        assert_eq!(w.count_concrete(), 768);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "01#10##1";
+        let w = TriStateVector::from_str(s).unwrap();
+        assert_eq!(w.to_trit_string(), s);
+        assert_eq!(w.to_string(), s);
+        assert_eq!(w.count_dont_care(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_invalid_characters() {
+        let err = TriStateVector::from_str("01a").unwrap_err();
+        assert_eq!(err, SignatureError::IndexOutOfBounds { index: 2, len: 3 });
+    }
+
+    #[test]
+    fn hamming_ignores_dont_care_positions() {
+        let w = TriStateVector::from_str("0#1#").unwrap();
+        let x = BinaryVector::from_bit_str("0110").unwrap();
+        assert_eq!(w.hamming(&x).unwrap(), 0);
+        let y = BinaryVector::from_bit_str("1010").unwrap();
+        // position 0 disagrees (0 vs 1), position 2 agrees, #s ignored.
+        assert_eq!(w.hamming(&y).unwrap(), 1);
+    }
+
+    #[test]
+    fn hamming_length_mismatch_errors() {
+        let w = TriStateVector::all_dont_care(4);
+        let x = BinaryVector::zeros(5);
+        assert!(matches!(
+            w.hamming(&x),
+            Err(SignatureError::LengthMismatch { left: 4, right: 5 })
+        ));
+    }
+
+    #[test]
+    fn set_get_every_trit_kind() {
+        let mut w = TriStateVector::zeros(5);
+        w.set(0, Trit::One);
+        w.set(1, Trit::DontCare);
+        w.set(2, Trit::Zero);
+        assert_eq!(w.trit(0), Trit::One);
+        assert_eq!(w.trit(1), Trit::DontCare);
+        assert_eq!(w.trit(2), Trit::Zero);
+        assert_eq!(w.get(5), None);
+        // Re-concretise a don't-care position.
+        w.set(1, Trit::One);
+        assert_eq!(w.trit(1), Trit::One);
+    }
+
+    #[test]
+    fn to_binary_resolves_dont_care() {
+        let w = TriStateVector::from_str("1#0#").unwrap();
+        assert_eq!(w.to_binary(false).to_bit_string(), "1000");
+        assert_eq!(w.to_binary(true).to_bit_string(), "1101");
+    }
+
+    #[test]
+    fn tristate_hamming_counts_only_joint_concrete_disagreements() {
+        let a = TriStateVector::from_str("01#1").unwrap();
+        let b = TriStateVector::from_str("11#0").unwrap();
+        // position 0: 0 vs 1 -> 1; position 1: equal; position 2: both # ; position 3: 1 vs 0 -> 1
+        assert_eq!(a.hamming_tristate(&b).unwrap(), 2);
+        let c = TriStateVector::from_str("####").unwrap();
+        assert_eq!(a.hamming_tristate(&c).unwrap(), 0);
+    }
+
+    #[test]
+    fn matches_is_distance_zero() {
+        let w = TriStateVector::from_str("1##0").unwrap();
+        assert!(w.matches(&BinaryVector::from_bit_str("1010").unwrap()));
+        assert!(!w.matches(&BinaryVector::from_bit_str("0010").unwrap()));
+        // length mismatch -> false, not panic
+        assert!(!w.matches(&BinaryVector::zeros(3)));
+    }
+
+    #[test]
+    fn random_concrete_has_no_dont_care() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = TriStateVector::random_concrete(768, &mut rng);
+        assert_eq!(w.count_dont_care(), 0);
+    }
+
+    #[test]
+    fn random_with_dont_care_prob_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let all = TriStateVector::random_with_dont_care(256, 1.0, &mut rng);
+        assert_eq!(all.count_dont_care(), 256);
+        let none = TriStateVector::random_with_dont_care(256, 0.0, &mut rng);
+        assert_eq!(none.count_dont_care(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dont_care_prob")]
+    fn random_with_dont_care_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = TriStateVector::random_with_dont_care(8, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn iterator_and_collect_roundtrip() {
+        let w = TriStateVector::from_str("0#11#0").unwrap();
+        let collected: TriStateVector = w.iter().collect();
+        assert_eq!(collected, w);
+        assert_eq!(w.iter().len(), 6);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = TriStateVector::from_str("01#10##1").unwrap();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: TriStateVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn debug_output_is_never_empty() {
+        assert!(!format!("{:?}", TriStateVector::default()).is_empty());
+        assert!(!format!("{:?}", TriStateVector::all_dont_care(768)).is_empty());
+    }
+}

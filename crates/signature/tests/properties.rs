@@ -1,0 +1,155 @@
+//! Property-based tests for the signature-layer invariants.
+
+use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector, Trit};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary binary vector of the given length.
+fn binary_vector(len: usize) -> impl Strategy<Value = BinaryVector> {
+    prop::collection::vec(any::<bool>(), len).prop_map(BinaryVector::from_bits)
+}
+
+/// Strategy producing an arbitrary tri-state vector of the given length.
+fn tristate_vector(len: usize) -> impl Strategy<Value = TriStateVector> {
+    prop::collection::vec(0u8..3, len).prop_map(|raw| {
+        TriStateVector::from_trits(raw.into_iter().map(|v| match v {
+            0 => Trit::Zero,
+            1 => Trit::One,
+            _ => Trit::DontCare,
+        }))
+    })
+}
+
+proptest! {
+    #[test]
+    fn hamming_is_symmetric(a in binary_vector(96), b in binary_vector(96)) {
+        prop_assert_eq!(a.hamming(&b).unwrap(), b.hamming(&a).unwrap());
+    }
+
+    #[test]
+    fn hamming_is_zero_iff_equal(a in binary_vector(96), b in binary_vector(96)) {
+        let d = a.hamming(&b).unwrap();
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn hamming_triangle_inequality(
+        a in binary_vector(64),
+        b in binary_vector(64),
+        c in binary_vector(64),
+    ) {
+        let ab = a.hamming(&b).unwrap();
+        let bc = b.hamming(&c).unwrap();
+        let ac = a.hamming(&c).unwrap();
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn hamming_bounded_by_length(a in binary_vector(96), b in binary_vector(96)) {
+        prop_assert!(a.hamming(&b).unwrap() <= 96);
+    }
+
+    #[test]
+    fn xor_popcount_equals_hamming(a in binary_vector(96), b in binary_vector(96)) {
+        prop_assert_eq!((&a ^ &b).count_ones(), a.hamming(&b).unwrap());
+    }
+
+    #[test]
+    fn bit_string_roundtrip(a in binary_vector(80)) {
+        let s = a.to_bit_string();
+        prop_assert_eq!(BinaryVector::from_bit_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn count_ones_plus_zeros_is_len(a in binary_vector(123)) {
+        prop_assert_eq!(a.count_ones() + a.count_zeros(), 123);
+    }
+
+    #[test]
+    fn complement_inverts_every_bit(a in binary_vector(77)) {
+        let c = !&a;
+        for i in 0..77 {
+            prop_assert_eq!(c.bit(i), !a.bit(i));
+        }
+    }
+
+    #[test]
+    fn tristate_hamming_never_exceeds_concrete_count(
+        w in tristate_vector(96),
+        x in binary_vector(96),
+    ) {
+        prop_assert!(w.hamming(&x).unwrap() <= w.count_concrete());
+    }
+
+    #[test]
+    fn tristate_hamming_lower_bounded_by_full_hamming_minus_dont_care(
+        w in tristate_vector(96),
+        x in binary_vector(96),
+    ) {
+        // Collapsing # to either bit value can only change the distance by at
+        // most the number of # positions.
+        let collapsed = w.to_binary(false);
+        let full = collapsed.hamming(&x).unwrap();
+        let masked = w.hamming(&x).unwrap();
+        prop_assert!(masked <= full);
+        prop_assert!(full - masked <= w.count_dont_care());
+    }
+
+    #[test]
+    fn tristate_string_roundtrip(w in tristate_vector(60)) {
+        let s = w.to_trit_string();
+        prop_assert_eq!(TriStateVector::from_str(&s).unwrap(), w);
+    }
+
+    #[test]
+    fn tristate_concrete_plus_dont_care_is_len(w in tristate_vector(111)) {
+        prop_assert_eq!(w.count_concrete() + w.count_dont_care(), 111);
+    }
+
+    #[test]
+    fn tristate_matches_agrees_with_per_trit_matching(
+        w in tristate_vector(48),
+        x in binary_vector(48),
+    ) {
+        let expected = (0..48).all(|i| w.trit(i).matches(x.bit(i)));
+        prop_assert_eq!(w.matches(&x), expected);
+    }
+
+    #[test]
+    fn histogram_signature_length_is_768(
+        pixels in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..200)
+    ) {
+        let hist = ColorHistogram::from_pixels(pixels.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)));
+        prop_assert_eq!(hist.to_signature().len(), 768);
+    }
+
+    #[test]
+    fn histogram_signature_nonempty_for_nonempty_input(
+        pixels in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..200)
+    ) {
+        // At least one bin per channel is maximal, hence >= mean, hence set.
+        let hist = ColorHistogram::from_pixels(pixels.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)));
+        prop_assert!(hist.to_signature().count_ones() >= 3);
+    }
+
+    #[test]
+    fn histogram_bin_total_is_three_times_pixels(
+        pixels in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..300)
+    ) {
+        let n = pixels.len() as u64;
+        let hist = ColorHistogram::from_pixels(pixels.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)));
+        let total: u64 = hist.bins().iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(total, 3 * n);
+        prop_assert_eq!(hist.pixel_count(), n);
+    }
+
+    #[test]
+    fn mean_threshold_between_min_and_max_bin(
+        pixels in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..200)
+    ) {
+        let hist = ColorHistogram::from_pixels(pixels.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)));
+        let theta = hist.mean_threshold();
+        let min = *hist.bins().iter().min().unwrap() as f64;
+        let max = *hist.bins().iter().max().unwrap() as f64;
+        prop_assert!(theta >= min && theta <= max);
+    }
+}

@@ -1,0 +1,633 @@
+//! The tri-state binary Self-Organizing Map (bSOM).
+//!
+//! The bSOM (paper §III, based on Appiah et al., IJCNN 2009) is a SOM whose
+//! input layer takes binary vectors and whose competitive-layer neurons hold
+//! tri-state weight vectors over `{0, 1, #}`. The similarity measure is the
+//! #-aware Hamming distance: a `#` ("don't care") weight position matches
+//! either input bit and never contributes to the distance.
+//!
+//! ## Reconstructed training rule
+//!
+//! This SOCC 2010 paper does not restate the full update rule of its
+//! reference [5]; the rule implemented here (and documented in DESIGN.md as a
+//! substitution) is the natural tri-state rule with the properties the paper
+//! relies on, damped stochastically so that a prototype reflects the
+//! *majority* of the patterns a neuron wins rather than just the last one.
+//!
+//! For the winning neuron and every neuron in its current neighbourhood, each
+//! weight trit `w_k` is updated against the input bit `x_k`:
+//!
+//! | current `w_k` | input `x_k` | new `w_k` | rationale |
+//! |---|---|---|---|
+//! | `0` or `1`, equal to `x_k` | — | unchanged | the weight already explains the input |
+//! | `0` or `1`, different from `x_k` | — | `#` *with probability* `relax_probability` | conflicting evidence ⇒ stop caring |
+//! | `#` | `0`/`1` | `x_k` *with probability* `commit_probability` | commit to the observed value |
+//!
+//! With probabilities of 1.0 this is the raw single-step tri-state rule; the
+//! defaults of 0.3 low-pass filter each bit over a handful of wins, which is
+//! what brings the bSOM's recognition accuracy level with the averaging cSOM
+//! (Table I) while staying a pure bit-manipulation pipeline — in hardware the
+//! damping is a single AND against an LFSR bit stream. Neighbours follow
+//! [`NeighbourRule`]; the default applies the same update to the whole
+//! neighbourhood window, mirroring the FPGA's neighbourhood-update block.
+//!
+//! The rule is learning-rate free. Bits that are consistent within the
+//! cluster of inputs a neuron wins converge to concrete values; bits that
+//! vary spend time in `#`, harmlessly excluded from the distance.
+
+use bsom_signature::{BinaryVector, TriStateVector, Trit};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SomError;
+use crate::schedule::TrainSchedule;
+use crate::som_trait::{line_neighbourhood, SelfOrganizingMap, Winner};
+
+/// How neurons in the neighbourhood of the winner (excluding the winner
+/// itself) are updated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighbourRule {
+    /// Neighbours receive the same (damped) tri-state update as the winner.
+    /// This is the default and mirrors the FPGA neighbourhood-update block,
+    /// which applies one update circuit to the selected address window.
+    SameAsWinner,
+    /// Neighbours only relax conflicting bits to `#`; they do not commit `#`
+    /// positions to the input value — the tri-state analogue of giving
+    /// neighbours a smaller learning rate. Kept for the update-rule ablation.
+    RelaxOnly,
+    /// Neighbours are not updated at all (winner-take-all learning). The
+    /// ablation benches show this collapses onto a single over-general
+    /// neuron; it exists to demonstrate that the neighbourhood block matters.
+    WinnerOnly,
+}
+
+impl Default for NeighbourRule {
+    fn default() -> Self {
+        NeighbourRule::SameAsWinner
+    }
+}
+
+/// Configuration for a [`BSom`].
+///
+/// The defaults of [`BSomConfig::paper_default`] reproduce Table III: 40
+/// neurons, 768-bit vectors, random initial weights, maximum neighbourhood 4
+/// (the neighbourhood policy itself lives in
+/// [`TrainSchedule`](crate::TrainSchedule)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BSomConfig {
+    /// Number of neurons in the competitive layer.
+    pub neurons: usize,
+    /// Length of the input and weight vectors in bits.
+    pub vector_len: usize,
+    /// How neighbours of the winner are updated.
+    pub neighbour_rule: NeighbourRule,
+    /// Probability that a concrete weight trit that *disagrees* with the
+    /// input relaxes to `#` during an update. 1.0 recovers the raw tri-state
+    /// rule; lower values low-pass filter the weights over several wins,
+    /// which is what gives the bSOM prototype quality comparable to the
+    /// averaging cSOM (in hardware this is one AND gate against an LFSR bit
+    /// stream).
+    pub relax_probability: f64,
+    /// Probability that a `#` trit commits to the observed input bit during
+    /// an update. 1.0 recovers the raw tri-state rule.
+    pub commit_probability: f64,
+}
+
+impl BSomConfig {
+    /// Creates a configuration with the given shape and the default update
+    /// behaviour.
+    pub fn new(neurons: usize, vector_len: usize) -> Self {
+        BSomConfig {
+            neurons,
+            vector_len,
+            neighbour_rule: NeighbourRule::default(),
+            relax_probability: 0.3,
+            commit_probability: 0.3,
+        }
+    }
+
+    /// The paper's configuration (Table III): 40 neurons × 768 bits.
+    pub fn paper_default() -> Self {
+        BSomConfig::new(40, 768)
+    }
+
+    /// Overrides the neighbour update rule.
+    pub fn with_neighbour_rule(mut self, rule: NeighbourRule) -> Self {
+        self.neighbour_rule = rule;
+        self
+    }
+
+    /// Overrides the stochastic update probabilities (relax, commit). Pass
+    /// `(1.0, 1.0)` for the undamped tri-state rule used by the ablation
+    /// benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn with_update_probabilities(mut self, relax: f64, commit: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&relax) && (0.0..=1.0).contains(&commit),
+            "update probabilities must be within [0, 1], got ({relax}, {commit})"
+        );
+        self.relax_probability = relax;
+        self.commit_probability = commit;
+        self
+    }
+}
+
+impl Default for BSomConfig {
+    fn default() -> Self {
+        BSomConfig::paper_default()
+    }
+}
+
+/// The tri-state binary Self-Organizing Map.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_signature::BinaryVector;
+/// use bsom_som::{BSom, BSomConfig, SelfOrganizingMap, TrainSchedule};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bsom_som::SomError> {
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let mut som = BSom::new(BSomConfig::new(8, 64), &mut rng);
+/// let pattern = BinaryVector::random(64, &mut rng);
+/// som.train(std::slice::from_ref(&pattern), TrainSchedule::new(50), &mut rng)?;
+/// // After training on a single repeated pattern, some neuron matches it exactly.
+/// let winner = som.winner(&pattern)?;
+/// assert_eq!(winner.distance, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BSom {
+    config: BSomConfig,
+    neurons: Vec<TriStateVector>,
+    /// Internal xorshift state driving the stochastic update decisions — the
+    /// software analogue of the LFSR bit stream a hardware implementation
+    /// would use. Keeping it inside the map keeps `train_step` deterministic
+    /// for a given construction seed.
+    rng_state: u64,
+}
+
+impl BSom {
+    /// Creates a bSOM with every weight initialised to a random concrete bit,
+    /// the start-up state produced by the FPGA weight-initialisation block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero neurons or a zero vector length;
+    /// use [`BSom::try_new`] for a fallible constructor.
+    pub fn new<R: Rng + ?Sized>(config: BSomConfig, rng: &mut R) -> Self {
+        Self::try_new(config, rng).expect("bSOM configuration must be non-empty")
+    }
+
+    /// Fallible counterpart of [`BSom::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::EmptyConfiguration`] if `config.neurons` or
+    /// `config.vector_len` is zero.
+    pub fn try_new<R: Rng + ?Sized>(config: BSomConfig, rng: &mut R) -> Result<Self, SomError> {
+        if config.neurons == 0 || config.vector_len == 0 {
+            return Err(SomError::EmptyConfiguration {
+                neurons: config.neurons,
+                vector_len: config.vector_len,
+            });
+        }
+        let neurons = (0..config.neurons)
+            .map(|_| TriStateVector::random_concrete(config.vector_len, rng))
+            .collect();
+        let rng_state = rng.gen::<u64>() | 1;
+        Ok(BSom {
+            config,
+            neurons,
+            rng_state,
+        })
+    }
+
+    /// Creates a bSOM from explicit weight vectors (e.g. weights exported
+    /// from the FPGA BlockRAM after off-line training, §V-F).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::EmptyConfiguration`] for an empty weight list and
+    /// [`SomError::InputLengthMismatch`] if any weight vector's length
+    /// differs from the first one's.
+    pub fn from_weights(weights: Vec<TriStateVector>) -> Result<Self, SomError> {
+        let vector_len = weights.first().map(TriStateVector::len).unwrap_or(0);
+        if weights.is_empty() || vector_len == 0 {
+            return Err(SomError::EmptyConfiguration {
+                neurons: weights.len(),
+                vector_len,
+            });
+        }
+        if let Some(bad) = weights.iter().find(|w| w.len() != vector_len) {
+            return Err(SomError::InputLengthMismatch {
+                expected: vector_len,
+                actual: bad.len(),
+            });
+        }
+        let config = BSomConfig::new(weights.len(), vector_len);
+        Ok(BSom {
+            config,
+            neurons: weights,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        })
+    }
+
+    /// The map's configuration.
+    pub fn config(&self) -> &BSomConfig {
+        &self.config
+    }
+
+    /// Overrides the stochastic update probabilities of an existing map
+    /// (useful after [`BSom::from_weights`], which uses the defaults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn with_update_probabilities(mut self, relax: f64, commit: f64) -> Self {
+        self.config = self.config.with_update_probabilities(relax, commit);
+        self
+    }
+
+    /// Overrides the neighbour update rule of an existing map.
+    pub fn with_neighbour_rule(mut self, rule: NeighbourRule) -> Self {
+        self.config = self.config.with_neighbour_rule(rule);
+        self
+    }
+
+    /// The weight vector of neuron `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::NeuronOutOfRange`] for an invalid index.
+    pub fn neuron(&self, index: usize) -> Result<&TriStateVector, SomError> {
+        self.neurons.get(index).ok_or(SomError::NeuronOutOfRange {
+            index,
+            neurons: self.neurons.len(),
+        })
+    }
+
+    /// All neuron weight vectors in index order.
+    pub fn neurons(&self) -> &[TriStateVector] {
+        &self.neurons
+    }
+
+    /// Total number of `#` trits across all neurons — a measure of how much
+    /// of the map has relaxed to "don't care".
+    pub fn total_dont_care(&self) -> usize {
+        self.neurons.iter().map(TriStateVector::count_dont_care).sum()
+    }
+
+    /// Advances the internal xorshift64* state and returns a coin flip that
+    /// is `true` with the given probability.
+    fn coin(&mut self, probability: f64) -> bool {
+        if probability >= 1.0 {
+            return true;
+        }
+        if probability <= 0.0 {
+            return false;
+        }
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let sample = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        sample < probability
+    }
+
+    /// Applies the (stochastically damped) tri-state update to neuron
+    /// `neuron_index` for the given input: agreeing bits are kept,
+    /// disagreeing bits relax to `#` with `relax_probability`, and `#` bits
+    /// commit to the input with `commit_probability` (passed as 0 for
+    /// relax-only neighbour updates).
+    fn update_neuron(
+        &mut self,
+        neuron_index: usize,
+        input: &BinaryVector,
+        relax_probability: f64,
+        commit_probability: f64,
+    ) {
+        for k in 0..input.len() {
+            let x = input.bit(k);
+            match self.neurons[neuron_index].trit(k) {
+                Trit::DontCare => {
+                    if self.coin(commit_probability) {
+                        self.neurons[neuron_index].set(k, Trit::from_bit(x));
+                    }
+                }
+                t => {
+                    if !t.matches(x) && self.coin(relax_probability) {
+                        self.neurons[neuron_index].set(k, Trit::DontCare);
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_input(&self, input: &BinaryVector) -> Result<(), SomError> {
+        if input.len() != self.config.vector_len {
+            return Err(SomError::InputLengthMismatch {
+                expected: self.config.vector_len,
+                actual: input.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl SelfOrganizingMap for BSom {
+    fn neuron_count(&self) -> usize {
+        self.config.neurons
+    }
+
+    fn vector_len(&self) -> usize {
+        self.config.vector_len
+    }
+
+    fn winner(&self, input: &BinaryVector) -> Result<Winner, SomError> {
+        self.check_input(input)?;
+        // Winner-take-all on the #-aware Hamming distance. Ties are broken
+        // towards the most *specific* neuron (fewest don't-cares) and then
+        // towards the lower index: a heavily-relaxed neuron has an
+        // artificially small distance to everything, so among equidistant
+        // candidates the one that actually commits to more bits is the better
+        // explanation of the input. In hardware this is a wider comparator
+        // key ({distance, #-count, address}); see DESIGN.md.
+        let mut best_key = (usize::MAX, usize::MAX);
+        let mut best = Winner::new(0, f64::INFINITY);
+        for (i, neuron) in self.neurons.iter().enumerate() {
+            let d = neuron
+                .hamming(input)
+                .expect("neuron and input lengths verified");
+            let key = (d, neuron.count_dont_care());
+            if key < best_key {
+                best_key = key;
+                best = Winner::new(i, d as f64);
+            }
+        }
+        Ok(best)
+    }
+
+    fn train_step(
+        &mut self,
+        input: &BinaryVector,
+        t: usize,
+        schedule: &TrainSchedule,
+    ) -> Result<Winner, SomError> {
+        let winner = self.winner(input)?;
+        let radius = schedule.radius_at(t);
+        let relax = self.config.relax_probability;
+        let commit = self.config.commit_probability;
+        let neighbourhood = line_neighbourhood(winner.index, radius, self.config.neurons);
+        for idx in neighbourhood {
+            if idx == winner.index {
+                self.update_neuron(idx, input, relax, commit);
+                continue;
+            }
+            match self.config.neighbour_rule {
+                NeighbourRule::SameAsWinner => self.update_neuron(idx, input, relax, commit),
+                NeighbourRule::RelaxOnly => self.update_neuron(idx, input, relax, 0.0),
+                NeighbourRule::WinnerOnly => {}
+            }
+        }
+        Ok(winner)
+    }
+
+    fn distances(&self, input: &BinaryVector) -> Result<Vec<f64>, SomError> {
+        self.check_input(input)?;
+        Ok(self
+            .neurons
+            .iter()
+            .map(|n| n.hamming(input).expect("lengths verified") as f64)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xB50A)
+    }
+
+    #[test]
+    fn paper_default_config_matches_table_three() {
+        let c = BSomConfig::paper_default();
+        assert_eq!(c.neurons, 40);
+        assert_eq!(c.vector_len, 768);
+        assert_eq!(BSomConfig::default(), c);
+    }
+
+    #[test]
+    fn new_initialises_random_concrete_weights() {
+        let som = BSom::new(BSomConfig::paper_default(), &mut rng());
+        assert_eq!(som.neuron_count(), 40);
+        assert_eq!(som.vector_len(), 768);
+        assert_eq!(som.total_dont_care(), 0);
+        // Neurons should not all be identical.
+        assert!(som.neurons().windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn try_new_rejects_empty_configurations() {
+        assert!(matches!(
+            BSom::try_new(BSomConfig::new(0, 768), &mut rng()),
+            Err(SomError::EmptyConfiguration { .. })
+        ));
+        assert!(matches!(
+            BSom::try_new(BSomConfig::new(40, 0), &mut rng()),
+            Err(SomError::EmptyConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn from_weights_validates_lengths() {
+        let good = vec![
+            TriStateVector::all_dont_care(8),
+            TriStateVector::zeros(8),
+        ];
+        assert!(BSom::from_weights(good).is_ok());
+        let bad = vec![TriStateVector::zeros(8), TriStateVector::zeros(9)];
+        assert!(matches!(
+            BSom::from_weights(bad),
+            Err(SomError::InputLengthMismatch { expected: 8, actual: 9 })
+        ));
+        assert!(BSom::from_weights(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn winner_finds_exact_match() {
+        let weights = vec![
+            TriStateVector::from_str("1111").unwrap(),
+            TriStateVector::from_str("0000").unwrap(),
+            TriStateVector::from_str("1100").unwrap(),
+        ];
+        let som = BSom::from_weights(weights).unwrap();
+        let w = som.winner(&BinaryVector::from_bit_str("1100").unwrap()).unwrap();
+        assert_eq!(w.index, 2);
+        assert_eq!(w.distance, 0.0);
+    }
+
+    #[test]
+    fn winner_breaks_ties_towards_lower_index() {
+        let weights = vec![
+            TriStateVector::from_str("1111").unwrap(),
+            TriStateVector::from_str("1111").unwrap(),
+        ];
+        let som = BSom::from_weights(weights).unwrap();
+        let w = som.winner(&BinaryVector::from_bit_str("1110").unwrap()).unwrap();
+        assert_eq!(w.index, 0);
+        assert_eq!(w.distance, 1.0);
+    }
+
+    #[test]
+    fn all_dont_care_neuron_always_wins_with_distance_zero() {
+        // The paper calls this case out explicitly.
+        let weights = vec![
+            TriStateVector::from_str("1010").unwrap(),
+            TriStateVector::from_str("####").unwrap(),
+        ];
+        let som = BSom::from_weights(weights).unwrap();
+        let w = som.winner(&BinaryVector::from_bit_str("0101").unwrap()).unwrap();
+        assert_eq!(w.index, 1);
+        assert_eq!(w.distance, 0.0);
+    }
+
+    #[test]
+    fn winner_rejects_wrong_length_input() {
+        let som = BSom::new(BSomConfig::new(4, 16), &mut rng());
+        assert!(matches!(
+            som.winner(&BinaryVector::zeros(8)),
+            Err(SomError::InputLengthMismatch { expected: 16, actual: 8 })
+        ));
+        assert!(som.distances(&BinaryVector::zeros(8)).is_err());
+    }
+
+    #[test]
+    fn update_rule_agreement_keeps_disagreement_relaxes_dont_care_commits() {
+        let weights = vec![TriStateVector::from_str("01#").unwrap()];
+        // Undamped probabilities so the single-step rule is deterministic.
+        let mut som = BSom::from_weights(weights)
+            .unwrap()
+            .with_update_probabilities(1.0, 1.0);
+        let input = BinaryVector::from_bit_str("001").unwrap();
+        // Radius is irrelevant for a single-neuron map.
+        som.train_step(&input, 0, &TrainSchedule::new(1)).unwrap();
+        let w = som.neuron(0).unwrap();
+        // position 0: weight 0, input 0 -> keep 0
+        // position 1: weight 1, input 0 -> relax to #
+        // position 2: weight #, input 1 -> commit to 1
+        assert_eq!(w.to_trit_string(), "0#1");
+    }
+
+    #[test]
+    fn repeated_pattern_converges_to_exact_match() {
+        let mut r = rng();
+        let mut som = BSom::new(BSomConfig::new(8, 64), &mut r);
+        let pattern = BinaryVector::random(64, &mut r);
+        som.train(std::slice::from_ref(&pattern), TrainSchedule::new(64), &mut r)
+            .unwrap();
+        let w = som.winner(&pattern).unwrap();
+        assert_eq!(w.distance, 0.0);
+    }
+
+    #[test]
+    fn training_two_patterns_separates_them() {
+        let mut r = rng();
+        let a = BinaryVector::from_bits((0..64).map(|i| i < 32));
+        let b = BinaryVector::from_bits((0..64).map(|i| i >= 32));
+        let mut som = BSom::new(BSomConfig::new(8, 64), &mut r);
+        som.train(&[a.clone(), b.clone()], TrainSchedule::new(200), &mut r)
+            .unwrap();
+        let wa = som.winner(&a).unwrap();
+        let wb = som.winner(&b).unwrap();
+        assert_eq!(wa.distance, 0.0);
+        assert_eq!(wb.distance, 0.0);
+        // The two patterns are 64 bits apart, so distinct neurons must win
+        // (a single neuron cannot match both exactly unless it is all-#, and
+        // the commit rule prevents a stable all-# winner for both).
+        assert_ne!(wa.index, wb.index);
+    }
+
+    #[test]
+    fn train_on_empty_dataset_errors() {
+        let mut r = rng();
+        let mut som = BSom::new(BSomConfig::new(4, 16), &mut r);
+        let empty: Vec<BinaryVector> = Vec::new();
+        assert_eq!(
+            som.train(&empty, TrainSchedule::new(10), &mut r),
+            Err(SomError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn winner_only_rule_leaves_other_neurons_untouched() {
+        let mut r = rng();
+        let config = BSomConfig::new(6, 32).with_neighbour_rule(NeighbourRule::WinnerOnly);
+        let mut som = BSom::new(config, &mut r);
+        let before = som.neurons().to_vec();
+        let input = BinaryVector::random(32, &mut r);
+        let w = som.train_step(&input, 0, &TrainSchedule::new(1)).unwrap();
+        for (i, (b, a)) in before.iter().zip(som.neurons()).enumerate() {
+            if i != w.index {
+                assert_eq!(b, a, "neuron {i} changed despite WinnerOnly rule");
+            }
+        }
+    }
+
+    #[test]
+    fn relax_only_neighbours_never_gain_concrete_bits() {
+        let mut r = rng();
+        let config = BSomConfig::new(6, 32).with_neighbour_rule(NeighbourRule::RelaxOnly);
+        let mut som = BSom::new(config, &mut r);
+        // Pre-relax neuron 1 fully so we can observe that it never re-commits.
+        som.neurons[1] = TriStateVector::all_dont_care(32);
+        let input = BinaryVector::random(32, &mut r);
+        // Force neuron 0 to be the winner by making it an exact match.
+        som.neurons[0] = TriStateVector::from_binary(&input);
+        som.train_step(&input, 0, &TrainSchedule::new(1)).unwrap();
+        assert_eq!(som.neuron(1).unwrap().count_dont_care(), 32);
+    }
+
+    #[test]
+    fn distances_are_consistent_with_winner() {
+        let mut r = rng();
+        let som = BSom::new(BSomConfig::new(16, 96), &mut r);
+        let input = BinaryVector::random(96, &mut r);
+        let dists = som.distances(&input).unwrap();
+        let w = som.winner(&input).unwrap();
+        let min = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(w.distance, min);
+        assert_eq!(dists[w.index], min);
+    }
+
+    #[test]
+    fn neuron_out_of_range_errors() {
+        let som = BSom::new(BSomConfig::new(4, 16), &mut rng());
+        assert!(matches!(
+            som.neuron(4),
+            Err(SomError::NeuronOutOfRange { index: 4, neurons: 4 })
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_weights() {
+        let mut r = rng();
+        let mut som = BSom::new(BSomConfig::new(8, 64), &mut r);
+        let data: Vec<BinaryVector> = (0..4).map(|_| BinaryVector::random(64, &mut r)).collect();
+        som.train(&data, TrainSchedule::new(50), &mut r).unwrap();
+        let json = serde_json::to_string(&som).unwrap();
+        let back: BSom = serde_json::from_str(&json).unwrap();
+        assert_eq!(som, back);
+    }
+}

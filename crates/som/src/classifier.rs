@@ -1,0 +1,419 @@
+//! Classification outcomes and train/test evaluation.
+//!
+//! The paper's headline result (Table I) is recognition accuracy on a held-out
+//! labelled test set: the percentage of test signatures whose predicted label
+//! matches the manual annotation. This module provides the [`Prediction`]
+//! type returned by the classifier, the [`evaluate`] helper that computes the
+//! accuracy of a [`LabelledSom`](crate::LabelledSom) over a test set, and the
+//! [`ConfusionMatrix`] used by the extended diagnostics.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bsom_signature::BinaryVector;
+use serde::{Deserialize, Serialize};
+
+use crate::labeling::{LabelledSom, ObjectLabel};
+use crate::som_trait::SelfOrganizingMap;
+
+/// The outcome of classifying one signature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Prediction {
+    /// The signature was identified as a known object.
+    Known {
+        /// The predicted object identity.
+        label: ObjectLabel,
+        /// The index of the winning neuron.
+        neuron: usize,
+        /// The distance from the signature to the winning neuron.
+        distance: f64,
+    },
+    /// The signature was rejected: the nearest neuron was unlabelled or too
+    /// far away.
+    Unknown,
+}
+
+impl Prediction {
+    /// The predicted label, or `None` for [`Prediction::Unknown`].
+    pub fn label(&self) -> Option<ObjectLabel> {
+        match self {
+            Prediction::Known { label, .. } => Some(*label),
+            Prediction::Unknown => None,
+        }
+    }
+
+    /// Returns `true` for a known (accepted) prediction.
+    pub fn is_known(&self) -> bool {
+        matches!(self, Prediction::Known { .. })
+    }
+}
+
+impl fmt::Display for Prediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prediction::Known {
+                label,
+                neuron,
+                distance,
+            } => write!(f, "{label} (neuron {neuron}, distance {distance})"),
+            Prediction::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// A square confusion matrix over the labels seen in a test set, with one
+/// extra implicit column for *unknown* predictions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    labels: Vec<ObjectLabel>,
+    /// `counts[actual][predicted]`; the final column counts unknowns.
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over the given label set (sorted, deduplicated).
+    pub fn new<I>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = ObjectLabel>,
+    {
+        let labels: Vec<ObjectLabel> = labels
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let cols = labels.len() + 1;
+        let counts = vec![vec![0; cols]; labels.len()];
+        ConfusionMatrix { labels, counts }
+    }
+
+    /// Records one test outcome.
+    pub fn record(&mut self, actual: ObjectLabel, predicted: Option<ObjectLabel>) {
+        let Some(row) = self.labels.iter().position(|&l| l == actual) else {
+            return; // actual label outside the tracked set: ignore
+        };
+        let col = match predicted {
+            Some(p) => match self.labels.iter().position(|&l| l == p) {
+                Some(c) => c,
+                None => self.labels.len(), // predicted an untracked label: count as unknown
+            },
+            None => self.labels.len(),
+        };
+        self.counts[row][col] += 1;
+    }
+
+    /// The ordered labels represented by the rows (and the first columns).
+    pub fn labels(&self) -> &[ObjectLabel] {
+        &self.labels
+    }
+
+    /// The raw count for (actual, predicted). `predicted = None` addresses
+    /// the unknown column.
+    pub fn count(&self, actual: ObjectLabel, predicted: Option<ObjectLabel>) -> usize {
+        let Some(row) = self.labels.iter().position(|&l| l == actual) else {
+            return 0;
+        };
+        let col = match predicted {
+            Some(p) => match self.labels.iter().position(|&l| l == p) {
+                Some(c) => c,
+                None => return 0,
+            },
+            None => self.labels.len(),
+        };
+        self.counts[row][col]
+    }
+
+    /// Total number of recorded outcomes.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Number of correct (diagonal) outcomes.
+    pub fn correct(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row[i])
+            .sum()
+    }
+
+    /// Overall accuracy (0.0 when the matrix is empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall: fraction of each actual class predicted correctly.
+    /// Classes with no test instances report a recall of 0.0.
+    pub fn per_class_recall(&self) -> Vec<(ObjectLabel, f64)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| {
+                let row_total: usize = self.counts[i].iter().sum();
+                let recall = if row_total == 0 {
+                    0.0
+                } else {
+                    self.counts[i][i] as f64 / row_total as f64
+                };
+                (label, recall)
+            })
+            .collect()
+    }
+
+    /// Number of outcomes rejected as unknown.
+    pub fn unknown_count(&self) -> usize {
+        self.counts.iter().map(|row| row[self.labels.len()]).sum()
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actual\\pred")?;
+        for l in &self.labels {
+            write!(f, "\t{}", l.id())?;
+        }
+        writeln!(f, "\t?")?;
+        for (i, l) in self.labels.iter().enumerate() {
+            write!(f, "{}", l.id())?;
+            for c in &self.counts[i] {
+                write!(f, "\t{c}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of evaluating a classifier over a labelled test set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Number of test signatures presented.
+    pub total: usize,
+    /// Number classified with the correct label.
+    pub correct: usize,
+    /// Number rejected as unknown.
+    pub unknown: usize,
+    /// The full confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+impl Evaluation {
+    /// Recognition accuracy in `[0, 1]` (0.0 for an empty test set).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Recognition accuracy as a percentage, the unit used by Table I.
+    pub fn accuracy_percent(&self) -> f64 {
+        self.accuracy() * 100.0
+    }
+
+    /// Error rate as a percentage (the paper quotes "less than 15.97% error").
+    pub fn error_percent(&self) -> f64 {
+        100.0 - self.accuracy_percent()
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} correct ({:.2}%), {} unknown",
+            self.correct,
+            self.total,
+            self.accuracy_percent(),
+            self.unknown
+        )
+    }
+}
+
+/// Evaluates a labelled SOM classifier on a labelled test set, reproducing
+/// the accuracy metric of Table I.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_signature::BinaryVector;
+/// use bsom_som::{evaluate, BSom, BSomConfig, LabelledSom, ObjectLabel, SelfOrganizingMap, TrainSchedule};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bsom_som::SomError> {
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let a = BinaryVector::from_bits((0..32).map(|i| i < 16));
+/// let b = BinaryVector::from_bits((0..32).map(|i| i >= 16));
+/// let data = vec![(a, ObjectLabel::new(0)), (b, ObjectLabel::new(1))];
+/// let mut som = BSom::new(BSomConfig::new(4, 32), &mut rng);
+/// som.train_labelled_data(&data, TrainSchedule::new(100), &mut rng)?;
+/// let classifier = LabelledSom::label(som, &data);
+/// let eval = evaluate(&classifier, &data);
+/// assert_eq!(eval.accuracy(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate<M: SelfOrganizingMap>(
+    classifier: &LabelledSom<M>,
+    test_data: &[(BinaryVector, ObjectLabel)],
+) -> Evaluation {
+    let mut confusion = ConfusionMatrix::new(test_data.iter().map(|(_, l)| *l));
+    let mut correct = 0;
+    let mut unknown = 0;
+    for (signature, actual) in test_data {
+        let prediction = classifier.classify(signature);
+        match prediction.label() {
+            Some(label) => {
+                if label == *actual {
+                    correct += 1;
+                }
+            }
+            None => unknown += 1,
+        }
+        confusion.record(*actual, prediction.label());
+    }
+    Evaluation {
+        total: test_data.len(),
+        correct,
+        unknown,
+        confusion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsom::{BSom, BSomConfig};
+    use crate::schedule::TrainSchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn label(i: usize) -> ObjectLabel {
+        ObjectLabel::new(i)
+    }
+
+    #[test]
+    fn prediction_accessors() {
+        let known = Prediction::Known {
+            label: label(2),
+            neuron: 5,
+            distance: 3.0,
+        };
+        assert_eq!(known.label(), Some(label(2)));
+        assert!(known.is_known());
+        assert!(!Prediction::Unknown.is_known());
+        assert_eq!(Prediction::Unknown.label(), None);
+        assert!(known.to_string().contains("object-2"));
+        assert_eq!(Prediction::Unknown.to_string(), "unknown");
+    }
+
+    #[test]
+    fn confusion_matrix_accumulates_and_scores() {
+        let mut m = ConfusionMatrix::new([label(0), label(1), label(1)]);
+        assert_eq!(m.labels(), &[label(0), label(1)]);
+        m.record(label(0), Some(label(0)));
+        m.record(label(0), Some(label(1)));
+        m.record(label(1), Some(label(1)));
+        m.record(label(1), None);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.correct(), 2);
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.unknown_count(), 1);
+        assert_eq!(m.count(label(0), Some(label(1))), 1);
+        assert_eq!(m.count(label(1), None), 1);
+        let recalls = m.per_class_recall();
+        assert_eq!(recalls[0], (label(0), 0.5));
+        assert_eq!(recalls[1], (label(1), 0.5));
+        assert!(!m.to_string().is_empty());
+    }
+
+    #[test]
+    fn confusion_matrix_ignores_untracked_actuals_and_maps_untracked_predictions_to_unknown() {
+        let mut m = ConfusionMatrix::new([label(0)]);
+        m.record(label(9), Some(label(0))); // untracked actual: ignored
+        assert_eq!(m.total(), 0);
+        m.record(label(0), Some(label(9))); // untracked prediction: unknown column
+        assert_eq!(m.unknown_count(), 1);
+        assert_eq!(m.count(label(0), Some(label(9))), 0);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_is_zero() {
+        let m = ConfusionMatrix::new(std::iter::empty());
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+        assert!(m.per_class_recall().is_empty());
+    }
+
+    #[test]
+    fn evaluation_percentages_are_consistent() {
+        let mut confusion = ConfusionMatrix::new([label(0)]);
+        confusion.record(label(0), Some(label(0)));
+        let eval = Evaluation {
+            total: 8,
+            correct: 6,
+            unknown: 1,
+            confusion,
+        };
+        assert!((eval.accuracy() - 0.75).abs() < 1e-12);
+        assert!((eval.accuracy_percent() - 75.0).abs() < 1e-12);
+        assert!((eval.error_percent() - 25.0).abs() < 1e-12);
+        assert!(eval.to_string().contains("6/8"));
+    }
+
+    #[test]
+    fn empty_evaluation_is_zero_accuracy() {
+        let eval = Evaluation {
+            total: 0,
+            correct: 0,
+            unknown: 0,
+            confusion: ConfusionMatrix::new(std::iter::empty()),
+        };
+        assert_eq!(eval.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_evaluation_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = BinaryVector::from_bits((0..48).map(|i| i < 24));
+        let b = BinaryVector::from_bits((0..48).map(|i| i >= 24));
+        let train = vec![
+            (a.clone(), label(0)),
+            (b.clone(), label(1)),
+            (a.clone(), label(0)),
+            (b.clone(), label(1)),
+        ];
+        let mut som = BSom::new(BSomConfig::new(6, 48), &mut rng);
+        som.train_labelled_data(&train, TrainSchedule::new(150), &mut rng)
+            .unwrap();
+        let classifier = LabelledSom::label(som, &train);
+        let eval = evaluate(&classifier, &train);
+        assert_eq!(eval.accuracy(), 1.0);
+        assert_eq!(eval.unknown, 0);
+        assert_eq!(eval.confusion.correct(), 4);
+    }
+
+    #[test]
+    fn evaluation_counts_unknowns() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = BinaryVector::from_bits((0..48).map(|i| i < 24));
+        let train = vec![(a.clone(), label(0))];
+        let mut som = BSom::new(BSomConfig::new(4, 48), &mut rng);
+        som.train_labelled_data(&train, TrainSchedule::new(50), &mut rng)
+            .unwrap();
+        let classifier = LabelledSom::label(som, &train).with_unknown_threshold(1.0);
+        let stranger = BinaryVector::from_bits((0..48).map(|i| i % 2 == 0));
+        let test = vec![(a, label(0)), (stranger, label(0))];
+        let eval = evaluate(&classifier, &test);
+        assert_eq!(eval.total, 2);
+        assert_eq!(eval.correct, 1);
+        assert_eq!(eval.unknown, 1);
+        assert!((eval.accuracy() - 0.5).abs() < 1e-12);
+    }
+}

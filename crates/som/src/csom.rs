@@ -1,0 +1,432 @@
+//! The conventional Kohonen SOM (cSOM) baseline.
+//!
+//! Table I of the paper benchmarks the bSOM against "the conventional SOM
+//! (cSOM) originally proposed by Kohonen". The cSOM here follows the textbook
+//! formulation: real-valued weight vectors, Euclidean distance, and the
+//! update `w ← w + α(t) · h(j, winner, t) · (x − w)` with a decaying learning
+//! rate and shrinking neighbourhood. The binary signatures are presented as
+//! vectors of 0.0/1.0 so both maps consume exactly the same data.
+
+use bsom_signature::BinaryVector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SomError;
+use crate::schedule::TrainSchedule;
+use crate::som_trait::{line_neighbourhood, SelfOrganizingMap, Winner};
+
+/// The neighbourhood kernel `h(j, winner, t)` used by the cSOM update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighbourhoodKernel {
+    /// `h = 1` for every neuron within the radius, 0 outside ("bubble"
+    /// kernel). This matches the hard neighbourhood window of the paper's
+    /// FPGA design and is the default.
+    Bubble,
+    /// `h = exp(-d² / (2·radius²))` where `d` is the index distance to the
+    /// winner. A softer pull used in most software SOMs.
+    Gaussian,
+}
+
+impl Default for NeighbourhoodKernel {
+    fn default() -> Self {
+        NeighbourhoodKernel::Bubble
+    }
+}
+
+/// Configuration for a [`CSom`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CSomConfig {
+    /// Number of neurons in the competitive layer.
+    pub neurons: usize,
+    /// Length of the weight vectors / expected input length.
+    pub vector_len: usize,
+    /// Neighbourhood kernel.
+    pub kernel: NeighbourhoodKernel,
+}
+
+impl CSomConfig {
+    /// Creates a configuration with the given shape and the default kernel.
+    pub fn new(neurons: usize, vector_len: usize) -> Self {
+        CSomConfig {
+            neurons,
+            vector_len,
+            kernel: NeighbourhoodKernel::default(),
+        }
+    }
+
+    /// The configuration used against the paper's Table I: 40 neurons ×
+    /// 768-dimensional weights.
+    pub fn paper_default() -> Self {
+        CSomConfig::new(40, 768)
+    }
+
+    /// Overrides the neighbourhood kernel.
+    pub fn with_kernel(mut self, kernel: NeighbourhoodKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+}
+
+impl Default for CSomConfig {
+    fn default() -> Self {
+        CSomConfig::paper_default()
+    }
+}
+
+/// The conventional real-valued Kohonen SOM.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_signature::BinaryVector;
+/// use bsom_som::{CSom, CSomConfig, SelfOrganizingMap, TrainSchedule};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bsom_som::SomError> {
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let mut som = CSom::new(CSomConfig::new(8, 64), &mut rng);
+/// let pattern = BinaryVector::random(64, &mut rng);
+/// som.train(std::slice::from_ref(&pattern), TrainSchedule::new(200), &mut rng)?;
+/// let winner = som.winner(&pattern)?;
+/// assert!(winner.distance < 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CSom {
+    config: CSomConfig,
+    /// Weight vectors, `neurons × vector_len`, stored row-major.
+    weights: Vec<Vec<f64>>,
+}
+
+impl CSom {
+    /// Creates a cSOM with weights initialised uniformly at random in
+    /// `[0, 1]`, the same range the 0/1 inputs occupy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero neurons or a zero vector length;
+    /// use [`CSom::try_new`] for a fallible constructor.
+    pub fn new<R: Rng + ?Sized>(config: CSomConfig, rng: &mut R) -> Self {
+        Self::try_new(config, rng).expect("cSOM configuration must be non-empty")
+    }
+
+    /// Fallible counterpart of [`CSom::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::EmptyConfiguration`] if `config.neurons` or
+    /// `config.vector_len` is zero.
+    pub fn try_new<R: Rng + ?Sized>(config: CSomConfig, rng: &mut R) -> Result<Self, SomError> {
+        if config.neurons == 0 || config.vector_len == 0 {
+            return Err(SomError::EmptyConfiguration {
+                neurons: config.neurons,
+                vector_len: config.vector_len,
+            });
+        }
+        let weights = (0..config.neurons)
+            .map(|_| (0..config.vector_len).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        Ok(CSom { config, weights })
+    }
+
+    /// Creates a cSOM from explicit weight vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::EmptyConfiguration`] for an empty weight list and
+    /// [`SomError::InputLengthMismatch`] if row lengths are inconsistent.
+    pub fn from_weights(weights: Vec<Vec<f64>>) -> Result<Self, SomError> {
+        let vector_len = weights.first().map(Vec::len).unwrap_or(0);
+        if weights.is_empty() || vector_len == 0 {
+            return Err(SomError::EmptyConfiguration {
+                neurons: weights.len(),
+                vector_len,
+            });
+        }
+        if let Some(bad) = weights.iter().find(|w| w.len() != vector_len) {
+            return Err(SomError::InputLengthMismatch {
+                expected: vector_len,
+                actual: bad.len(),
+            });
+        }
+        let config = CSomConfig::new(weights.len(), vector_len);
+        Ok(CSom { config, weights })
+    }
+
+    /// The map's configuration.
+    pub fn config(&self) -> &CSomConfig {
+        &self.config
+    }
+
+    /// The weight vector of neuron `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::NeuronOutOfRange`] for an invalid index.
+    pub fn neuron(&self, index: usize) -> Result<&[f64], SomError> {
+        self.weights
+            .get(index)
+            .map(Vec::as_slice)
+            .ok_or(SomError::NeuronOutOfRange {
+                index,
+                neurons: self.weights.len(),
+            })
+    }
+
+    /// All weight vectors in neuron order.
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Converts a binary input to the 0.0/1.0 vector the real-valued map
+    /// works in. Done once per query so the 40-neuron scans below stay in
+    /// flat float loops.
+    fn input_to_floats(input: &BinaryVector) -> Vec<f64> {
+        input.iter().map(|b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Squared Euclidean distance between a weight vector and a pre-converted
+    /// input.
+    fn distance_sq(weight: &[f64], input: &[f64]) -> f64 {
+        weight
+            .iter()
+            .zip(input)
+            .map(|(w, x)| (w - x) * (w - x))
+            .sum()
+    }
+
+    fn check_input(&self, input: &BinaryVector) -> Result<(), SomError> {
+        if input.len() != self.config.vector_len {
+            return Err(SomError::InputLengthMismatch {
+                expected: self.config.vector_len,
+                actual: input.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl SelfOrganizingMap for CSom {
+    fn neuron_count(&self) -> usize {
+        self.config.neurons
+    }
+
+    fn vector_len(&self) -> usize {
+        self.config.vector_len
+    }
+
+    fn winner(&self, input: &BinaryVector) -> Result<Winner, SomError> {
+        self.check_input(input)?;
+        let floats = Self::input_to_floats(input);
+        let mut best = Winner::new(0, f64::INFINITY);
+        for (i, w) in self.weights.iter().enumerate() {
+            let d = Self::distance_sq(w, &floats).sqrt();
+            if d < best.distance {
+                best = Winner::new(i, d);
+            }
+        }
+        Ok(best)
+    }
+
+    fn train_step(
+        &mut self,
+        input: &BinaryVector,
+        t: usize,
+        schedule: &TrainSchedule,
+    ) -> Result<Winner, SomError> {
+        let winner = self.winner(input)?;
+        let floats = Self::input_to_floats(input);
+        let radius = schedule.radius_at(t);
+        let alpha = schedule.learning_rate_at(t);
+        let neighbourhood = line_neighbourhood(winner.index, radius, self.config.neurons);
+        for idx in neighbourhood {
+            let h = match self.config.kernel {
+                NeighbourhoodKernel::Bubble => 1.0,
+                NeighbourhoodKernel::Gaussian => {
+                    let d = idx.abs_diff(winner.index) as f64;
+                    let r = radius.max(1) as f64;
+                    (-(d * d) / (2.0 * r * r)).exp()
+                }
+            };
+            let rate = alpha * h;
+            let weight = &mut self.weights[idx];
+            for (w, x) in weight.iter_mut().zip(&floats) {
+                *w += rate * (x - *w);
+            }
+        }
+        Ok(winner)
+    }
+
+    fn distances(&self, input: &BinaryVector) -> Result<Vec<f64>, SomError> {
+        self.check_input(input)?;
+        let floats = Self::input_to_floats(input);
+        Ok(self
+            .weights
+            .iter()
+            .map(|w| Self::distance_sq(w, &floats).sqrt())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC50A)
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let c = CSomConfig::paper_default();
+        assert_eq!(c.neurons, 40);
+        assert_eq!(c.vector_len, 768);
+        assert_eq!(CSomConfig::default(), c);
+    }
+
+    #[test]
+    fn new_initialises_weights_in_unit_interval() {
+        let som = CSom::new(CSomConfig::new(10, 32), &mut rng());
+        for w in som.weights() {
+            assert!(w.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        assert_eq!(som.neuron_count(), 10);
+        assert_eq!(som.vector_len(), 32);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_configurations() {
+        assert!(CSom::try_new(CSomConfig::new(0, 32), &mut rng()).is_err());
+        assert!(CSom::try_new(CSomConfig::new(8, 0), &mut rng()).is_err());
+    }
+
+    #[test]
+    fn from_weights_validates() {
+        assert!(CSom::from_weights(vec![vec![0.0; 4], vec![0.0; 4]]).is_ok());
+        assert!(CSom::from_weights(vec![vec![0.0; 4], vec![0.0; 5]]).is_err());
+        assert!(CSom::from_weights(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn winner_prefers_exact_prototype() {
+        let weights = vec![vec![1.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 1.0]];
+        let som = CSom::from_weights(weights).unwrap();
+        let w = som
+            .winner(&BinaryVector::from_bit_str("0011").unwrap())
+            .unwrap();
+        assert_eq!(w.index, 1);
+        assert!(w.distance < 1e-9);
+    }
+
+    #[test]
+    fn winner_rejects_wrong_length() {
+        let som = CSom::new(CSomConfig::new(4, 16), &mut rng());
+        assert!(som.winner(&BinaryVector::zeros(8)).is_err());
+        assert!(som.distances(&BinaryVector::zeros(8)).is_err());
+    }
+
+    #[test]
+    fn training_moves_winner_towards_pattern() {
+        let mut r = rng();
+        let mut som = CSom::new(CSomConfig::new(8, 64), &mut r);
+        let pattern = BinaryVector::random(64, &mut r);
+        let before = som.winner(&pattern).unwrap().distance;
+        som.train(std::slice::from_ref(&pattern), TrainSchedule::new(100), &mut r)
+            .unwrap();
+        let after = som.winner(&pattern).unwrap().distance;
+        assert!(after < before, "distance should shrink: {before} -> {after}");
+        assert!(after < 1.0);
+    }
+
+    #[test]
+    fn training_two_patterns_separates_them() {
+        let mut r = rng();
+        let a = BinaryVector::from_bits((0..64).map(|i| i < 32));
+        let b = BinaryVector::from_bits((0..64).map(|i| i >= 32));
+        let mut som = CSom::new(CSomConfig::new(8, 64), &mut r);
+        som.train(&[a.clone(), b.clone()], TrainSchedule::new(400), &mut r)
+            .unwrap();
+        let wa = som.winner(&a).unwrap();
+        let wb = som.winner(&b).unwrap();
+        assert_ne!(wa.index, wb.index);
+        assert!(wa.distance < 2.0);
+        assert!(wb.distance < 2.0);
+    }
+
+    #[test]
+    fn gaussian_kernel_updates_neighbours_less_than_winner() {
+        // Start every neuron from identical weights so that the per-neuron
+        // movement is proportional to the kernel value alone.
+        let mut r = rng();
+        let config = CSomConfig::new(9, 32).with_kernel(NeighbourhoodKernel::Gaussian);
+        let mut som = CSom::new(config, &mut r);
+        som.weights = vec![vec![0.5; 32]; 9];
+        let input = BinaryVector::ones(32);
+        let before = som.weights().to_vec();
+        let w = som.train_step(&input, 0, &TrainSchedule::new(1)).unwrap();
+        // Movement of a neuron = L1 change of its weights.
+        let movement: Vec<f64> = before
+            .iter()
+            .zip(som.weights())
+            .map(|(b, a)| b.iter().zip(a).map(|(x, y)| (x - y).abs()).sum())
+            .collect();
+        let neighbours = line_neighbourhood(w.index, 4, 9);
+        for &n in &neighbours {
+            if n != w.index {
+                assert!(
+                    movement[n] < movement[w.index],
+                    "neighbour {n} should move strictly less than winner {}",
+                    w.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let mut r = rng();
+        let mut som = CSom::new(CSomConfig::new(4, 16), &mut r);
+        let empty: Vec<BinaryVector> = Vec::new();
+        assert_eq!(
+            som.train(&empty, TrainSchedule::new(5), &mut r),
+            Err(SomError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn distances_consistent_with_winner() {
+        let mut r = rng();
+        let som = CSom::new(CSomConfig::new(12, 48), &mut r);
+        let input = BinaryVector::random(48, &mut r);
+        let dists = som.distances(&input).unwrap();
+        let w = som.winner(&input).unwrap();
+        let min = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((w.distance - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neuron_accessor_bounds() {
+        let som = CSom::new(CSomConfig::new(3, 8), &mut rng());
+        assert!(som.neuron(2).is_ok());
+        assert!(som.neuron(3).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        // JSON serialisation of f64 is not exact to the last bit, so compare
+        // the configuration exactly and the weights within a tolerance.
+        let som = CSom::new(CSomConfig::new(4, 16), &mut rng());
+        let json = serde_json::to_string(&som).unwrap();
+        let back: CSom = serde_json::from_str(&json).unwrap();
+        assert_eq!(som.config(), back.config());
+        for (a, b) in som.weights().iter().zip(back.weights()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

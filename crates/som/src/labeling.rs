@@ -1,0 +1,422 @@
+//! Win-frequency node labelling and the labelled-SOM classifier (paper §III-B).
+//!
+//! After (unsupervised) training, the paper turns the map into a classifier:
+//! every labelled training signature is presented once more, the win
+//! frequencies `count[neuron][label]` are accumulated, and each neuron is
+//! assigned the label it won most often. At recognition time the nearest
+//! neuron's label is returned, unless the minimum distance exceeds a
+//! threshold set during training, in which case the object is reported as
+//! *unknown*.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bsom_signature::BinaryVector;
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::Prediction;
+use crate::error::SomError;
+use crate::som_trait::SelfOrganizingMap;
+
+/// An opaque object identity (one of the paper's nine tracked people).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectLabel(usize);
+
+impl ObjectLabel {
+    /// Creates a label from its numeric identity.
+    pub fn new(id: usize) -> Self {
+        ObjectLabel(id)
+    }
+
+    /// The numeric identity.
+    pub fn id(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object-{}", self.0)
+    }
+}
+
+impl From<usize> for ObjectLabel {
+    fn from(id: usize) -> Self {
+        ObjectLabel(id)
+    }
+}
+
+/// Per-neuron win-frequency statistics gathered during the labelling pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct NeuronLabelStats {
+    /// How many times each label won this neuron.
+    pub wins: BTreeMap<ObjectLabel, usize>,
+}
+
+impl NeuronLabelStats {
+    /// Total number of wins across all labels.
+    pub fn total_wins(&self) -> usize {
+        self.wins.values().sum()
+    }
+
+    /// The most frequent label, ties broken towards the smaller label id.
+    /// Returns `None` if the neuron never won.
+    pub fn majority_label(&self) -> Option<ObjectLabel> {
+        self.wins
+            .iter()
+            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))
+            .map(|(l, _)| *l)
+    }
+
+    /// The purity of the neuron: fraction of its wins belonging to its
+    /// majority label (1.0 for a never-won neuron).
+    pub fn purity(&self) -> f64 {
+        let total = self.total_wins();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.wins.values().copied().max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+}
+
+/// A trained self-organizing map with labelled neurons — the complete
+/// identification system of §III-B.
+///
+/// `LabelledSom` owns the map so that the weights and their labels can never
+/// drift apart; access the underlying map through [`LabelledSom::map`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelledSom<M> {
+    map: M,
+    labels: Vec<Option<ObjectLabel>>,
+    stats: Vec<NeuronLabelStats>,
+    unknown_threshold: Option<f64>,
+}
+
+impl<M: SelfOrganizingMap> LabelledSom<M> {
+    /// Runs the labelling pass: presents every labelled training signature,
+    /// accumulates win frequencies and assigns each neuron its majority
+    /// label. No distance threshold is set, so classification never returns
+    /// *unknown*; use [`with_unknown_threshold`](Self::with_unknown_threshold)
+    /// or [`calibrate_threshold`](Self::calibrate_threshold) to enable
+    /// rejection.
+    ///
+    /// Signatures whose length does not match the map are skipped (they
+    /// cannot win any neuron); an all-mismatched dataset simply leaves every
+    /// neuron unlabelled.
+    pub fn label(map: M, training_data: &[(BinaryVector, ObjectLabel)]) -> Self {
+        let mut stats = vec![NeuronLabelStats::default(); map.neuron_count()];
+        for (signature, label) in training_data {
+            if let Ok(winner) = map.winner(signature) {
+                *stats[winner.index].wins.entry(*label).or_insert(0) += 1;
+            }
+        }
+        let labels = stats.iter().map(NeuronLabelStats::majority_label).collect();
+        LabelledSom {
+            map,
+            labels,
+            stats,
+            unknown_threshold: None,
+        }
+    }
+
+    /// Sets the distance threshold above which an input is classified as
+    /// unknown (paper: "if the minimum Hamming distance exceeds a threshold
+    /// value set during training, the object is classified as unknown").
+    pub fn with_unknown_threshold(mut self, threshold: f64) -> Self {
+        self.unknown_threshold = Some(threshold);
+        self
+    }
+
+    /// Calibrates the unknown threshold from the training data itself: the
+    /// threshold is set to `margin` times the maximum winning distance
+    /// observed across the training signatures, so that every training
+    /// instance would still be accepted.
+    pub fn calibrate_threshold(
+        mut self,
+        training_data: &[(BinaryVector, ObjectLabel)],
+        margin: f64,
+    ) -> Self {
+        let max_distance = training_data
+            .iter()
+            .filter_map(|(s, _)| self.map.winner(s).ok())
+            .map(|w| w.distance)
+            .fold(0.0_f64, f64::max);
+        self.unknown_threshold = Some(max_distance * margin);
+        self
+    }
+
+    /// Classifies a signature: the label of the nearest neuron, or
+    /// [`Prediction::Unknown`] if that neuron is unlabelled, the distance
+    /// exceeds the threshold, or the input length does not match the map.
+    pub fn classify(&self, signature: &BinaryVector) -> Prediction {
+        let winner = match self.map.winner(signature) {
+            Ok(w) => w,
+            Err(_) => return Prediction::Unknown,
+        };
+        if let Some(threshold) = self.unknown_threshold {
+            if winner.distance > threshold {
+                return Prediction::Unknown;
+            }
+        }
+        match self.labels[winner.index] {
+            Some(label) => Prediction::Known {
+                label,
+                neuron: winner.index,
+                distance: winner.distance,
+            },
+            None => Prediction::Unknown,
+        }
+    }
+
+    /// The underlying trained map.
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    /// Consumes the classifier and returns the underlying map.
+    pub fn into_map(self) -> M {
+        self.map
+    }
+
+    /// The label assigned to each neuron (`None` for neurons that never won
+    /// a training signature).
+    pub fn neuron_labels(&self) -> &[Option<ObjectLabel>] {
+        &self.labels
+    }
+
+    /// The win-frequency statistics recorded for each neuron.
+    pub fn neuron_stats(&self) -> &[NeuronLabelStats] {
+        &self.stats
+    }
+
+    /// The configured unknown-distance threshold, if any.
+    pub fn unknown_threshold(&self) -> Option<f64> {
+        self.unknown_threshold
+    }
+
+    /// Number of neurons that never won any training signature — the paper
+    /// observes that for maps with more than 50 neurons "some neurons do not
+    /// get used".
+    pub fn unused_neurons(&self) -> usize {
+        self.stats.iter().filter(|s| s.total_wins() == 0).count()
+    }
+
+    /// Mean purity across the neurons that won at least one signature.
+    pub fn mean_purity(&self) -> f64 {
+        let used: Vec<&NeuronLabelStats> =
+            self.stats.iter().filter(|s| s.total_wins() > 0).collect();
+        if used.is_empty() {
+            return 1.0;
+        }
+        used.iter().map(|s| s.purity()).sum::<f64>() / used.len() as f64
+    }
+
+    /// Re-labels the classifier with a fresh dataset without retraining the
+    /// map (useful after on-line weight updates, the paper's future-work
+    /// scenario).
+    pub fn relabel(self, training_data: &[(BinaryVector, ObjectLabel)]) -> Self {
+        let threshold = self.unknown_threshold;
+        let mut relabelled = Self::label(self.map, training_data);
+        relabelled.unknown_threshold = threshold;
+        relabelled
+    }
+
+    /// Returns the number of neurons in the underlying map.
+    pub fn neuron_count(&self) -> usize {
+        self.map.neuron_count()
+    }
+}
+
+impl<M: SelfOrganizingMap> LabelledSom<M> {
+    /// Winner lookup that also reports the winning neuron's label, exposed
+    /// for diagnostics and the FPGA post-training flow (§V-F).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SomError`] from the underlying map (e.g. a length
+    /// mismatch).
+    pub fn winner_with_label(
+        &self,
+        signature: &BinaryVector,
+    ) -> Result<(usize, f64, Option<ObjectLabel>), SomError> {
+        let w = self.map.winner(signature)?;
+        Ok((w.index, w.distance, self.labels[w.index]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsom::{BSom, BSomConfig};
+    use crate::schedule::TrainSchedule;
+    use crate::som_trait::SelfOrganizingMap;
+    use bsom_signature::TriStateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_class_data(len: usize) -> Vec<(BinaryVector, ObjectLabel)> {
+        let a = BinaryVector::from_bits((0..len).map(|i| i < len / 2));
+        let b = BinaryVector::from_bits((0..len).map(|i| i >= len / 2));
+        vec![
+            (a.clone(), ObjectLabel::new(0)),
+            (a, ObjectLabel::new(0)),
+            (b.clone(), ObjectLabel::new(1)),
+            (b, ObjectLabel::new(1)),
+        ]
+    }
+
+    fn trained_bsom(data: &[(BinaryVector, ObjectLabel)]) -> BSom {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut som = BSom::new(BSomConfig::new(6, data[0].0.len()), &mut rng);
+        som.train_labelled_data(data, TrainSchedule::new(200), &mut rng)
+            .unwrap();
+        som
+    }
+
+    #[test]
+    fn object_label_basics() {
+        let l = ObjectLabel::new(7);
+        assert_eq!(l.id(), 7);
+        assert_eq!(l.to_string(), "object-7");
+        assert_eq!(ObjectLabel::from(7), l);
+    }
+
+    #[test]
+    fn majority_label_breaks_ties_towards_smaller_id() {
+        let mut stats = NeuronLabelStats::default();
+        stats.wins.insert(ObjectLabel::new(3), 5);
+        stats.wins.insert(ObjectLabel::new(1), 5);
+        assert_eq!(stats.majority_label(), Some(ObjectLabel::new(1)));
+        assert_eq!(stats.total_wins(), 10);
+        assert_eq!(stats.purity(), 0.5);
+    }
+
+    #[test]
+    fn empty_stats_have_no_majority_and_full_purity() {
+        let stats = NeuronLabelStats::default();
+        assert_eq!(stats.majority_label(), None);
+        assert_eq!(stats.purity(), 1.0);
+    }
+
+    #[test]
+    fn labelling_assigns_correct_classes() {
+        let data = two_class_data(32);
+        let som = trained_bsom(&data);
+        let classifier = LabelledSom::label(som, &data);
+        let a = &data[0].0;
+        let b = &data[2].0;
+        assert_eq!(classifier.classify(a).label(), Some(ObjectLabel::new(0)));
+        assert_eq!(classifier.classify(b).label(), Some(ObjectLabel::new(1)));
+        assert!(classifier.mean_purity() > 0.99);
+    }
+
+    #[test]
+    fn unknown_threshold_rejects_distant_signatures() {
+        // Build the classifier from explicit specialist neurons so the test
+        // exercises the threshold logic rather than training dynamics.
+        let data = two_class_data(32);
+        let weights = vec![
+            TriStateVector::from_binary(&data[0].0),
+            TriStateVector::from_binary(&data[2].0),
+        ];
+        let som = BSom::from_weights(weights).unwrap();
+        let classifier = LabelledSom::label(som, &data).with_unknown_threshold(2.0);
+        assert_eq!(classifier.unknown_threshold(), Some(2.0));
+        // An alternating pattern is 16 bits away from both prototypes.
+        let stranger = BinaryVector::from_bits((0..32).map(|i| i % 2 == 0));
+        assert_eq!(classifier.classify(&stranger), Prediction::Unknown);
+        // Training patterns themselves are still accepted.
+        assert!(classifier.classify(&data[0].0).is_known());
+    }
+
+    #[test]
+    fn calibrated_threshold_accepts_all_training_data() {
+        let data = two_class_data(32);
+        let som = trained_bsom(&data);
+        let classifier = LabelledSom::label(som, &data).calibrate_threshold(&data, 1.0);
+        for (sig, _) in &data {
+            assert!(classifier.classify(sig).is_known());
+        }
+    }
+
+    #[test]
+    fn unlabelled_neuron_yields_unknown() {
+        // Build a map by hand where neuron 1 is never the winner of any
+        // training data but is the nearest to a probe signature.
+        let weights = vec![
+            TriStateVector::from_str("11110000").unwrap(),
+            TriStateVector::from_str("00001111").unwrap(),
+        ];
+        let som = BSom::from_weights(weights).unwrap();
+        let data = vec![(
+            BinaryVector::from_bit_str("11110000").unwrap(),
+            ObjectLabel::new(0),
+        )];
+        let classifier = LabelledSom::label(som, &data);
+        assert_eq!(classifier.unused_neurons(), 1);
+        let probe = BinaryVector::from_bit_str("00001111").unwrap();
+        assert_eq!(classifier.classify(&probe), Prediction::Unknown);
+    }
+
+    #[test]
+    fn wrong_length_input_is_unknown_not_panic() {
+        let data = two_class_data(32);
+        let som = trained_bsom(&data);
+        let classifier = LabelledSom::label(som, &data);
+        assert_eq!(classifier.classify(&BinaryVector::zeros(8)), Prediction::Unknown);
+    }
+
+    #[test]
+    fn winner_with_label_reports_consistent_information() {
+        let data = two_class_data(32);
+        let som = trained_bsom(&data);
+        let classifier = LabelledSom::label(som, &data);
+        let (idx, dist, label) = classifier.winner_with_label(&data[0].0).unwrap();
+        assert!(idx < classifier.neuron_count());
+        assert_eq!(dist, 0.0);
+        assert_eq!(label, Some(ObjectLabel::new(0)));
+        assert!(classifier.winner_with_label(&BinaryVector::zeros(4)).is_err());
+    }
+
+    #[test]
+    fn relabel_preserves_threshold_and_updates_labels() {
+        let data = two_class_data(32);
+        let som = trained_bsom(&data);
+        let classifier = LabelledSom::label(som, &data).with_unknown_threshold(5.0);
+        // Swap the labels and relabel.
+        let swapped: Vec<(BinaryVector, ObjectLabel)> = data
+            .iter()
+            .map(|(s, l)| (s.clone(), ObjectLabel::new(1 - l.id())))
+            .collect();
+        let relabelled = classifier.relabel(&swapped);
+        assert_eq!(relabelled.unknown_threshold(), Some(5.0));
+        assert_eq!(
+            relabelled.classify(&data[0].0).label(),
+            Some(ObjectLabel::new(1))
+        );
+    }
+
+    #[test]
+    fn into_map_returns_trained_map() {
+        let data = two_class_data(32);
+        let som = trained_bsom(&data);
+        let expected_neurons = som.neuron_count();
+        let classifier = LabelledSom::label(som, &data);
+        assert_eq!(classifier.map().neuron_count(), expected_neurons);
+        let map = classifier.into_map();
+        assert_eq!(map.neuron_count(), expected_neurons);
+    }
+
+    #[test]
+    fn label_with_empty_training_data_leaves_all_neurons_unlabelled() {
+        let data = two_class_data(32);
+        let som = trained_bsom(&data);
+        let classifier = LabelledSom::label(som, &[]);
+        assert_eq!(classifier.unused_neurons(), classifier.neuron_count());
+        assert_eq!(classifier.classify(&data[0].0), Prediction::Unknown);
+        assert_eq!(classifier.mean_purity(), 1.0);
+    }
+}

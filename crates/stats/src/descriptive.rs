@@ -1,0 +1,106 @@
+//! Descriptive statistics used when summarising repeated experiment runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation (divides by `n`). Returns 0.0 for fewer than
+/// one value.
+pub fn population_std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Sample standard deviation (divides by `n − 1`). Returns 0.0 for fewer than
+/// two values.
+pub fn sample_std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// A five-number-style summary of a set of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Number of measurements.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Smallest measurement.
+    pub min: f64,
+    /// Largest measurement.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a slice of measurements. Returns the default (all-zero)
+    /// summary for an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        Summary {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: sample_std_dev(values),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn std_devs_of_known_values() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_std_dev(&data) - 2.0).abs() < 1e-12);
+        assert!((sample_std_dev(&data) - 2.138089935299395).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_degenerate_inputs() {
+        assert_eq!(population_std_dev(&[]), 0.0);
+        assert_eq!(sample_std_dev(&[]), 0.0);
+        assert_eq!(sample_std_dev(&[3.0]), 0.0);
+        assert_eq!(population_std_dev(&[3.0]), 0.0);
+        assert_eq!(sample_std_dev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[1.0, 5.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+}

@@ -1,0 +1,30 @@
+//! # bsom-stats
+//!
+//! Statistical machinery for the bSOM reproduction: the one-tailed Wilcoxon
+//! rank-sum (Mann–Whitney) test used by the paper's Table II to compare the
+//! per-repetition recognition accuracies of the cSOM and the bSOM, plus the
+//! small set of descriptive statistics used by the evaluation harness.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use bsom_stats::{wilcoxon_rank_sum, Alternative};
+//!
+//! // Ten repetitions of each algorithm at one iteration budget.
+//! let csom = [81.0, 82.0, 81.5, 80.9, 82.2, 81.7, 81.3, 82.0, 81.1, 81.9];
+//! let bsom = [84.0, 84.5, 84.2, 83.9, 85.0, 84.7, 84.3, 84.9, 84.1, 84.6];
+//! let test = wilcoxon_rank_sum(&csom, &bsom, Alternative::Less);
+//! assert!(test.p_value < 0.05); // bSOM significantly higher
+//! assert!(test.z < 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptive;
+pub mod rank;
+pub mod wilcoxon;
+
+pub use descriptive::{mean, population_std_dev, sample_std_dev, Summary};
+pub use rank::{average_ranks, rank_sum};
+pub use wilcoxon::{wilcoxon_rank_sum, Alternative, SignificanceDirection, WilcoxonResult};

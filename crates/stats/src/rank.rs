@@ -1,0 +1,98 @@
+//! Ranking utilities shared by the rank-based tests.
+
+/// Assigns average ranks (1-based) to the values, giving tied values the mean
+/// of the ranks they span — the standard mid-rank convention used by the
+/// Wilcoxon rank-sum test.
+///
+/// Non-finite values are ranked by their IEEE ordering via `total_cmp`, which
+/// keeps the function total; callers that care should filter NaNs first.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_stats::average_ranks;
+///
+/// let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the run of ties [i, j).
+        let mut j = i + 1;
+        while j < n && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// The rank sums of two samples ranked jointly with average ranks.
+///
+/// Returns `(rank_sum_a, rank_sum_b)`.
+pub fn rank_sum(a: &[f64], b: &[f64]) -> (f64, f64) {
+    let combined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let ranks = average_ranks(&combined);
+    let sum_a: f64 = ranks[..a.len()].iter().sum();
+    let sum_b: f64 = ranks[a.len()..].iter().sum();
+    (sum_a, sum_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties_are_a_permutation() {
+        let ranks = average_ranks(&[3.0, 1.0, 2.0]);
+        assert_eq!(ranks, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_use_mid_ranks() {
+        let ranks = average_ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(ranks, vec![2.0, 2.0, 2.0]);
+        let ranks = average_ranks(&[1.0, 2.0, 2.0, 4.0, 4.0, 4.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn ranks_of_empty_input() {
+        assert!(average_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn rank_sums_total_is_n_times_n_plus_one_over_two() {
+        let a = [1.0, 7.0, 3.0, 9.0];
+        let b = [2.0, 8.0, 4.0];
+        let (sa, sb) = rank_sum(&a, &b);
+        let n = (a.len() + b.len()) as f64;
+        assert!((sa + sb - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_sum_separated_samples() {
+        // All of `a` below all of `b`: a gets ranks 1..=3, b gets 4..=6.
+        let (sa, sb) = rank_sum(&[1.0, 2.0, 3.0], &[10.0, 11.0, 12.0]);
+        assert_eq!(sa, 6.0);
+        assert_eq!(sb, 15.0);
+    }
+
+    #[test]
+    fn rank_sum_with_one_empty_sample() {
+        let (sa, sb) = rank_sum(&[], &[1.0, 2.0]);
+        assert_eq!(sa, 0.0);
+        assert_eq!(sb, 3.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Blob extraction: from labelled components to per-object silhouettes,
+//! bounding boxes, histograms and binary signatures.
+//!
+//! The paper filters "objects with less than 768 pixels" as noise (§IV),
+//! which conveniently also guarantees θ ≥ 1 in Eq. 1. [`MIN_OBJECT_PIXELS`]
+//! encodes that constant and [`Blob::is_noise`] applies it.
+
+use bsom_signature::{BinaryVector, ColorHistogram, RgbImage, Silhouette};
+use serde::{Deserialize, Serialize};
+
+use crate::connected::ComponentLabels;
+
+/// Minimum number of silhouette pixels for a detection to count as a real
+/// object (paper §IV).
+pub const MIN_OBJECT_PIXELS: usize = 768;
+
+/// An axis-aligned bounding box in pixel coordinates (inclusive bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Smallest x coordinate covered.
+    pub min_x: usize,
+    /// Smallest y coordinate covered.
+    pub min_y: usize,
+    /// Largest x coordinate covered.
+    pub max_x: usize,
+    /// Largest y coordinate covered.
+    pub max_y: usize,
+}
+
+impl BoundingBox {
+    /// Width of the box in pixels.
+    pub fn width(&self) -> usize {
+        self.max_x - self.min_x + 1
+    }
+
+    /// Height of the box in pixels.
+    pub fn height(&self) -> usize {
+        self.max_y - self.min_y + 1
+    }
+
+    /// Area of the box in pixels.
+    pub fn area(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Centre of the box as floating-point pixel coordinates.
+    pub fn centroid(&self) -> (f64, f64) {
+        (
+            (self.min_x + self.max_x) as f64 / 2.0,
+            (self.min_y + self.max_y) as f64 / 2.0,
+        )
+    }
+}
+
+/// One segmented moving object in one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Blob {
+    /// The 1-based component label this blob was extracted from.
+    pub component: u32,
+    /// Number of silhouette pixels.
+    pub area: usize,
+    /// Bounding box of the silhouette.
+    pub bbox: BoundingBox,
+    /// Centroid of the silhouette pixels (not of the bounding box).
+    pub centroid: (f64, f64),
+    /// The full-frame silhouette mask.
+    pub silhouette: Silhouette,
+}
+
+impl Blob {
+    /// Whether the paper's noise filter would discard this blob.
+    pub fn is_noise(&self) -> bool {
+        self.area < MIN_OBJECT_PIXELS
+    }
+
+    /// Builds the colour histogram of the blob's pixels in the given frame
+    /// (paper §III-A), or `None` when the frame size does not match the
+    /// silhouette.
+    pub fn histogram(&self, frame: &RgbImage) -> Option<ColorHistogram> {
+        frame.masked_histogram(&self.silhouette).ok()
+    }
+
+    /// Extracts the blob's 768-bit binary signature from the given frame
+    /// (histogram → mean threshold → bits), or `None` when the frame size
+    /// does not match.
+    pub fn signature(&self, frame: &RgbImage) -> Option<BinaryVector> {
+        self.histogram(frame).map(|h| h.to_signature())
+    }
+}
+
+/// Extracts one blob per connected component from a labelling result.
+///
+/// Blobs are returned ordered by component id; no size filtering is applied
+/// here — callers decide whether to apply [`Blob::is_noise`] (the paper does,
+/// the tests sometimes want the raw blobs).
+pub fn extract_blobs(labels: &ComponentLabels) -> Vec<Blob> {
+    let count = labels.component_count();
+    if count == 0 {
+        return Vec::new();
+    }
+    struct Accumulator {
+        area: usize,
+        min_x: usize,
+        min_y: usize,
+        max_x: usize,
+        max_y: usize,
+        sum_x: f64,
+        sum_y: f64,
+        silhouette: Silhouette,
+    }
+    let mut accs: Vec<Accumulator> = (0..count)
+        .map(|_| Accumulator {
+            area: 0,
+            min_x: usize::MAX,
+            min_y: usize::MAX,
+            max_x: 0,
+            max_y: 0,
+            sum_x: 0.0,
+            sum_y: 0.0,
+            silhouette: Silhouette::new(labels.width(), labels.height()),
+        })
+        .collect();
+
+    for y in 0..labels.height() {
+        for x in 0..labels.width() {
+            let l = labels.label(x, y);
+            if l == 0 {
+                continue;
+            }
+            let acc = &mut accs[(l - 1) as usize];
+            acc.area += 1;
+            acc.min_x = acc.min_x.min(x);
+            acc.min_y = acc.min_y.min(y);
+            acc.max_x = acc.max_x.max(x);
+            acc.max_y = acc.max_y.max(y);
+            acc.sum_x += x as f64;
+            acc.sum_y += y as f64;
+            acc.silhouette.mark(x, y);
+        }
+    }
+
+    accs.into_iter()
+        .enumerate()
+        .filter(|(_, a)| a.area > 0)
+        .map(|(i, a)| Blob {
+            component: (i + 1) as u32,
+            area: a.area,
+            bbox: BoundingBox {
+                min_x: a.min_x,
+                min_y: a.min_y,
+                max_x: a.max_x,
+                max_y: a.max_y,
+            },
+            centroid: (a.sum_x / a.area as f64, a.sum_y / a.area as f64),
+            silhouette: a.silhouette,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connected::label_components;
+    use bsom_signature::{BinaryImage, Rgb};
+
+    fn mask_from_rows(rows: &[&str]) -> BinaryImage {
+        let height = rows.len();
+        let width = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut mask = BinaryImage::new(width, height);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, c) in row.chars().enumerate() {
+                mask.set(x, y, c == '#');
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn bounding_box_geometry() {
+        let b = BoundingBox {
+            min_x: 2,
+            min_y: 3,
+            max_x: 5,
+            max_y: 7,
+        };
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.height(), 5);
+        assert_eq!(b.area(), 20);
+        assert_eq!(b.centroid(), (3.5, 5.0));
+    }
+
+    #[test]
+    fn extract_blobs_from_two_components() {
+        let mask = mask_from_rows(&[
+            "##....",
+            "##....",
+            "......",
+            "...###",
+        ]);
+        let labels = label_components(&mask);
+        let blobs = extract_blobs(&labels);
+        assert_eq!(blobs.len(), 2);
+        let first = &blobs[0];
+        assert_eq!(first.area, 4);
+        assert_eq!(first.bbox.min_x, 0);
+        assert_eq!(first.bbox.max_x, 1);
+        assert_eq!(first.centroid, (0.5, 0.5));
+        assert_eq!(first.silhouette.area(), 4);
+        let second = &blobs[1];
+        assert_eq!(second.area, 3);
+        assert_eq!(second.bbox.min_y, 3);
+        assert_eq!(second.centroid, (4.0, 3.0));
+    }
+
+    #[test]
+    fn empty_labels_give_no_blobs() {
+        let labels = label_components(&BinaryImage::new(8, 8));
+        assert!(extract_blobs(&labels).is_empty());
+    }
+
+    #[test]
+    fn noise_filter_threshold_is_768_pixels() {
+        let mask = mask_from_rows(&["###", "###"]);
+        let labels = label_components(&mask);
+        let blobs = extract_blobs(&labels);
+        assert!(blobs[0].is_noise());
+        assert_eq!(MIN_OBJECT_PIXELS, 768);
+
+        // A 32x32 solid square (1024 px) exceeds the threshold.
+        let mut big = BinaryImage::new(64, 64);
+        for y in 0..32 {
+            for x in 0..32 {
+                big.set(x, y, true);
+            }
+        }
+        let blobs = extract_blobs(&label_components(&big));
+        assert_eq!(blobs.len(), 1);
+        assert!(!blobs[0].is_noise());
+    }
+
+    #[test]
+    fn blob_histogram_and_signature_only_cover_silhouette() {
+        let mask = mask_from_rows(&[
+            "##..",
+            "##..",
+            "....",
+            "....",
+        ]);
+        let labels = label_components(&mask);
+        let blobs = extract_blobs(&labels);
+        let mut frame = RgbImage::filled(4, 4, Rgb::new(10, 10, 10));
+        // Paint the blob area red.
+        for y in 0..2 {
+            for x in 0..2 {
+                frame.set(x, y, Rgb::new(220, 10, 10));
+            }
+        }
+        let hist = blobs[0].histogram(&frame).unwrap();
+        assert_eq!(hist.pixel_count(), 4);
+        assert_eq!(hist.red()[220], 4);
+        assert_eq!(hist.red()[10], 0, "background pixels must not contribute");
+        let sig = blobs[0].signature(&frame).unwrap();
+        assert_eq!(sig.len(), 768);
+        assert!(sig.bit(220));
+    }
+
+    #[test]
+    fn blob_histogram_rejects_mismatched_frame() {
+        let mask = mask_from_rows(&["#"]);
+        let blobs = extract_blobs(&label_components(&mask));
+        let frame = RgbImage::new(5, 5);
+        assert!(blobs[0].histogram(&frame).is_none());
+        assert!(blobs[0].signature(&frame).is_none());
+    }
+}

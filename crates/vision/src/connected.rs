@@ -1,0 +1,316 @@
+//! Two-pass connected-components labelling.
+//!
+//! The paper's segmentation stage groups foreground pixels into objects with
+//! connected-components analysis (their reference [2] accelerates this on
+//! FPGA; here a classic two-pass union–find implementation suffices, since in
+//! this reproduction the stage runs on the CPU side exactly as in the paper's
+//! §I pipeline description).
+
+use bsom_signature::BinaryImage;
+
+/// The result of labelling a foreground mask: one `u32` label per pixel
+/// (0 = background, labels are 1-based and contiguous).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    width: usize,
+    height: usize,
+    labels: Vec<u32>,
+    component_count: usize,
+}
+
+impl ComponentLabels {
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of connected components found (excluding background).
+    pub fn component_count(&self) -> usize {
+        self.component_count
+    }
+
+    /// The label at `(x, y)`: 0 for background, otherwise a 1-based component
+    /// id. Out-of-bounds coordinates return 0.
+    pub fn label(&self, x: usize, y: usize) -> u32 {
+        if x >= self.width || y >= self.height {
+            return 0;
+        }
+        self.labels[y * self.width + x]
+    }
+
+    /// The raw label buffer in row-major order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Pixel count of every component, indexed by `label - 1`.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.component_count];
+        for &l in &self.labels {
+            if l > 0 {
+                sizes[(l - 1) as usize] += 1;
+            }
+        }
+        sizes
+    }
+}
+
+/// Union–find with path compression and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        // Slot 0 is reserved for background and never unioned.
+        UnionFind {
+            parent: vec![0],
+            size: vec![0],
+        }
+    }
+
+    fn make_set(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Labels the connected components of a binary foreground mask using
+/// 8-connectivity (a diagonal touch joins two pixels into one object, which
+/// is the conventional choice for silhouettes).
+///
+/// Returns per-pixel labels with component ids renumbered contiguously from 1
+/// in first-encounter order.
+pub fn label_components(mask: &BinaryImage) -> ComponentLabels {
+    let width = mask.width();
+    let height = mask.height();
+    let mut labels = vec![0u32; width * height];
+    let mut uf = UnionFind::new();
+
+    // First pass: provisional labels + equivalences.
+    for y in 0..height {
+        for x in 0..width {
+            if !mask.get(x, y).unwrap_or(false) {
+                continue;
+            }
+            // Previously-visited 8-neighbours: W, NW, N, NE.
+            let mut neighbour_labels = [0u32; 4];
+            let mut count = 0;
+            let mut push = |l: u32| {
+                if l != 0 {
+                    neighbour_labels[count] = l;
+                    count += 1;
+                }
+            };
+            if x > 0 {
+                push(labels[y * width + x - 1]);
+            }
+            if y > 0 {
+                if x > 0 {
+                    push(labels[(y - 1) * width + x - 1]);
+                }
+                push(labels[(y - 1) * width + x]);
+                if x + 1 < width {
+                    push(labels[(y - 1) * width + x + 1]);
+                }
+            }
+            let label = if count == 0 {
+                uf.make_set()
+            } else {
+                let min = *neighbour_labels[..count].iter().min().unwrap();
+                for &l in &neighbour_labels[..count] {
+                    uf.union(min, l);
+                }
+                min
+            };
+            labels[y * width + x] = label;
+        }
+    }
+
+    // Second pass: resolve equivalences and renumber contiguously.
+    let mut remap: Vec<u32> = vec![0; uf.parent.len()];
+    let mut next = 0u32;
+    for l in labels.iter_mut() {
+        if *l == 0 {
+            continue;
+        }
+        let root = uf.find(*l);
+        if remap[root as usize] == 0 {
+            next += 1;
+            remap[root as usize] = next;
+        }
+        *l = remap[root as usize];
+    }
+
+    ComponentLabels {
+        width,
+        height,
+        labels,
+        component_count: next as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_rows(rows: &[&str]) -> BinaryImage {
+        let height = rows.len();
+        let width = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut mask = BinaryImage::new(width, height);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, c) in row.chars().enumerate() {
+                mask.set(x, y, c == '#');
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn empty_mask_has_no_components() {
+        let mask = BinaryImage::new(10, 10);
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 0);
+        assert!(labels.as_slice().iter().all(|&l| l == 0));
+        assert!(labels.component_sizes().is_empty());
+    }
+
+    #[test]
+    fn single_blob_is_one_component() {
+        let mask = mask_from_rows(&[
+            "....",
+            ".##.",
+            ".##.",
+            "....",
+        ]);
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 1);
+        assert_eq!(labels.component_sizes(), vec![4]);
+        assert_eq!(labels.label(1, 1), 1);
+        assert_eq!(labels.label(0, 0), 0);
+    }
+
+    #[test]
+    fn separate_blobs_get_distinct_labels() {
+        let mask = mask_from_rows(&[
+            "##...##",
+            "##...##",
+            ".......",
+            "..###..",
+        ]);
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 3);
+        let sizes = labels.component_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        assert_ne!(labels.label(0, 0), labels.label(6, 0));
+        assert_ne!(labels.label(0, 0), labels.label(3, 3));
+    }
+
+    #[test]
+    fn diagonal_touch_merges_with_eight_connectivity() {
+        let mask = mask_from_rows(&[
+            "#..",
+            ".#.",
+            "..#",
+        ]);
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 1);
+    }
+
+    #[test]
+    fn u_shape_equivalence_is_resolved() {
+        // A 'U' shape first appears as two columns that only merge at the
+        // bottom row — the classic case requiring label equivalence.
+        let mask = mask_from_rows(&[
+            "#...#",
+            "#...#",
+            "#...#",
+            "#####",
+        ]);
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 1);
+        assert_eq!(labels.component_sizes(), vec![11]);
+        assert_eq!(labels.label(0, 0), labels.label(4, 0));
+    }
+
+    #[test]
+    fn w_shape_with_multiple_equivalences() {
+        let mask = mask_from_rows(&[
+            "#.#.#",
+            "#.#.#",
+            "#####",
+        ]);
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 1);
+    }
+
+    #[test]
+    fn labels_are_contiguous_from_one() {
+        let mask = mask_from_rows(&[
+            "#.#.#.#",
+            ".......",
+            "#.#.#.#",
+        ]);
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 8);
+        let mut seen: Vec<u32> = labels.as_slice().iter().copied().filter(|&l| l > 0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (1..=8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn out_of_bounds_label_is_background() {
+        let mask = mask_from_rows(&["##", "##"]);
+        let labels = label_components(&mask);
+        assert_eq!(labels.label(5, 5), 0);
+        assert_eq!(labels.width(), 2);
+        assert_eq!(labels.height(), 2);
+    }
+
+    #[test]
+    fn full_mask_is_single_component() {
+        let mut mask = BinaryImage::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                mask.set(x, y, true);
+            }
+        }
+        let labels = label_components(&mask);
+        assert_eq!(labels.component_count(), 1);
+        assert_eq!(labels.component_sizes(), vec![256]);
+    }
+}

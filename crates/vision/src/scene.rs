@@ -1,0 +1,639 @@
+//! Synthetic indoor surveillance scene.
+//!
+//! The paper's dataset is a two-hour recording of a building entrance: nine
+//! different people walking past office furniture, wide windows causing
+//! lighting variation, and the usual camera jitter. That recording is not
+//! available, so this module synthesises the same *kind* of footage: a static
+//! indoor background with furniture, nine person models with distinct
+//! clothing colours, horizontal walk-throughs, per-pixel colour noise,
+//! global lighting drift and whole-frame jitter. The renderer also reports
+//! ground truth (who is visible where), which the dataset crate uses to label
+//! signatures the way the paper's operator labelled theirs manually.
+
+use bsom_signature::{Rgb, RgbImage};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A static rectangular occluder (desk, cabinet, …) drawn in front of people.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Furniture {
+    /// Left edge in pixels.
+    pub x: usize,
+    /// Top edge in pixels.
+    pub y: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Colour of the furniture.
+    pub colour: Rgb,
+}
+
+/// Scene geometry and corruption parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Number of distinct person identities (the paper uses nine).
+    pub person_count: usize,
+    /// Width of a rendered person in pixels.
+    pub person_width: usize,
+    /// Height of a rendered person in pixels.
+    pub person_height: usize,
+    /// Static occluders drawn in front of people.
+    pub furniture: Vec<Furniture>,
+    /// Maximum absolute global brightness offset (lighting drift from the
+    /// windows).
+    pub lighting_drift: i16,
+    /// Maximum whole-frame jitter in pixels (camera shake).
+    pub jitter: usize,
+    /// Per-pixel colour noise amplitude applied to clothing.
+    pub colour_noise: u8,
+    /// Probability per frame that an idle person enters the scene.
+    pub entry_probability: f64,
+    /// Horizontal walking speed in pixels per frame.
+    pub walk_speed: f64,
+}
+
+impl SceneConfig {
+    /// A small, fast scene used by tests and examples: 160 × 120 frames,
+    /// nine identities, two occluders.
+    pub fn small() -> Self {
+        SceneConfig {
+            width: 160,
+            height: 120,
+            person_count: 9,
+            person_width: 28,
+            person_height: 64,
+            furniture: vec![
+                Furniture {
+                    x: 60,
+                    y: 88,
+                    width: 36,
+                    height: 30,
+                    colour: Rgb::new(90, 60, 35),
+                },
+                Furniture {
+                    x: 120,
+                    y: 92,
+                    width: 28,
+                    height: 26,
+                    colour: Rgb::new(70, 70, 80),
+                },
+            ],
+            lighting_drift: 14,
+            jitter: 1,
+            colour_noise: 18,
+            entry_probability: 0.05,
+            walk_speed: 2.0,
+        }
+    }
+
+    /// A larger scene closer to the paper's VGA-ish footage (320 × 240).
+    pub fn paper_like() -> Self {
+        let mut config = Self::small();
+        config.width = 320;
+        config.height = 240;
+        config.person_width = 44;
+        config.person_height = 120;
+        config.furniture = vec![
+            Furniture {
+                x: 120,
+                y: 170,
+                width: 70,
+                height: 66,
+                colour: Rgb::new(92, 62, 38),
+            },
+            Furniture {
+                x: 240,
+                y: 180,
+                width: 56,
+                height: 56,
+                colour: Rgb::new(72, 72, 84),
+            },
+        ];
+        config.walk_speed = 3.0;
+        config
+    }
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// The clothing palette of one person identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersonModel {
+    /// The identity index (0-based; the paper's nine people map to 0..9).
+    pub label: usize,
+    /// Head / skin colour.
+    pub head: Rgb,
+    /// Torso (shirt / jacket) colour.
+    pub torso: Rgb,
+    /// Leg (trousers / skirt) colour.
+    pub legs: Rgb,
+}
+
+impl PersonModel {
+    /// Generates a palette for identity `label`. The base hues are spread
+    /// around the colour wheel so the nine identities are distinguishable by
+    /// colour histogram (as real clothing tends to be), with per-identity
+    /// random variation on top.
+    pub fn generate<R: Rng + ?Sized>(label: usize, rng: &mut R) -> Self {
+        // Spread torso hues; legs get a darker, shifted hue; heads are skin-ish.
+        let hue = (label as f64 * 360.0 / 9.0 + rng.gen_range(-12.0..12.0)).rem_euclid(360.0);
+        let torso = hsv_to_rgb(hue, 0.75, 0.85);
+        let legs_hue = (hue + 150.0 + rng.gen_range(-20.0..20.0)).rem_euclid(360.0);
+        let legs = hsv_to_rgb(legs_hue, 0.6, 0.45);
+        let head = Rgb::new(
+            200u8.saturating_add(rng.gen_range(0..30)),
+            160u8.saturating_add(rng.gen_range(0..30)),
+            130u8.saturating_add(rng.gen_range(0..30)),
+        );
+        PersonModel {
+            label,
+            head,
+            torso,
+            legs,
+        }
+    }
+}
+
+/// Converts an HSV colour (`h` in degrees, `s`/`v` in `[0, 1]`) to RGB.
+pub fn hsv_to_rgb(h: f64, s: f64, v: f64) -> Rgb {
+    let h = h.rem_euclid(360.0);
+    let c = v * s;
+    let x = c * (1.0 - ((h / 60.0) % 2.0 - 1.0).abs());
+    let m = v - c;
+    let (r, g, b) = match h as u32 {
+        0..=59 => (c, x, 0.0),
+        60..=119 => (x, c, 0.0),
+        120..=179 => (0.0, c, x),
+        180..=239 => (0.0, x, c),
+        240..=299 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    Rgb::new(
+        ((r + m) * 255.0).round() as u8,
+        ((g + m) * 255.0).round() as u8,
+        ((b + m) * 255.0).round() as u8,
+    )
+}
+
+/// Ground truth for one visible person in one rendered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthObject {
+    /// Identity index of the person.
+    pub person: usize,
+    /// Centre of the rendered person (before occlusion).
+    pub centroid: (f64, f64),
+}
+
+/// One rendered frame with its ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneFrame {
+    /// Index of the frame in the simulated sequence.
+    pub frame_index: u64,
+    /// The rendered RGB image.
+    pub image: RgbImage,
+    /// Which identities are visible and where.
+    pub ground_truth: Vec<GroundTruthObject>,
+}
+
+/// A person currently walking through the scene.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct ActivePerson {
+    person: usize,
+    x: f64,
+    y: f64,
+    velocity: f64,
+}
+
+/// The synthetic scene simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneSimulator {
+    config: SceneConfig,
+    persons: Vec<PersonModel>,
+    active: Vec<ActivePerson>,
+    background: RgbImage,
+    frame_index: u64,
+    lighting_phase: f64,
+}
+
+impl SceneSimulator {
+    /// Creates a simulator: generates the person palettes and the static
+    /// background (wall gradient, floor, furniture).
+    pub fn new<R: Rng + ?Sized>(config: SceneConfig, rng: &mut R) -> Self {
+        let persons = (0..config.person_count)
+            .map(|i| PersonModel::generate(i, rng))
+            .collect();
+        let background = Self::render_static_background(&config);
+        SceneSimulator {
+            config,
+            persons,
+            active: Vec::new(),
+            background,
+            frame_index: 0,
+            lighting_phase: 0.0,
+        }
+    }
+
+    /// The scene configuration.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// The person appearance models, indexed by identity.
+    pub fn persons(&self) -> &[PersonModel] {
+        &self.persons
+    }
+
+    /// Number of people currently inside the scene.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn render_static_background(config: &SceneConfig) -> RgbImage {
+        let mut img = RgbImage::new(config.width, config.height);
+        let floor_y = config.height * 3 / 4;
+        for y in 0..config.height {
+            for x in 0..config.width {
+                let colour = if y < floor_y {
+                    // Wall: light grey gradient brighter near the window side.
+                    let bright = 150 + (x * 40 / config.width.max(1)) as i16;
+                    Rgb::new(bright as u8, bright as u8, (bright + 5).min(255) as u8)
+                } else {
+                    // Floor: warm brown.
+                    Rgb::new(120, 100, 80)
+                };
+                img.set(x, y, colour);
+            }
+        }
+        for f in &config.furniture {
+            for y in f.y..(f.y + f.height).min(config.height) {
+                for x in f.x..(f.x + f.width).min(config.width) {
+                    img.set(x, y, f.colour);
+                }
+            }
+        }
+        img
+    }
+
+    /// Forces a specific person to enter the scene on the next frames,
+    /// walking left-to-right (`from_left = true`) or right-to-left.
+    pub fn spawn_person(&mut self, person: usize, from_left: bool) {
+        if person >= self.persons.len() {
+            return;
+        }
+        let (x, velocity) = if from_left {
+            (-(self.config.person_width as f64), self.config.walk_speed)
+        } else {
+            (self.config.width as f64, -self.config.walk_speed)
+        };
+        let y = (self.config.height * 3 / 4) as f64 - self.config.person_height as f64;
+        self.active.push(ActivePerson {
+            person,
+            x,
+            y,
+            velocity,
+        });
+    }
+
+    /// Renders the empty scene (no people) with lighting drift and jitter —
+    /// used to warm up background models.
+    pub fn render_background_only<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RgbImage {
+        let frame = self.compose_frame(rng, false);
+        frame.image
+    }
+
+    /// Advances the simulation one frame: possibly spawns a person, moves the
+    /// active ones, and renders the result with ground truth.
+    pub fn render_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SceneFrame {
+        // Random entries.
+        if self.active.len() < self.persons.len() && rng.gen::<f64>() < self.config.entry_probability {
+            let person = rng.gen_range(0..self.persons.len());
+            let already_active = self.active.iter().any(|a| a.person == person);
+            if !already_active {
+                let from_left = rng.gen();
+                self.spawn_person(person, from_left);
+            }
+        }
+        self.compose_frame(rng, true)
+    }
+
+    fn compose_frame<R: Rng + ?Sized>(&mut self, rng: &mut R, move_people: bool) -> SceneFrame {
+        let config = &self.config;
+        let mut image = self.background.clone();
+
+        // Lighting drift: a slow sinusoid plus small random walk.
+        self.lighting_phase += 0.02;
+        let drift = (self.lighting_phase.sin() * f64::from(config.lighting_drift)).round() as i16
+            + rng.gen_range(-2..=2);
+
+        let mut ground_truth = Vec::new();
+
+        if move_people {
+            for a in &mut self.active {
+                a.x += a.velocity;
+            }
+        }
+
+        // Draw people (before furniture so furniture occludes them).
+        for a in &self.active {
+            let model = self.persons[a.person];
+            draw_person(&mut image, config, model, a.x, a.y, rng);
+            ground_truth.push(GroundTruthObject {
+                person: a.person,
+                centroid: (
+                    a.x + config.person_width as f64 / 2.0,
+                    a.y + config.person_height as f64 / 2.0,
+                ),
+            });
+        }
+
+        // Re-draw furniture over the people.
+        for f in &config.furniture {
+            for y in f.y..(f.y + f.height).min(config.height) {
+                for x in f.x..(f.x + f.width).min(config.width) {
+                    image.set(x, y, f.colour);
+                }
+            }
+        }
+
+        // Global lighting offset.
+        if drift != 0 {
+            let mut lit = RgbImage::new(config.width, config.height);
+            for (x, y, c) in image.enumerate_pixels() {
+                lit.set(x, y, c.brightened(drift));
+            }
+            image = lit;
+        }
+
+        // Whole-frame jitter: shift the image by up to `jitter` pixels.
+        if config.jitter > 0 {
+            let jitter = config.jitter as i64;
+            let dx = rng.gen_range(-jitter..=jitter);
+            let dy = rng.gen_range(-jitter..=jitter);
+            if dx != 0 || dy != 0 {
+                image = shift_image(&image, dx, dy);
+            }
+        }
+
+        // Retire people who left the frame.
+        let width = config.width as f64;
+        let person_width = config.person_width as f64;
+        if move_people {
+            self.active
+                .retain(|a| a.x > -person_width - 1.0 && a.x < width + 1.0);
+        }
+
+        let frame = SceneFrame {
+            frame_index: self.frame_index,
+            image,
+            ground_truth,
+        };
+        self.frame_index += 1;
+        frame
+    }
+}
+
+/// Draws a person as a head + torso + legs figure with per-pixel colour noise.
+fn draw_person<R: Rng + ?Sized>(
+    image: &mut RgbImage,
+    config: &SceneConfig,
+    model: PersonModel,
+    x: f64,
+    y: f64,
+    rng: &mut R,
+) {
+    let w = config.person_width as i64;
+    let h = config.person_height as i64;
+    let x0 = x.round() as i64;
+    let y0 = y.round() as i64;
+    let head_h = h / 5;
+    let torso_h = h * 2 / 5;
+    let noise = config.colour_noise;
+
+    for dy in 0..h {
+        for dx in 0..w {
+            let px = x0 + dx;
+            let py = y0 + dy;
+            if px < 0 || py < 0 {
+                continue;
+            }
+            // Taper the head region to a narrower column.
+            let in_head = dy < head_h;
+            if in_head && (dx < w / 3 || dx > 2 * w / 3) {
+                continue;
+            }
+            let base = if in_head {
+                model.head
+            } else if dy < head_h + torso_h {
+                model.torso
+            } else {
+                model.legs
+            };
+            let mut jitter = |c: u8| -> u8 {
+                let delta = rng.gen_range(-(i16::from(noise))..=i16::from(noise));
+                (i16::from(c) + delta).clamp(0, 255) as u8
+            };
+            image.set(
+                px as usize,
+                py as usize,
+                Rgb::new(jitter(base.r), jitter(base.g), jitter(base.b)),
+            );
+        }
+    }
+}
+
+/// Shifts an image by `(dx, dy)`, filling exposed borders with the nearest
+/// edge pixel (a cheap stand-in for what a real jittering camera sees).
+fn shift_image(image: &RgbImage, dx: i64, dy: i64) -> RgbImage {
+    let w = image.width();
+    let h = image.height();
+    let mut out = RgbImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let sx = (x as i64 - dx).clamp(0, w as i64 - 1) as usize;
+            let sy = (y as i64 - dy).clamp(0, h as i64 - 1) as usize;
+            out.set(x, y, image.pixel(sx, sy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5CE)
+    }
+
+    #[test]
+    fn hsv_primary_colours() {
+        assert_eq!(hsv_to_rgb(0.0, 1.0, 1.0), Rgb::new(255, 0, 0));
+        assert_eq!(hsv_to_rgb(120.0, 1.0, 1.0), Rgb::new(0, 255, 0));
+        assert_eq!(hsv_to_rgb(240.0, 1.0, 1.0), Rgb::new(0, 0, 255));
+        assert_eq!(hsv_to_rgb(0.0, 0.0, 1.0), Rgb::WHITE);
+        assert_eq!(hsv_to_rgb(360.0, 1.0, 1.0), Rgb::new(255, 0, 0));
+    }
+
+    #[test]
+    fn person_models_are_distinct() {
+        let mut r = rng();
+        let models: Vec<PersonModel> = (0..9).map(|i| PersonModel::generate(i, &mut r)).collect();
+        for i in 0..9 {
+            assert_eq!(models[i].label, i);
+            for j in (i + 1)..9 {
+                assert!(
+                    models[i].torso.distance_sq(models[j].torso) > 400,
+                    "torso colours of identities {i} and {j} are too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulator_starts_empty_and_spawns_on_request() {
+        let mut r = rng();
+        let mut sim = SceneSimulator::new(SceneConfig::small(), &mut r);
+        assert_eq!(sim.active_count(), 0);
+        assert_eq!(sim.persons().len(), 9);
+        sim.spawn_person(3, true);
+        assert_eq!(sim.active_count(), 1);
+        // Spawning an unknown identity is a no-op.
+        sim.spawn_person(99, true);
+        assert_eq!(sim.active_count(), 1);
+    }
+
+    #[test]
+    fn background_only_frames_have_no_ground_truth_people() {
+        let mut r = rng();
+        let mut sim = SceneSimulator::new(SceneConfig::small(), &mut r);
+        let img = sim.render_background_only(&mut r);
+        assert_eq!(img.width(), 160);
+        assert_eq!(img.height(), 120);
+    }
+
+    #[test]
+    fn rendered_person_changes_pixels_relative_to_background() {
+        let mut r = rng();
+        let config = SceneConfig {
+            lighting_drift: 0,
+            jitter: 0,
+            entry_probability: 0.0,
+            ..SceneConfig::small()
+        };
+        let mut sim = SceneSimulator::new(config, &mut r);
+        let empty = sim.render_background_only(&mut r);
+        sim.spawn_person(0, true);
+        // Step a few frames so the person is well inside the view.
+        let mut frame = sim.render_frame(&mut r);
+        for _ in 0..20 {
+            frame = sim.render_frame(&mut r);
+        }
+        assert_eq!(frame.ground_truth.len(), 1);
+        assert_eq!(frame.ground_truth[0].person, 0);
+        let changed = empty
+            .enumerate_pixels()
+            .filter(|&(x, y, c)| frame.image.pixel(x, y).distance_sq(c) > 900)
+            .count();
+        assert!(
+            changed > 500,
+            "a visible person should change many pixels, changed = {changed}"
+        );
+    }
+
+    #[test]
+    fn person_walks_across_and_eventually_leaves() {
+        let mut r = rng();
+        let config = SceneConfig {
+            entry_probability: 0.0,
+            ..SceneConfig::small()
+        };
+        let mut sim = SceneSimulator::new(config, &mut r);
+        sim.spawn_person(2, true);
+        let mut seen_frames = 0;
+        for _ in 0..250 {
+            let frame = sim.render_frame(&mut r);
+            if !frame.ground_truth.is_empty() {
+                seen_frames += 1;
+            }
+        }
+        assert!(seen_frames > 30, "person should be visible for a while");
+        assert_eq!(sim.active_count(), 0, "person should have left the scene");
+    }
+
+    #[test]
+    fn ground_truth_centroid_moves_with_the_walker() {
+        let mut r = rng();
+        let config = SceneConfig {
+            entry_probability: 0.0,
+            ..SceneConfig::small()
+        };
+        let mut sim = SceneSimulator::new(config, &mut r);
+        sim.spawn_person(1, true);
+        let first = sim.render_frame(&mut r);
+        let mut last = first.clone();
+        for _ in 0..10 {
+            last = sim.render_frame(&mut r);
+        }
+        let x0 = first.ground_truth[0].centroid.0;
+        let x1 = last.ground_truth[0].centroid.0;
+        assert!(x1 > x0, "walker should move to the right: {x0} -> {x1}");
+    }
+
+    #[test]
+    fn random_entries_eventually_occur() {
+        let mut r = rng();
+        let config = SceneConfig {
+            entry_probability: 0.5,
+            ..SceneConfig::small()
+        };
+        let mut sim = SceneSimulator::new(config, &mut r);
+        let mut any_person = false;
+        for _ in 0..50 {
+            let frame = sim.render_frame(&mut r);
+            if !frame.ground_truth.is_empty() {
+                any_person = true;
+                break;
+            }
+        }
+        assert!(any_person);
+    }
+
+    #[test]
+    fn frame_indices_are_sequential() {
+        let mut r = rng();
+        let mut sim = SceneSimulator::new(SceneConfig::small(), &mut r);
+        let a = sim.render_frame(&mut r);
+        let b = sim.render_frame(&mut r);
+        assert_eq!(b.frame_index, a.frame_index + 1);
+    }
+
+    #[test]
+    fn shift_image_moves_content() {
+        let mut img = RgbImage::new(4, 4);
+        img.set(1, 1, Rgb::WHITE);
+        let shifted = shift_image(&img, 1, 0);
+        assert_eq!(shifted.pixel(2, 1), Rgb::WHITE);
+        assert_eq!(shifted.pixel(1, 1), Rgb::BLACK);
+    }
+
+    #[test]
+    fn paper_like_config_is_larger() {
+        let small = SceneConfig::small();
+        let big = SceneConfig::paper_like();
+        assert!(big.width > small.width);
+        assert!(big.person_height > small.person_height);
+        assert_eq!(big.person_count, 9);
+        assert_eq!(SceneConfig::default(), small);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cycle-accurate FPGA simulation (paper §V): initialise the design, train it
+//! on-chip, inspect the block-level cycle budget, the resource utilisation of
+//! the XC4VLX160 and the neuron weight images the VGA display block shows.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fpga_simulation
+//! ```
+
+use bsom_repro::fpga::{recognition_throughput, training_throughput, ResourceReport};
+use bsom_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Build the design at the paper's design point (Table III).
+    let config = FpgaConfig::paper_default();
+    let mut fpga = FpgaBSom::new(config, 0xB50A);
+    let init = fpga.initialize();
+    println!(
+        "weight initialisation: {} cycles ({} neurons x {} bits, written in parallel)",
+        init.total(),
+        config.neurons,
+        config.vector_len
+    );
+
+    // Train on-chip with a handful of synthetic signatures.
+    let dataset = SurveillanceDataset::generate(
+        &DatasetConfig {
+            train_instances: 200,
+            test_instances: 50,
+            ..DatasetConfig::paper_default()
+        },
+        &mut rng,
+    );
+    let total = dataset.train.len();
+    for (i, (signature, _)) in dataset.train.iter().enumerate() {
+        fpga.train_pattern(signature, i, total)
+            .expect("design initialised");
+    }
+    println!(
+        "trained {} patterns on-chip in {} cycles = {:.4} s at 40 MHz",
+        total,
+        fpga.total_cycles() - init.total(),
+        fpga.elapsed_secs()
+    );
+
+    // Classify a few held-out signatures and show the cycle breakdown.
+    let outcome = fpga
+        .classify(&dataset.test[0].0)
+        .expect("design initialised");
+    println!(
+        "one recognition: load {} + hamming {} + wta {} = {} cycles -> winner neuron {}",
+        outcome.cycles.load_cycles,
+        outcome.cycles.hamming_cycles,
+        outcome.cycles.wta_cycles,
+        outcome.cycles.total(),
+        outcome.winner.index
+    );
+
+    // Throughput derivation (§V-E / §V-F).
+    let recognition = recognition_throughput(config);
+    let training = training_throughput(config);
+    println!(
+        "throughput @40 MHz: {:.0} recognitions/s, {:.0} training patterns/s",
+        recognition.patterns_per_second, training.patterns_per_second
+    );
+
+    // Resource utilisation (Table IV).
+    let report = ResourceReport::for_bsom(config.neurons, config.vector_len);
+    println!("\nXC4VLX160 utilisation (Table IV):\n{report}");
+
+    // What the VGA display block shows: neuron weights as 32x24 binary images.
+    let frames = fpga.display_frames();
+    println!("display block renders {} neuron images; neuron 0:", frames.len());
+    println!("{}", frames[0].to_ascii());
+}

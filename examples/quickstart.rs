@@ -1,0 +1,68 @@
+//! Quickstart: build signatures, train a bSOM, label it and identify objects.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bsom_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. A colour histogram and its binary signature (paper Fig. 2 / Eq. 1-2).
+    let mut histogram = ColorHistogram::new();
+    for i in 0..2000u32 {
+        // A "person" dressed mostly in red with dark trousers.
+        let pixel = if i % 3 == 0 {
+            Rgb::new(40, 40, 60)
+        } else {
+            Rgb::new(200, 30, 30)
+        };
+        histogram.add_pixel(pixel);
+    }
+    let signature = histogram.to_signature();
+    println!(
+        "histogram of {} pixels -> 768-bit signature with {} bits set (theta = {:.2})",
+        histogram.pixel_count(),
+        signature.count_ones(),
+        histogram.mean_threshold()
+    );
+
+    // 2. A synthetic nine-person surveillance dataset (paper §IV).
+    let config = DatasetConfig {
+        train_instances: 600,
+        test_instances: 300,
+        ..DatasetConfig::paper_default()
+    };
+    let dataset = SurveillanceDataset::generate(&config, &mut rng);
+    println!(
+        "dataset: {} train / {} test signatures over {} identities",
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.identity_count()
+    );
+
+    // 3. Train the tri-state bSOM (Table III configuration) and label it.
+    let mut som = BSom::new(BSomConfig::paper_default(), &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(20), &mut rng)
+        .expect("training data is non-empty");
+    let classifier = LabelledSom::label(som, &dataset.train);
+    println!(
+        "bSOM trained: {} of 40 neurons labelled, mean purity {:.2}",
+        40 - classifier.unused_neurons(),
+        classifier.mean_purity()
+    );
+
+    // 4. Evaluate on the held-out split (the Table I metric).
+    let evaluation = evaluate(&classifier, &dataset.test);
+    println!("recognition accuracy: {evaluation}");
+
+    // 5. Identify a single fresh observation.
+    let (probe, actual) = &dataset.test[0];
+    let prediction = classifier.classify(probe);
+    println!("probe of {actual} identified as {prediction}");
+}

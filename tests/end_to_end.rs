@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full identification flow from
+//! signatures through training, labelling, FPGA deployment and evaluation.
+
+use bsom_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_dataset(seed: u64) -> SurveillanceDataset {
+    let config = DatasetConfig {
+        train_instances: 300,
+        test_instances: 150,
+        ..DatasetConfig::paper_default()
+    };
+    SurveillanceDataset::generate(&config, &mut StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn bsom_learns_the_nine_identity_task_well_above_chance() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let dataset = small_dataset(10);
+    let mut som = BSom::new(BSomConfig::paper_default(), &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(15), &mut rng)
+        .unwrap();
+    let classifier = LabelledSom::label(som, &dataset.train);
+    let eval = evaluate(&classifier, &dataset.test);
+    // Chance on nine classes is ~11 %; the paper operates around 85 %.
+    assert!(
+        eval.accuracy_percent() > 60.0,
+        "bSOM accuracy {:.2}% is implausibly low",
+        eval.accuracy_percent()
+    );
+}
+
+#[test]
+fn csom_baseline_reaches_comparable_accuracy() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dataset = small_dataset(11);
+    let mut som = CSom::new(CSomConfig::paper_default(), &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(15), &mut rng)
+        .unwrap();
+    let classifier = LabelledSom::label(som, &dataset.train);
+    let eval = evaluate(&classifier, &dataset.test);
+    assert!(
+        eval.accuracy_percent() > 60.0,
+        "cSOM accuracy {:.2}% is implausibly low",
+        eval.accuracy_percent()
+    );
+}
+
+#[test]
+fn fpga_model_classifies_identically_to_the_software_map_it_was_loaded_from() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dataset = small_dataset(12);
+    let mut som = BSom::new(BSomConfig::paper_default(), &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(10), &mut rng)
+        .unwrap();
+
+    let mut fpga = FpgaBSom::from_trained(&som);
+    for (signature, _) in dataset.test.iter().take(100) {
+        let sw = som.winner(signature).unwrap();
+        let hw = fpga.classify(signature).unwrap();
+        assert_eq!(hw.winner.index, sw.index);
+        assert_eq!(hw.winner.distance, sw.distance);
+        assert_eq!(hw.cycles.total(), 768 + 768 + 7);
+    }
+}
+
+#[test]
+fn fpga_on_chip_training_also_learns_the_task() {
+    // Train entirely on the cycle-accurate model (undamped rule) and check
+    // the result is still a usable classifier when labelled.
+    let dataset = small_dataset(13);
+    let mut fpga = FpgaBSom::new(FpgaConfig::paper_default(), 0xF00D);
+    fpga.initialize();
+    let total = dataset.train.len() * 5;
+    for epoch in 0..5 {
+        for (i, (signature, _)) in dataset.train.iter().enumerate() {
+            fpga.train_pattern(signature, epoch * dataset.train.len() + i, total)
+                .unwrap();
+        }
+    }
+    let som = fpga.to_software().unwrap();
+    let classifier = LabelledSom::label(som, &dataset.train);
+    let eval = evaluate(&classifier, &dataset.test);
+    assert!(
+        eval.accuracy_percent() > 40.0,
+        "on-chip trained accuracy {:.2}%",
+        eval.accuracy_percent()
+    );
+}
+
+#[test]
+fn vision_pipeline_signatures_feed_directly_into_the_bsom() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let scene_config = SceneConfig {
+        entry_probability: 0.5,
+        jitter: 0,
+        ..SceneConfig::small()
+    };
+    let data = bsom_repro::dataset::from_scene(scene_config, 150, 10, &mut rng);
+    assert!(!data.is_empty(), "the scene should produce observations");
+
+    // Train a small map on the pipeline output and check it classifies its
+    // own training data far better than chance.
+    let mut som = BSom::new(BSomConfig::new(20, 768), &mut rng);
+    som.train_labelled_data(&data, TrainSchedule::new(10), &mut rng)
+        .unwrap();
+    let classifier = LabelledSom::label(som, &data);
+    let eval = evaluate(&classifier, &data);
+    assert!(
+        eval.accuracy_percent() > 50.0,
+        "self-accuracy {:.2}%",
+        eval.accuracy_percent()
+    );
+}
+
+#[test]
+fn unknown_rejection_threshold_rejects_unrelated_signatures() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let dataset = small_dataset(14);
+    let mut som = BSom::new(BSomConfig::paper_default(), &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(10), &mut rng)
+        .unwrap();
+    let classifier =
+        LabelledSom::label(som, &dataset.train).calibrate_threshold(&dataset.train, 1.0);
+
+    // All-ones is nothing like a sparse histogram signature.
+    let alien = BinaryVector::ones(768);
+    assert_eq!(
+        classifier.classify(&alien).label(),
+        None,
+        "an alien signature should be rejected as unknown"
+    );
+    // Genuine test signatures are mostly accepted.
+    let accepted = dataset
+        .test
+        .iter()
+        .filter(|(s, _)| classifier.classify(s).is_known())
+        .count();
+    assert!(accepted * 2 > dataset.test.len());
+}
+
+#[test]
+fn table_one_smoke_protocol_runs_end_to_end_with_statistics() {
+    use bsom_repro::eval::{table1, table2};
+    let t1 = table1::run(&table1::Table1Config::smoke());
+    let t2 = table2::run(&t1);
+    assert_eq!(t1.rows.len(), t2.rows.len());
+    for row in &t2.rows {
+        assert!(row.p_value >= 0.0 && row.p_value <= 1.0);
+    }
+}
+
+#[test]
+fn resource_and_timing_claims_hold_together() {
+    use bsom_repro::fpga::{recognition_throughput, ResourceReport};
+    let report = ResourceReport::for_bsom(40, 768);
+    assert!(report.fits(), "the design must fit the XC4VLX160");
+    let throughput = recognition_throughput(FpgaConfig::paper_default());
+    assert!(throughput.patterns_per_second >= 25_000.0);
+}

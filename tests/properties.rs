@@ -1,0 +1,85 @@
+//! Cross-crate property-based tests on the system-level invariants.
+
+use bsom_repro::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing an arbitrary 768-bit signature with plausible sparsity.
+fn signature() -> impl Strategy<Value = BinaryVector> {
+    prop::collection::vec(any::<bool>(), 768).prop_map(BinaryVector::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The FPGA model and the software map agree on every input, whatever the
+    /// weights and signature.
+    #[test]
+    fn fpga_and_software_always_agree(seed in 0u64..1000, input in signature()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let som = BSom::new(BSomConfig::new(16, 768), &mut rng);
+        let mut fpga = FpgaBSom::from_trained(&som);
+        let sw = som.winner(&input).unwrap();
+        let hw = fpga.classify(&input).unwrap();
+        prop_assert_eq!(hw.winner.index, sw.index);
+        prop_assert_eq!(hw.winner.distance, sw.distance);
+    }
+
+    /// The winner's distance is a true minimum over all neuron distances.
+    #[test]
+    fn winner_distance_is_minimal(seed in 0u64..1000, input in signature()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let som = BSom::new(BSomConfig::new(12, 768), &mut rng);
+        let winner = som.winner(&input).unwrap();
+        let distances = som.distances(&input).unwrap();
+        let min = distances.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(winner.distance, min);
+    }
+
+    /// Training never changes the shape of the map and never makes an exact
+    /// repeat of the trained pattern fail to match perfectly at the end.
+    #[test]
+    fn training_on_one_pattern_converges(seed in 0u64..500, input in signature()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut som = BSom::new(BSomConfig::new(8, 768), &mut rng);
+        som.train(std::slice::from_ref(&input), TrainSchedule::new(30), &mut rng).unwrap();
+        prop_assert_eq!(som.neuron_count(), 8);
+        let winner = som.winner(&input).unwrap();
+        prop_assert_eq!(winner.distance, 0.0);
+    }
+
+    /// Histogram signatures never exceed the bin count and always set the
+    /// maximal bin of each channel.
+    #[test]
+    fn histogram_signature_invariants(
+        pixels in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..400)
+    ) {
+        let hist: ColorHistogram = pixels.iter().map(|&(r, g, b)| Rgb::new(r, g, b)).collect();
+        let sig = hist.to_signature();
+        prop_assert_eq!(sig.len(), 768);
+        prop_assert!(sig.count_ones() >= 3);
+        // The largest bin in each channel is >= mean, hence set.
+        for (channel, bins) in [hist.red(), hist.green(), hist.blue()].iter().enumerate() {
+            let max_bin = bins
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap();
+            prop_assert!(sig.bit(channel * 256 + max_bin));
+        }
+    }
+
+    /// The Wilcoxon test is antisymmetric in its arguments.
+    #[test]
+    fn wilcoxon_is_antisymmetric(
+        a in prop::collection::vec(0.0f64..100.0, 5..12),
+        b in prop::collection::vec(0.0f64..100.0, 5..12),
+    ) {
+        let ab = wilcoxon_rank_sum(&a, &b, Alternative::TwoSided);
+        let ba = wilcoxon_rank_sum(&b, &a, Alternative::TwoSided);
+        prop_assert!((ab.z + ba.z).abs() < 1e-9);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+    }
+}
