@@ -16,11 +16,7 @@ fn fig3(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("signature_sequence", frames),
             &frames,
-            |b, &n| {
-                b.iter(|| {
-                    black_box(signature_sequence(&model, &corruption, n, &mut rng))
-                })
-            },
+            |b, &n| b.iter(|| black_box(signature_sequence(&model, &corruption, n, &mut rng))),
         );
     }
     group.finish();

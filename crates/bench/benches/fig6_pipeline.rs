@@ -2,10 +2,10 @@
 //! scene rendering, background subtraction, connected components, tracking
 //! and signature extraction.
 
+use bsom_signature::BinaryImage;
 use bsom_vision::connected::label_components;
 use bsom_vision::pipeline::{PipelineConfig, SurveillancePipeline};
 use bsom_vision::scene::{SceneConfig, SceneSimulator};
-use bsom_signature::BinaryImage;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

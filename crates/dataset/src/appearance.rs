@@ -124,10 +124,12 @@ impl AppearanceModel {
         corruption: &CorruptionConfig,
         rng: &mut R,
     ) -> ColorHistogram {
-        let pixels = rng.gen_range(corruption.min_pixels..=corruption.max_pixels.max(corruption.min_pixels));
+        let pixels =
+            rng.gen_range(corruption.min_pixels..=corruption.max_pixels.max(corruption.min_pixels));
         let occlusion = rng.gen_range(0.0..=corruption.max_occlusion.max(0.0));
         let leak = rng.gen_range(0.0..=corruption.max_background_leak.max(0.0));
-        let lighting = rng.gen_range(-corruption.max_lighting_offset..=corruption.max_lighting_offset);
+        let lighting =
+            rng.gen_range(-corruption.max_lighting_offset..=corruption.max_lighting_offset);
         let noise = corruption.colour_noise;
 
         let mut hist = ColorHistogram::new();
@@ -169,9 +171,21 @@ impl AppearanceModel {
 /// The shared furniture palette used for occlusion pixels (matches the scene
 /// renderer's desks and cabinets).
 const FURNITURE_PALETTE: [Rgb; 3] = [
-    Rgb { r: 90, g: 60, b: 35 },
-    Rgb { r: 70, g: 70, b: 80 },
-    Rgb { r: 110, g: 80, b: 50 },
+    Rgb {
+        r: 90,
+        g: 60,
+        b: 35,
+    },
+    Rgb {
+        r: 70,
+        g: 70,
+        b: 80,
+    },
+    Rgb {
+        r: 110,
+        g: 80,
+        b: 50,
+    },
 ];
 
 /// The shared background palette used for over-segmentation leakage (wall and
@@ -317,7 +331,10 @@ mod tests {
         let c = CorruptionConfig::default();
         let s1 = m.sample_signature(&c, &mut r);
         let s2 = m.sample_signature(&c, &mut r);
-        assert!(s1.hamming(&s2).unwrap() > 0, "corruption must cause variation");
+        assert!(
+            s1.hamming(&s2).unwrap() > 0,
+            "corruption must cause variation"
+        );
     }
 
     #[test]

@@ -223,7 +223,10 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         // With 900 uniform draws over 9 classes (expected 100 each), the
         // spread stays well under 2x.
-        assert!(max < 2 * min, "counts too spread for uniform prior: {counts:?}");
+        assert!(
+            max < 2 * min,
+            "counts too spread for uniform prior: {counts:?}"
+        );
     }
 
     #[test]

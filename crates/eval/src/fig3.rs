@@ -95,7 +95,10 @@ pub fn run(identities: usize, frames: usize, seed: u64) -> Fig3Result {
             for i in 0..frames.len() {
                 if i + 1 < frames.len() {
                     consecutive.push(
-                        frames[i].signature.hamming(&frames[i + 1].signature).unwrap() as f64,
+                        frames[i]
+                            .signature
+                            .hamming(&frames[i + 1].signature)
+                            .unwrap() as f64,
                     );
                 }
                 for j in (i + 1)..frames.len() {

@@ -97,7 +97,10 @@ impl Fig6Result {
             "Accuracy".to_owned(),
             format!("{:.2}%", self.accuracy_percent),
         ]);
-        table.push_row(["Labelled neurons".to_owned(), self.labelled_neurons.to_string()]);
+        table.push_row([
+            "Labelled neurons".to_owned(),
+            self.labelled_neurons.to_string(),
+        ]);
         table.push_row(["FPGA cycles".to_owned(), self.fpga_cycles.to_string()]);
         table.push_row([
             "FPGA time @40MHz".to_owned(),

@@ -18,6 +18,19 @@
 //! | Fig. 6 | End-to-end FPGA recognition after off-line training | [`fig6`] |
 //! | §IV text | Neuron-count sweep (both SOMs > 90 % above 50 neurons) | [`neuron_sweep`] |
 //! | DESIGN.md ablations | Update rule / binarisation threshold ablations | [`ablation`] |
+//!
+//! ## Quick example
+//!
+//! Regenerate the (deterministic) Table III design specification and render
+//! it as text:
+//!
+//! ```rust
+//! let result = bsom_eval::table3::run();
+//! assert_eq!(result.config.neurons, 40);
+//! assert_eq!(result.config.vector_len, 768);
+//! let text = result.render().to_string();
+//! assert!(text.contains("Network Size"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

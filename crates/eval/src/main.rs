@@ -85,9 +85,11 @@ fn main() -> ExitCode {
             &neuron_sweep::run(&neuron_sweep::NeuronSweepConfig::paper_default()),
             |r| r.render().to_string(),
         ),
-        "ablation" => emit(json, &ablation::run(&ablation::AblationConfig::quick()), |r| {
-            r.render().to_string()
-        }),
+        "ablation" => emit(
+            json,
+            &ablation::run(&ablation::AblationConfig::quick()),
+            |r| r.render().to_string(),
+        ),
         "all" => {
             run_all(profile, json);
             ExitCode::SUCCESS
@@ -151,9 +153,11 @@ fn run_all(profile: Profile, json: bool) {
         |r| r.render().to_string(),
     );
     println!("\n== Ablations ==");
-    print_result(json, &ablation::run(&ablation::AblationConfig::quick()), |r| {
-        r.render().to_string()
-    });
+    print_result(
+        json,
+        &ablation::run(&ablation::AblationConfig::quick()),
+        |r| r.render().to_string(),
+    );
 }
 
 fn emit<T: serde::Serialize>(json: bool, value: &T, text: impl Fn(&T) -> String) -> ExitCode {

@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn paper_sweep_covers_ten_to_one_hundred() {
         let config = NeuronSweepConfig::paper_default();
-        assert_eq!(config.neuron_counts, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(
+            config.neuron_counts,
+            vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        );
     }
 
     #[test]

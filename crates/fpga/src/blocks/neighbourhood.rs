@@ -29,7 +29,12 @@ pub struct NeighbourhoodUpdateBlock {
 impl NeighbourhoodUpdateBlock {
     /// Creates the block with the paper's maximum radius of 4 and the given
     /// update probabilities (use `1.0, 1.0` for the undamped rule).
-    pub fn new(max_radius: usize, relax_probability: f64, commit_probability: f64, seed: u64) -> Self {
+    pub fn new(
+        max_radius: usize,
+        relax_probability: f64,
+        commit_probability: f64,
+        seed: u64,
+    ) -> Self {
         NeighbourhoodUpdateBlock {
             max_radius,
             lfsr: seed | 1,
@@ -79,7 +84,7 @@ impl NeighbourhoodUpdateBlock {
         // 16-bit Fibonacci LFSR stepped per decision, as a hardware design
         // would tap a free-running LFSR.
         let lfsr = &mut self.lfsr;
-        let bit = ((*lfsr >> 0) ^ (*lfsr >> 2) ^ (*lfsr >> 3) ^ (*lfsr >> 5)) & 1;
+        let bit = (*lfsr ^ (*lfsr >> 2) ^ (*lfsr >> 3) ^ (*lfsr >> 5)) & 1;
         *lfsr = (*lfsr >> 1) | (bit << 15);
         let sample = (*lfsr & 0xFFFF) as f64 / 65536.0;
         sample < probability
@@ -179,7 +184,11 @@ mod tests {
         let mut block = NeighbourhoodUpdateBlock::new(4, 0.0, 0.0, 1);
         let mut weights = vec![TriStateVector::from_str("0101").unwrap()];
         let before = weights[0].clone();
-        block.update(&mut weights, &[0], &BinaryVector::from_bit_str("1010").unwrap());
+        block.update(
+            &mut weights,
+            &[0],
+            &BinaryVector::from_bit_str("1010").unwrap(),
+        );
         assert_eq!(weights[0], before);
     }
 
@@ -198,7 +207,11 @@ mod tests {
     fn out_of_range_window_entries_are_ignored() {
         let mut block = NeighbourhoodUpdateBlock::paper_default();
         let mut weights = vec![TriStateVector::from_str("00").unwrap()];
-        let cycles = block.update(&mut weights, &[0, 5], &BinaryVector::from_bit_str("11").unwrap());
+        let cycles = block.update(
+            &mut weights,
+            &[0, 5],
+            &BinaryVector::from_bit_str("11").unwrap(),
+        );
         assert_eq!(cycles, 2);
         assert_eq!(weights[0].to_trit_string(), "##");
     }

@@ -82,9 +82,7 @@ impl WinnerTakeAllBlock {
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             for pair in level.chunks(2) {
-                let winner = if pair.len() == 1 {
-                    pair[0]
-                } else if pair[0].key() <= pair[1].key() {
+                let winner = if pair.len() == 1 || pair[0].key() <= pair[1].key() {
                     pair[0]
                 } else {
                     pair[1]

@@ -482,10 +482,7 @@ mod tests {
 
     #[test]
     fn smaller_designs_report_fewer_wta_cycles() {
-        let mut fpga = FpgaBSom::new(
-            FpgaConfig::paper_default().with_neurons(10),
-            2,
-        );
+        let mut fpga = FpgaBSom::new(FpgaConfig::paper_default().with_neurons(10), 2);
         fpga.initialize();
         let outcome = fpga.classify(&signature(3)).unwrap();
         assert_eq!(outcome.cycles.wta_cycles, 5);

@@ -224,7 +224,11 @@ impl ResourceReport {
 
 impl fmt::Display for ResourceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<18} {:>10} {:>10} {:>8}", "Resource", "Total", "Used", "Per.(%)")?;
+        writeln!(
+            f,
+            "{:<18} {:>10} {:>10} {:>8}",
+            "Resource", "Total", "Used", "Per.(%)"
+        )?;
         for (label, total, used, percent) in self.rows() {
             writeln!(f, "{label:<18} {total:>10} {used:>10} {percent:>8}")?;
         }

@@ -78,7 +78,10 @@ mod tests {
         assert_eq!(report.cycles_per_pattern, 2311);
         assert!(report.patterns_per_second > 17_000.0);
         // Training the paper's whole 2,248-signature set takes well under a second.
-        assert!(report.seconds_for(2248) < 1.0, "§V-F: thousands of patterns in < 1 s");
+        assert!(
+            report.seconds_for(2248) < 1.0,
+            "§V-F: thousands of patterns in < 1 s"
+        );
     }
 
     #[test]
@@ -111,9 +114,7 @@ mod tests {
 
     #[test]
     fn smaller_vectors_process_faster() {
-        let narrow = recognition_throughput(
-            FpgaConfig::paper_default().with_vector_len(256),
-        );
+        let narrow = recognition_throughput(FpgaConfig::paper_default().with_vector_len(256));
         let wide = recognition_throughput(FpgaConfig::paper_default());
         assert!(narrow.patterns_per_second > wide.patterns_per_second);
     }

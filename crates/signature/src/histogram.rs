@@ -148,7 +148,7 @@ impl ColorHistogram {
         let mut sorted: Vec<u32> = self.bins.clone();
         sorted.sort_unstable();
         let mid = sorted.len() / 2;
-        if sorted.len() % 2 == 0 {
+        if sorted.len().is_multiple_of(2) {
             f64::from(sorted[mid - 1] + sorted[mid]) / 2.0
         } else {
             f64::from(sorted[mid])
@@ -314,7 +314,10 @@ mod tests {
         let d = h.to_distribution();
         let sum: f64 = d.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
-        assert_eq!(ColorHistogram::new().to_distribution().iter().sum::<f64>(), 0.0);
+        assert_eq!(
+            ColorHistogram::new().to_distribution().iter().sum::<f64>(),
+            0.0
+        );
     }
 
     #[test]

@@ -388,7 +388,10 @@ mod tests {
 
     #[test]
     fn rgb_brightened_saturates() {
-        assert_eq!(Rgb::new(250, 10, 128).brightened(20), Rgb::new(255, 30, 148));
+        assert_eq!(
+            Rgb::new(250, 10, 128).brightened(20),
+            Rgb::new(255, 30, 148)
+        );
         assert_eq!(Rgb::new(5, 200, 0).brightened(-20), Rgb::new(0, 180, 0));
     }
 
@@ -425,8 +428,7 @@ mod tests {
     fn enumerate_pixels_is_row_major() {
         let mut img = RgbImage::new(2, 2);
         img.set(1, 0, Rgb::WHITE);
-        let coords: Vec<(usize, usize)> =
-            img.enumerate_pixels().map(|(x, y, _)| (x, y)).collect();
+        let coords: Vec<(usize, usize)> = img.enumerate_pixels().map(|(x, y, _)| (x, y)).collect();
         assert_eq!(coords, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
     }
 

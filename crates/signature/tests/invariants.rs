@@ -1,0 +1,178 @@
+//! Focused unit tests for the two invariants every downstream layer depends
+//! on: the tri-state (#-aware) Hamming distance of paper Eq. 3 and the
+//! mean-threshold binarisation of paper Eq. 1–2.
+
+use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector, Trit, HISTOGRAM_BINS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------------
+// Tri-state Hamming distance (Eq. 3)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dont_care_matches_both_bits() {
+    // A `#` trit matches 0 and 1 alike...
+    assert!(Trit::DontCare.matches(false));
+    assert!(Trit::DontCare.matches(true));
+
+    // ...and contributes nothing to the distance, whatever the input bit.
+    let hash = TriStateVector::from_str("#").unwrap();
+    let zero = BinaryVector::from_bit_str("0").unwrap();
+    let one = BinaryVector::from_bit_str("1").unwrap();
+    assert_eq!(hash.hamming(&zero).unwrap(), 0);
+    assert_eq!(hash.hamming(&one).unwrap(), 0);
+
+    // Same at every position of a wider vector: flipping input bits under a
+    // `#` never changes the distance.
+    let weight = TriStateVector::from_str("0#1#0#1#").unwrap();
+    let base = BinaryVector::from_bit_str("00101010").unwrap();
+    let base_distance = weight.hamming(&base).unwrap();
+    for position in [1usize, 3, 5, 7] {
+        let mut flipped = base.clone();
+        flipped.set(position, !flipped.bit(position));
+        assert_eq!(
+            weight.hamming(&flipped).unwrap(),
+            base_distance,
+            "flipping input bit {position} under a # changed the distance"
+        );
+    }
+}
+
+#[test]
+fn fully_dont_care_neuron_is_distance_zero_to_every_input() {
+    // The paper calls this case out: "for a neuron with 768 #'s, the Hamming
+    // distance will always be 0".
+    let neuron = TriStateVector::all_dont_care(768);
+    let mut rng = StdRng::seed_from_u64(2024);
+    for _ in 0..32 {
+        let input = BinaryVector::random(768, &mut rng);
+        assert_eq!(neuron.hamming(&input).unwrap(), 0);
+    }
+}
+
+#[test]
+fn tristate_hamming_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..64 {
+        let a = TriStateVector::random_with_dont_care(96, 0.3, &mut rng);
+        let b = TriStateVector::random_with_dont_care(96, 0.3, &mut rng);
+        assert_eq!(
+            a.hamming_tristate(&b).unwrap(),
+            b.hamming_tristate(&a).unwrap()
+        );
+    }
+}
+
+#[test]
+fn binary_hamming_is_symmetric_through_tristate_view() {
+    // For fully concrete vectors the #-aware distance must agree with the
+    // plain binary Hamming distance in both argument orders.
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..64 {
+        let x = BinaryVector::random(96, &mut rng);
+        let y = BinaryVector::random(96, &mut rng);
+        let xt = TriStateVector::from_binary(&x);
+        let yt = TriStateVector::from_binary(&y);
+        let binary = x.hamming(&y).unwrap();
+        assert_eq!(xt.hamming(&y).unwrap(), binary);
+        assert_eq!(yt.hamming(&x).unwrap(), binary);
+        assert_eq!(xt.hamming_tristate(&yt).unwrap(), binary);
+    }
+}
+
+#[test]
+fn self_distance_is_zero() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..32 {
+        let w = TriStateVector::random_with_dont_care(128, 0.25, &mut rng);
+        assert_eq!(w.hamming_tristate(&w).unwrap(), 0);
+
+        // A concrete weight equal to the input is also at distance zero.
+        let x = BinaryVector::random(128, &mut rng);
+        assert_eq!(TriStateVector::from_binary(&x).hamming(&x).unwrap(), 0);
+    }
+}
+
+#[test]
+fn distance_counts_exactly_the_concrete_disagreements() {
+    // Hand-built example with every trit/bit combination present.
+    //   weight: 0 1 # 0 1 #
+    //   input : 1 1 1 0 0 0
+    //   diff  : 1 0 –  0 1 –   => distance 2
+    let weight = TriStateVector::from_str("01#01#").unwrap();
+    let input = BinaryVector::from_bit_str("111000").unwrap();
+    assert_eq!(weight.hamming(&input).unwrap(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Mean-threshold binarisation (Eq. 1–2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mean_threshold_is_sum_over_bin_count() {
+    // Eq. 1: θ = (Σ bins) / 768, computed here independently.
+    let mut rng = StdRng::seed_from_u64(11);
+    use rand::Rng;
+    let mut hist = ColorHistogram::new();
+    for _ in 0..500 {
+        hist.add_pixel(Rgb::new(rng.gen(), rng.gen(), rng.gen()));
+    }
+    let expected: f64 =
+        hist.bins().iter().map(|&c| f64::from(c)).sum::<f64>() / HISTOGRAM_BINS as f64;
+    assert!((hist.mean_threshold() - expected).abs() < 1e-12);
+}
+
+#[test]
+fn to_signature_thresholds_every_bin_at_the_mean() {
+    // Eq. 2: bit_i = 1 iff bins_i >= θ, for every one of the 768 bins.
+    let mut rng = StdRng::seed_from_u64(12);
+    use rand::Rng;
+    let mut hist = ColorHistogram::new();
+    for _ in 0..300 {
+        hist.add_pixel(Rgb::new(rng.gen(), rng.gen(), rng.gen()));
+    }
+    let theta = hist.mean_threshold();
+    let signature = hist.to_signature();
+    assert_eq!(signature.len(), HISTOGRAM_BINS);
+    for (i, &bin) in hist.bins().iter().enumerate() {
+        assert_eq!(
+            signature.bit(i),
+            f64::from(bin) >= theta,
+            "bin {i} (count {bin}, θ {theta}) binarised wrongly"
+        );
+    }
+}
+
+#[test]
+fn bins_exactly_at_the_mean_map_to_one() {
+    // Eq. 2 uses >=, not >: a perfectly flat histogram sits exactly at θ and
+    // must produce an all-ones signature.
+    let flat = ColorHistogram::from_bins(vec![5; HISTOGRAM_BINS]).unwrap();
+    assert_eq!(flat.mean_threshold(), 5.0);
+    assert_eq!(flat.to_signature().count_ones(), HISTOGRAM_BINS);
+}
+
+#[test]
+fn single_colour_object_sets_exactly_its_three_bins() {
+    // A uniformly coloured silhouette concentrates each channel in one bin;
+    // those three bins dominate the mean and everything else falls below it.
+    let hist = ColorHistogram::from_pixels((0..400).map(|_| Rgb::new(40, 0, 255)));
+    let signature = hist.to_signature();
+    assert_eq!(signature.count_ones(), 3);
+    assert!(signature.bit(40));
+    assert!(signature.bit(256));
+    assert!(signature.bit(512 + 255));
+}
+
+#[test]
+fn signature_length_always_matches_the_fpga_input_width() {
+    // Downstream (the SOM and the FPGA pattern-input block) assume exactly
+    // 768 bits regardless of how many pixels were accumulated.
+    for pixels in [0usize, 1, 3, 97] {
+        let hist = ColorHistogram::from_pixels(
+            (0..pixels).map(|i| Rgb::new(i as u8, (2 * i) as u8, 255 - i as u8)),
+        );
+        assert_eq!(hist.to_signature().len(), 768);
+    }
+}

@@ -45,11 +45,12 @@ use crate::som_trait::{line_neighbourhood, SelfOrganizingMap, Winner};
 
 /// How neurons in the neighbourhood of the winner (excluding the winner
 /// itself) are updated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum NeighbourRule {
     /// Neighbours receive the same (damped) tri-state update as the winner.
     /// This is the default and mirrors the FPGA neighbourhood-update block,
     /// which applies one update circuit to the selected address window.
+    #[default]
     SameAsWinner,
     /// Neighbours only relax conflicting bits to `#`; they do not commit `#`
     /// positions to the input value — the tri-state analogue of giving
@@ -59,12 +60,6 @@ pub enum NeighbourRule {
     /// ablation benches show this collapses onto a single over-general
     /// neuron; it exists to demonstrate that the neighbourhood block matters.
     WinnerOnly,
-}
-
-impl Default for NeighbourRule {
-    fn default() -> Self {
-        NeighbourRule::SameAsWinner
-    }
 }
 
 /// Configuration for a [`BSom`].
@@ -281,7 +276,10 @@ impl BSom {
     /// Total number of `#` trits across all neurons — a measure of how much
     /// of the map has relaxed to "don't care".
     pub fn total_dont_care(&self) -> usize {
-        self.neurons.iter().map(TriStateVector::count_dont_care).sum()
+        self.neurons
+            .iter()
+            .map(TriStateVector::count_dont_care)
+            .sum()
     }
 
     /// Advances the internal xorshift64* state and returns a coin flip that
@@ -452,15 +450,15 @@ mod tests {
 
     #[test]
     fn from_weights_validates_lengths() {
-        let good = vec![
-            TriStateVector::all_dont_care(8),
-            TriStateVector::zeros(8),
-        ];
+        let good = vec![TriStateVector::all_dont_care(8), TriStateVector::zeros(8)];
         assert!(BSom::from_weights(good).is_ok());
         let bad = vec![TriStateVector::zeros(8), TriStateVector::zeros(9)];
         assert!(matches!(
             BSom::from_weights(bad),
-            Err(SomError::InputLengthMismatch { expected: 8, actual: 9 })
+            Err(SomError::InputLengthMismatch {
+                expected: 8,
+                actual: 9
+            })
         ));
         assert!(BSom::from_weights(Vec::new()).is_err());
     }
@@ -473,7 +471,9 @@ mod tests {
             TriStateVector::from_str("1100").unwrap(),
         ];
         let som = BSom::from_weights(weights).unwrap();
-        let w = som.winner(&BinaryVector::from_bit_str("1100").unwrap()).unwrap();
+        let w = som
+            .winner(&BinaryVector::from_bit_str("1100").unwrap())
+            .unwrap();
         assert_eq!(w.index, 2);
         assert_eq!(w.distance, 0.0);
     }
@@ -485,7 +485,9 @@ mod tests {
             TriStateVector::from_str("1111").unwrap(),
         ];
         let som = BSom::from_weights(weights).unwrap();
-        let w = som.winner(&BinaryVector::from_bit_str("1110").unwrap()).unwrap();
+        let w = som
+            .winner(&BinaryVector::from_bit_str("1110").unwrap())
+            .unwrap();
         assert_eq!(w.index, 0);
         assert_eq!(w.distance, 1.0);
     }
@@ -498,7 +500,9 @@ mod tests {
             TriStateVector::from_str("####").unwrap(),
         ];
         let som = BSom::from_weights(weights).unwrap();
-        let w = som.winner(&BinaryVector::from_bit_str("0101").unwrap()).unwrap();
+        let w = som
+            .winner(&BinaryVector::from_bit_str("0101").unwrap())
+            .unwrap();
         assert_eq!(w.index, 1);
         assert_eq!(w.distance, 0.0);
     }
@@ -508,7 +512,10 @@ mod tests {
         let som = BSom::new(BSomConfig::new(4, 16), &mut rng());
         assert!(matches!(
             som.winner(&BinaryVector::zeros(8)),
-            Err(SomError::InputLengthMismatch { expected: 16, actual: 8 })
+            Err(SomError::InputLengthMismatch {
+                expected: 16,
+                actual: 8
+            })
         ));
         assert!(som.distances(&BinaryVector::zeros(8)).is_err());
     }
@@ -535,8 +542,12 @@ mod tests {
         let mut r = rng();
         let mut som = BSom::new(BSomConfig::new(8, 64), &mut r);
         let pattern = BinaryVector::random(64, &mut r);
-        som.train(std::slice::from_ref(&pattern), TrainSchedule::new(64), &mut r)
-            .unwrap();
+        som.train(
+            std::slice::from_ref(&pattern),
+            TrainSchedule::new(64),
+            &mut r,
+        )
+        .unwrap();
         let w = som.winner(&pattern).unwrap();
         assert_eq!(w.distance, 0.0);
     }
@@ -616,7 +627,10 @@ mod tests {
         let som = BSom::new(BSomConfig::new(4, 16), &mut rng());
         assert!(matches!(
             som.neuron(4),
-            Err(SomError::NeuronOutOfRange { index: 4, neurons: 4 })
+            Err(SomError::NeuronOutOfRange {
+                index: 4,
+                neurons: 4
+            })
         ));
     }
 

@@ -129,11 +129,7 @@ impl ConfusionMatrix {
 
     /// Number of correct (diagonal) outcomes.
     pub fn correct(&self) -> usize {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, row)| row[i])
-            .sum()
+        self.counts.iter().enumerate().map(|(i, row)| row[i]).sum()
     }
 
     /// Overall accuracy (0.0 when the matrix is empty).

@@ -16,21 +16,16 @@ use crate::schedule::TrainSchedule;
 use crate::som_trait::{line_neighbourhood, SelfOrganizingMap, Winner};
 
 /// The neighbourhood kernel `h(j, winner, t)` used by the cSOM update.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum NeighbourhoodKernel {
     /// `h = 1` for every neuron within the radius, 0 outside ("bubble"
     /// kernel). This matches the hard neighbourhood window of the paper's
     /// FPGA design and is the default.
+    #[default]
     Bubble,
     /// `h = exp(-d² / (2·radius²))` where `d` is the index distance to the
     /// winner. A softer pull used in most software SOMs.
     Gaussian,
-}
-
-impl Default for NeighbourhoodKernel {
-    fn default() -> Self {
-        NeighbourhoodKernel::Bubble
-    }
 }
 
 /// Configuration for a [`CSom`].
@@ -335,10 +330,17 @@ mod tests {
         let mut som = CSom::new(CSomConfig::new(8, 64), &mut r);
         let pattern = BinaryVector::random(64, &mut r);
         let before = som.winner(&pattern).unwrap().distance;
-        som.train(std::slice::from_ref(&pattern), TrainSchedule::new(100), &mut r)
-            .unwrap();
+        som.train(
+            std::slice::from_ref(&pattern),
+            TrainSchedule::new(100),
+            &mut r,
+        )
+        .unwrap();
         let after = som.winner(&pattern).unwrap().distance;
-        assert!(after < before, "distance should shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "distance should shrink: {before} -> {after}"
+        );
         assert!(after < 1.0);
     }
 

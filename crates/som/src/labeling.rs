@@ -366,7 +366,10 @@ mod tests {
         let data = two_class_data(32);
         let som = trained_bsom(&data);
         let classifier = LabelledSom::label(som, &data);
-        assert_eq!(classifier.classify(&BinaryVector::zeros(8)), Prediction::Unknown);
+        assert_eq!(
+            classifier.classify(&BinaryVector::zeros(8)),
+            Prediction::Unknown
+        );
     }
 
     #[test]
@@ -378,7 +381,9 @@ mod tests {
         assert!(idx < classifier.neuron_count());
         assert_eq!(dist, 0.0);
         assert_eq!(label, Some(ObjectLabel::new(0)));
-        assert!(classifier.winner_with_label(&BinaryVector::zeros(4)).is_err());
+        assert!(classifier
+            .winner_with_label(&BinaryVector::zeros(4))
+            .is_err());
     }
 
     #[test]

@@ -191,12 +191,7 @@ mod tests {
 
     #[test]
     fn extract_blobs_from_two_components() {
-        let mask = mask_from_rows(&[
-            "##....",
-            "##....",
-            "......",
-            "...###",
-        ]);
+        let mask = mask_from_rows(&["##....", "##....", "......", "...###"]);
         let labels = label_components(&mask);
         let blobs = extract_blobs(&labels);
         assert_eq!(blobs.len(), 2);
@@ -240,12 +235,7 @@ mod tests {
 
     #[test]
     fn blob_histogram_and_signature_only_cover_silhouette() {
-        let mask = mask_from_rows(&[
-            "##..",
-            "##..",
-            "....",
-            "....",
-        ]);
+        let mask = mask_from_rows(&["##..", "##..", "....", "...."]);
         let labels = label_components(&mask);
         let blobs = extract_blobs(&labels);
         let mut frame = RgbImage::filled(4, 4, Rgb::new(10, 10, 10));

@@ -210,12 +210,7 @@ mod tests {
 
     #[test]
     fn single_blob_is_one_component() {
-        let mask = mask_from_rows(&[
-            "....",
-            ".##.",
-            ".##.",
-            "....",
-        ]);
+        let mask = mask_from_rows(&["....", ".##.", ".##.", "...."]);
         let labels = label_components(&mask);
         assert_eq!(labels.component_count(), 1);
         assert_eq!(labels.component_sizes(), vec![4]);
@@ -225,12 +220,7 @@ mod tests {
 
     #[test]
     fn separate_blobs_get_distinct_labels() {
-        let mask = mask_from_rows(&[
-            "##...##",
-            "##...##",
-            ".......",
-            "..###..",
-        ]);
+        let mask = mask_from_rows(&["##...##", "##...##", ".......", "..###.."]);
         let labels = label_components(&mask);
         assert_eq!(labels.component_count(), 3);
         let sizes = labels.component_sizes();
@@ -241,11 +231,7 @@ mod tests {
 
     #[test]
     fn diagonal_touch_merges_with_eight_connectivity() {
-        let mask = mask_from_rows(&[
-            "#..",
-            ".#.",
-            "..#",
-        ]);
+        let mask = mask_from_rows(&["#..", ".#.", "..#"]);
         let labels = label_components(&mask);
         assert_eq!(labels.component_count(), 1);
     }
@@ -254,12 +240,7 @@ mod tests {
     fn u_shape_equivalence_is_resolved() {
         // A 'U' shape first appears as two columns that only merge at the
         // bottom row — the classic case requiring label equivalence.
-        let mask = mask_from_rows(&[
-            "#...#",
-            "#...#",
-            "#...#",
-            "#####",
-        ]);
+        let mask = mask_from_rows(&["#...#", "#...#", "#...#", "#####"]);
         let labels = label_components(&mask);
         assert_eq!(labels.component_count(), 1);
         assert_eq!(labels.component_sizes(), vec![11]);
@@ -268,25 +249,22 @@ mod tests {
 
     #[test]
     fn w_shape_with_multiple_equivalences() {
-        let mask = mask_from_rows(&[
-            "#.#.#",
-            "#.#.#",
-            "#####",
-        ]);
+        let mask = mask_from_rows(&["#.#.#", "#.#.#", "#####"]);
         let labels = label_components(&mask);
         assert_eq!(labels.component_count(), 1);
     }
 
     #[test]
     fn labels_are_contiguous_from_one() {
-        let mask = mask_from_rows(&[
-            "#.#.#.#",
-            ".......",
-            "#.#.#.#",
-        ]);
+        let mask = mask_from_rows(&["#.#.#.#", ".......", "#.#.#.#"]);
         let labels = label_components(&mask);
         assert_eq!(labels.component_count(), 8);
-        let mut seen: Vec<u32> = labels.as_slice().iter().copied().filter(|&l| l > 0).collect();
+        let mut seen: Vec<u32> = labels
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&l| l > 0)
+            .collect();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen, (1..=8).collect::<Vec<u32>>());

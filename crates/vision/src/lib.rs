@@ -57,7 +57,7 @@ pub mod pipeline;
 pub mod scene;
 pub mod tracker;
 
-pub use background::{BackgroundModel, BackgroundConfig};
+pub use background::{BackgroundConfig, BackgroundModel};
 pub use blob::{Blob, BoundingBox, MIN_OBJECT_PIXELS};
 pub use connected::{label_components, ComponentLabels};
 pub use pipeline::{ObjectObservation, SurveillancePipeline};

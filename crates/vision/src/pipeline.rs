@@ -136,8 +136,7 @@ mod tests {
 
     /// Builds a pipeline warmed up on the given simulator's background.
     fn warmed_pipeline(sim: &mut SceneSimulator, rng: &mut StdRng) -> SurveillancePipeline {
-        let mut pipeline =
-            SurveillancePipeline::new(sim.config().width, sim.config().height);
+        let mut pipeline = SurveillancePipeline::new(sim.config().width, sim.config().height);
         for _ in 0..10 {
             let frame = sim.render_background_only(rng);
             pipeline.observe_background(&frame);

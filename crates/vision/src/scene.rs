@@ -314,7 +314,9 @@ impl SceneSimulator {
     /// active ones, and renders the result with ground truth.
     pub fn render_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SceneFrame {
         // Random entries.
-        if self.active.len() < self.persons.len() && rng.gen::<f64>() < self.config.entry_probability {
+        if self.active.len() < self.persons.len()
+            && rng.gen::<f64>() < self.config.entry_probability
+        {
             let person = rng.gen_range(0..self.persons.len());
             let already_active = self.active.iter().any(|a| a.person == person);
             if !already_active {

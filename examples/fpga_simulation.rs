@@ -75,6 +75,9 @@ fn main() {
 
     // What the VGA display block shows: neuron weights as 32x24 binary images.
     let frames = fpga.display_frames();
-    println!("display block renders {} neuron images; neuron 0:", frames.len());
+    println!(
+        "display block renders {} neuron images; neuron 0:",
+        frames.len()
+    );
     println!("{}", frames[0].to_ascii());
 }

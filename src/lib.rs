@@ -52,14 +52,12 @@ pub use bsom_vision as vision;
 
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
-    pub use bsom_dataset::{
-        AppearanceModel, CorruptionConfig, DatasetConfig, SurveillanceDataset,
-    };
+    pub use bsom_dataset::{AppearanceModel, CorruptionConfig, DatasetConfig, SurveillanceDataset};
     pub use bsom_fpga::{FpgaBSom, FpgaConfig, ResourceReport};
     pub use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector, Trit};
     pub use bsom_som::{
-        evaluate, BSom, BSomConfig, CSom, CSomConfig, LabelledSom, ObjectLabel,
-        SelfOrganizingMap, TrainSchedule,
+        evaluate, BSom, BSomConfig, CSom, CSomConfig, LabelledSom, ObjectLabel, SelfOrganizingMap,
+        TrainSchedule,
     };
     pub use bsom_stats::{wilcoxon_rank_sum, Alternative};
     pub use bsom_vision::pipeline::SurveillancePipeline;

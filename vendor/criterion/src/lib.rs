@@ -1,0 +1,398 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`criterion_group!`]
+//! and [`criterion_main!`] — backed by a simple wall-clock measurement loop
+//! instead of criterion's statistical machinery. Each benchmark is warmed
+//! up briefly, then timed over enough iterations to fill a short measurement
+//! window, and the mean iteration time is printed as one line:
+//!
+//! ```text
+//! bench group/name/param ... 12.345 µs/iter (81.0 Kelem/s)
+//! ```
+//!
+//! This keeps `cargo bench` (and `cargo build --benches`) working offline
+//! with useful relative numbers; swap in the real criterion for rigorous
+//! statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Target measurement window per benchmark.
+    measurement_time: Duration,
+    /// Warm-up window per benchmark.
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `routine` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name, None, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Per-group measurement window; dies with the group, like in real
+    /// criterion.
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's timing loop does not
+    /// use a fixed sample count, so this is a no-op.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets this group's measurement window (clamped to 2 s to keep offline
+    /// runs short). Scoped to the group, like in real criterion.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time.min(Duration::from_secs(2)));
+        self
+    }
+
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// The group's effective settings: the shared driver's, with this
+    /// group's overrides applied.
+    fn effective_criterion(&self) -> Criterion {
+        let mut criterion = self.criterion.clone();
+        if let Some(time) = self.measurement_time {
+            criterion.measurement_time = time;
+        }
+        criterion
+    }
+
+    /// Runs `routine` as a benchmark inside this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &self.effective_criterion(),
+            &label,
+            self.throughput,
+            &mut routine,
+        );
+        self
+    }
+
+    /// Runs `routine` with a borrowed input value.
+    pub fn bench_with_input<I, InputT, F>(
+        &mut self,
+        id: I,
+        input: &InputT,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        InputT: ?Sized,
+        F: FnMut(&mut Bencher, &InputT),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &self.effective_criterion(),
+            &label,
+            self.throughput,
+            &mut |b: &mut Bencher| routine(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function_name, &self.parameter) {
+            (name, Some(p)) if name.is_empty() => write!(f, "{p}"),
+            (name, Some(p)) => write!(f, "{name}/{p}"),
+            (name, None) => write!(f, "{name}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function_name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function_name: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput basis for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Timing harness passed to benchmark routines.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Number of iterations the routine must run when `iter` is called.
+    iterations: u64,
+    /// Total elapsed time recorded by the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    routine: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: double the iteration count until the warm-up window is full.
+    let mut iterations = 1u64;
+    let mut per_iteration = Duration::from_secs(1);
+    let warm_up_start = Instant::now();
+    loop {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.elapsed > Duration::ZERO {
+            per_iteration = bencher.elapsed / u32::try_from(iterations).unwrap_or(u32::MAX);
+        }
+        if warm_up_start.elapsed() >= criterion.warm_up_time || iterations >= 1 << 30 {
+            break;
+        }
+        iterations = iterations.saturating_mul(2);
+    }
+
+    // Measurement: one batch sized to fill the measurement window.
+    let target = criterion.measurement_time;
+    let batch = if per_iteration.is_zero() {
+        iterations
+    } else {
+        (target.as_nanos() / per_iteration.as_nanos().max(1)).clamp(1, 1 << 30) as u64
+    };
+    let mut bencher = Bencher {
+        iterations: batch,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let mean = if batch > 0 {
+        bencher.elapsed.as_secs_f64() / batch as f64
+    } else {
+        0.0
+    };
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format_rate(n as f64 / mean.max(f64::MIN_POSITIVE), "elem/s"),
+        Throughput::Bytes(n) => format_rate(n as f64 / mean.max(f64::MIN_POSITIVE), "B/s"),
+    });
+    match rate {
+        Some(rate) => println!("bench {label} ... {} ({rate})", format_time(mean)),
+        None => println!("bench {label} ... {}", format_time(mean)),
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s/iter")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms/iter", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs/iter", seconds * 1e6)
+    } else {
+        format!("{:.1} ns/iter", seconds * 1e9)
+    }
+}
+
+fn format_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.2} G{unit}", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.2} M{unit}", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.2} K{unit}", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} {unit}")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut runs = 0u64;
+        criterion.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_with_inputs_and_throughput() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                total += n;
+                total
+            })
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn measurement_time_is_scoped_to_the_group() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+        };
+        {
+            let mut group = criterion.benchmark_group("first");
+            group.measurement_time(Duration::from_millis(20));
+            group.bench_function("noop", |b| b.iter(|| 1u8));
+            group.finish();
+        }
+        // The group's override must not leak into the shared driver.
+        assert_eq!(criterion.measurement_time, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

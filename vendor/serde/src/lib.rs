@@ -1,0 +1,515 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. This crate provides source-compatible `Serialize` /
+//! `Deserialize` traits and derive macros for the patterns this workspace
+//! uses (plain structs, tuple structs, enums with unit/struct/tuple
+//! variants, one unbounded type parameter). Instead of serde's
+//! visitor-based zero-copy architecture, both traits go through an owned
+//! JSON-like [`Value`] tree; `serde_json` (the sibling stand-in) renders and
+//! parses that tree.
+//!
+//! Supported field types: primitives, `String`, `Option`, `Vec`, arrays,
+//! tuples (≤ 4), `BTreeMap`/`HashMap` with scalar-renderable keys, and any
+//! type deriving or hand-implementing the traits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value — the interchange format between the
+/// [`Serialize`] / [`Deserialize`] traits and the `serde_json` stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (kept exact; never routed through `f64`).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Renders the value as a JSON map key, if it is scalar.
+    fn as_map_key(&self) -> Result<String, Error> {
+        match self {
+            Value::String(s) => Ok(s.clone()),
+            Value::UInt(n) => Ok(n.to_string()),
+            Value::Int(n) => Ok(n.to_string()),
+            Value::Bool(b) => Ok(b.to_string()),
+            other => Err(Error::custom(format!(
+                "map key must be a scalar, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Rebuilds a map key of type `K` from its JSON object-key string.
+///
+/// String-like key types must win over the numeric/boolean reinterpretation,
+/// otherwise a `String` key that *looks* numeric (e.g. `"42"`) would be
+/// re-typed to a number and fail to deserialize as a string.
+fn key_from_str<K: Deserialize>(key: &str) -> Result<K, Error> {
+    let as_string = Value::String(key.to_string());
+    if let Ok(k) = K::from_value(&as_string) {
+        return Ok(k);
+    }
+    let reinterpreted = if let Ok(n) = key.parse::<u64>() {
+        Value::UInt(n)
+    } else if let Ok(n) = key.parse::<i64>() {
+        Value::Int(n)
+    } else if key == "true" {
+        Value::Bool(true)
+    } else if key == "false" {
+        Value::Bool(false)
+    } else {
+        as_string
+    };
+    K::from_value(&reinterpreted)
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "found X, expected Y"-style error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {what}, got {got:?}"))
+    }
+
+    /// Creates a missing-field error.
+    pub fn missing_field(name: &str) -> Self {
+        Error::custom(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into an owned [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`], validating shape and types.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a required object field.
+pub fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    value.get(name).ok_or_else(|| Error::missing_field(name))
+}
+
+/// Deserializes an object field, treating an absent field as `null` (used by
+/// the derive macros).
+///
+/// This mirrors real serde's behaviour for `Option` fields: a missing field
+/// deserializes to `None`, while non-optional field types reject `null` and
+/// surface a missing-field error.
+pub fn field_or_null<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v),
+        None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(name)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    other => Err(Error::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const ARITY: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .to_value()
+                        .as_map_key()
+                        .expect("BTreeMap key must serialize to a scalar");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_str(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .to_value()
+                    .as_map_key()
+                    .expect("HashMap key must serialize to a scalar");
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_str(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(3u32).to_value(), Value::UInt(3));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::UInt(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn signed_integers_keep_sign() {
+        assert_eq!((-7i32).to_value(), Value::Int(-7));
+        assert_eq!(7i32.to_value(), Value::UInt(7));
+        assert_eq!(i32::from_value(&Value::Int(-7)).unwrap(), -7);
+    }
+
+    #[test]
+    fn u64_is_exact() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn btreemap_uses_scalar_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(2u32, "b".to_string());
+        m.insert(1u32, "a".to_string());
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("1".into(), Value::String("a".into())),
+                ("2".into(), Value::String("b".into())),
+            ])
+        );
+        assert_eq!(BTreeMap::<u32, String>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn string_keys_that_look_numeric_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("42".to_string(), 1u32);
+        m.insert("true".to_string(), 2u32);
+        m.insert("plain".to_string(), 3u32);
+        let v = m.to_value();
+        assert_eq!(BTreeMap::<String, u32>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (1u8, -2i32, "x".to_string());
+        let v = t.to_value();
+        assert_eq!(<(u8, i32, String)>::from_value(&v).unwrap(), t);
+    }
+
+    #[test]
+    fn missing_field_error_names_the_field() {
+        let obj = Value::Object(vec![]);
+        let err = field(&obj, "speed").unwrap_err();
+        assert!(err.to_string().contains("speed"));
+    }
+}

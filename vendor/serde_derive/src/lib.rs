@@ -1,0 +1,454 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! sibling `serde` stand-in without depending on `syn`/`quote` (neither is
+//! available offline). The derive input is parsed with a small hand-written
+//! token walker that understands the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit, struct and tuple variants (externally tagged, like
+//!   real serde's default representation),
+//! * unbounded type parameters (each parameter gains a `Serialize` /
+//!   `Deserialize` bound, mirroring serde's inferred bounds).
+//!
+//! `#[serde(...)]` attributes are **not** supported and will simply be
+//! ignored by the token walker; none are used in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a `#[derive]` input item.
+struct Item {
+    name: String,
+    /// Plain type-parameter names, in declaration order.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the stand-in `serde::Serialize` for structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(serialize_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let (impl_generics, ty_generics) = split_generics(&item.generics, "::serde::Serialize");
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive stand-in generated invalid Serialize impl")
+}
+
+/// Derives the stand-in `serde::Deserialize` for structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field_or_null(value, \"{f}\")?"))
+                .collect();
+            format!(
+                "if value.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::expected(\"object\", value));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok(Self({inits})),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"array of length {n}\", other)),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => deserialize_enum_body(variants),
+    };
+    let (impl_generics, ty_generics) = split_generics(&item.generics, "::serde::Deserialize");
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive stand-in generated invalid Deserialize impl")
+}
+
+/// One `match self` arm of an enum `to_value`.
+fn serialize_arm(variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => {
+            format!("Self::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),")
+        }
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::Value::Object(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+        VariantFields::Tuple(1) => format!(
+            "Self::{v}(f0) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{v}\"), \
+                  ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let entries: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "Self::{v}({binds}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::Value::Array(::std::vec![{entries}]))]),",
+                binds = binds.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+/// The full `from_value` body for an enum (externally tagged).
+fn deserialize_enum_body(variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let name = &v.name;
+            let build = match &v.fields {
+                VariantFields::Unit => return None,
+                VariantFields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field_or_null(inner, \"{f}\")?"))
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok(Self::{name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                VariantFields::Tuple(1) => format!(
+                    "::std::result::Result::Ok(Self::{name}(\
+                     ::serde::Deserialize::from_value(inner)?))"
+                ),
+                VariantFields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok(Self::{name}({inits})),\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"array of length {n}\", other)),\n\
+                         }}",
+                        inits = inits.join(", ")
+                    )
+                }
+            };
+            Some(format!("\"{name}\" => {build},"))
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+             ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 _ => ::std::result::Result::Err(\
+                     ::serde::Error::custom(format!(\"unknown variant `{{tag}}`\"))),\n\
+             }},\n\
+             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::custom(format!(\"unknown variant `{{tag}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum variant\", other)),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n")
+    )
+}
+
+/// Renders `impl<...>` and `<...>` generic lists with the given bound.
+fn split_generics(generics: &[String], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let with_bounds: Vec<String> = generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        (
+            format!("<{}>", with_bounds.join(", ")),
+            format!("<{}>", generics.join(", ")),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive stand-in: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stand-in: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                *pos += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stand-in: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `<A, B, ...>` after the item name, returning the type-parameter
+/// names. Only plain, unbounded type parameters are supported (all this
+/// workspace uses); bounds, defaults and lifetimes are rejected loudly.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*pos) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *pos += 1;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *pos += 1;
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => *pos += 1,
+            Some(TokenTree::Ident(id)) => {
+                params.push(id.to_string());
+                *pos += 1;
+            }
+            other => panic!(
+                "serde_derive stand-in: unsupported generics token {other:?} \
+                 (only plain type parameters are supported)"
+            ),
+        }
+    }
+    params
+}
+
+/// Extracts the field names from the brace body of a named-field struct.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive stand-in: expected `:` after field, got {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the next comma at angle-depth 0.
+fn skip_type_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&tokens, &mut pos);
+    }
+    count
+}
+
+/// Parses the brace body of an enum into its variants.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional explicit discriminant, then the trailing comma.
+        skip_type_until_comma(&tokens, &mut pos);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
