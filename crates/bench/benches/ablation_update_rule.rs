@@ -1,4 +1,5 @@
-//! DESIGN.md ablation workload: cost of one training epoch under each
+//! DESIGN.md §"Experiment and ablation index" workload: cost of one
+//! training epoch under each
 //! variant of the tri-state update rule (damped default, undamped, relax-only
 //! neighbours, winner-only).
 

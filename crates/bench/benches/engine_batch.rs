@@ -1,0 +1,55 @@
+//! Batched-engine workload (DESIGN.md §"The batched engine layout"): the
+//! scalar per-neuron winner loop versus the plane-sliced `PackedLayer`
+//! search versus the sharded `RecognitionEngine`, all on the paper's
+//! 40-neuron × 768-bit configuration — the acceptance micro-benchmark for
+//! the batched layout.
+
+use bsom_bench::{bench_dataset, trained_bsom};
+use bsom_engine::{EngineConfig, RecognitionEngine};
+use bsom_som::{LabelledSom, PackedLayer, SelfOrganizingMap};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn engine_batch(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let som = trained_bsom(&dataset, 3);
+    let classifier = LabelledSom::label(som.clone(), &dataset.train);
+    let layer = PackedLayer::from_som(&som);
+    let signatures: Vec<_> = dataset.test.iter().map(|(s, _)| s.clone()).collect();
+    let shared = Arc::new(signatures.clone());
+
+    let mut group = c.benchmark_group("engine_batch");
+    group.throughput(Throughput::Elements(signatures.len() as u64));
+
+    // The baseline the tentpole replaces: 40 per-neuron TriStateVector
+    // Hamming calls per signature.
+    group.bench_function("scalar_per_neuron_loop", |b| {
+        b.iter(|| {
+            for s in &signatures {
+                black_box(som.winner(s).unwrap());
+            }
+        })
+    });
+
+    // The plane-sliced batched search, single thread.
+    group.bench_function("packed_layer_batch", |b| {
+        let mut distances = vec![0u32; layer.neuron_count()];
+        b.iter(|| {
+            for s in &signatures {
+                black_box(layer.winner_with_buffer(s, &mut distances).unwrap());
+            }
+        })
+    });
+
+    // The full engine: batched search sharded across a small fixed pool.
+    let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(4));
+    group.bench_function("recognition_engine_4_workers", |b| {
+        b.iter(|| black_box(engine.classify_batch_shared(Arc::clone(&shared))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, engine_batch);
+criterion_main!(benches);

@@ -2,12 +2,12 @@
 //!
 //! Shared fixtures for the Criterion benchmark suite. Each bench target under
 //! `benches/` regenerates the workload behind one table or figure of the
-//! paper (see DESIGN.md's experiment index); this library only holds the
+//! paper (see DESIGN.md §"Experiment and ablation index"); this library only holds the
 //! common dataset/map builders so the individual benches stay small and the
 //! fixtures stay identical across them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use bsom_dataset::{DatasetConfig, SurveillanceDataset};
 use bsom_som::{BSom, BSomConfig, CSom, CSomConfig, SelfOrganizingMap, TrainSchedule};

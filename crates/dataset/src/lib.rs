@@ -9,7 +9,8 @@
 //! caused by partial occlusion (office furniture), camera jitter, over- and
 //! under-segmentation and lighting changes from wide windows (§III-B, §IV).
 //! That recording is unavailable, so this crate generates datasets with the
-//! same structure and the same corruption processes (see DESIGN.md):
+//! same structure and the same corruption processes (see DESIGN.md
+//! §"Synthetic data substitutions"):
 //!
 //! * [`AppearanceModel`] — a per-identity clothing palette plus sampling
 //!   parameters that turn it into per-frame colour histograms with
@@ -38,7 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod appearance;
 pub mod generator;

@@ -1,0 +1,566 @@
+//! # bsom-engine
+//!
+//! The batched, multi-core recognition engine of the bSOM reproduction.
+//!
+//! The paper's FPGA serves recognition traffic by streaming every input
+//! pattern past one Hamming unit per neuron — the whole competitive layer
+//! consumes the input in a single pass, and patterns queue behind each other
+//! in a pipeline that never unpacks a bit. This crate is the software
+//! equivalent for serving heavy traffic (ROADMAP north star): signatures are
+//! sharded across a **fixed worker-thread pool**, and each worker runs the
+//! **batched winner search** of [`bsom_som::PackedLayer`] — the plane-sliced
+//! layout documented in DESIGN.md §"The batched engine layout" — instead of
+//! the scalar per-neuron loop.
+//!
+//! * [`RecognitionEngine`] — the engine: a snapshot of a trained, labelled
+//!   bSOM plus a worker pool; [`classify_batch`](RecognitionEngine::classify_batch)
+//!   shards a batch of signatures, [`process_frames`](RecognitionEngine::process_frames)
+//!   drives a whole frame batch through `bsom_vision`'s pipeline and
+//!   classifies every tracked object it finds.
+//! * [`EngineConfig`] — worker count and unknown-rejection override.
+//! * [`throughput`] — measured engine / batched / scalar throughput compared
+//!   against the `bsom_fpga` cycle model's patterns-per-second figure.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use bsom_engine::{EngineConfig, RecognitionEngine};
+//! use bsom_signature::BinaryVector;
+//! use bsom_som::{BSom, BSomConfig, LabelledSom, ObjectLabel, SelfOrganizingMap, TrainSchedule};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let a = BinaryVector::from_bits((0..64).map(|i| i < 32));
+//! let b = BinaryVector::from_bits((0..64).map(|i| i >= 32));
+//! let data = vec![(a.clone(), ObjectLabel::new(0)), (b.clone(), ObjectLabel::new(1))];
+//! let mut som = BSom::new(BSomConfig::new(8, 64), &mut rng);
+//! som.train_labelled_data(&data, TrainSchedule::new(100), &mut rng).unwrap();
+//! let classifier = LabelledSom::label(som, &data);
+//!
+//! let engine = RecognitionEngine::new(&classifier, EngineConfig::default());
+//! let predictions = engine.classify_batch(&[a, b]);
+//! assert_eq!(predictions[0].label(), Some(ObjectLabel::new(0)));
+//! assert_eq!(predictions[1].label(), Some(ObjectLabel::new(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod throughput;
+
+use std::ops::Range;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use bsom_signature::{BinaryVector, RgbImage};
+use bsom_som::{BSom, BatchWinner, LabelledSom, ObjectLabel, PackedLayer, Prediction};
+use bsom_vision::pipeline::{ObjectObservation, SurveillancePipeline};
+use serde::{Deserialize, Serialize};
+
+pub use throughput::{compare_recognition_throughput, MeasuredThroughput, ThroughputComparison};
+
+/// Configuration for a [`RecognitionEngine`].
+///
+/// The default asks the OS for the available parallelism and keeps the
+/// classifier's own unknown-rejection threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EngineConfig {
+    /// Number of worker threads. `0` asks the OS for the available
+    /// parallelism (falling back to 1 if unknown).
+    pub workers: usize,
+    /// Overrides the classifier's unknown-rejection distance threshold.
+    /// `None` keeps whatever the labelled map was calibrated with.
+    pub unknown_threshold: Option<f64>,
+}
+
+impl EngineConfig {
+    /// A configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Overrides the unknown-rejection distance threshold.
+    pub fn with_unknown_threshold(mut self, threshold: f64) -> Self {
+        self.unknown_threshold = Some(threshold);
+        self
+    }
+}
+
+/// One classified tracked-object observation from a frame batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecognizedObject {
+    /// The pipeline's observation (track, bbox, histogram, signature).
+    pub observation: ObjectObservation,
+    /// The engine's identity verdict for the observation's signature.
+    pub prediction: Prediction,
+}
+
+/// A shard of winner-search work sent to the pool.
+struct Job {
+    signatures: Arc<Vec<BinaryVector>>,
+    range: Range<usize>,
+    reply: Sender<Shard>,
+}
+
+/// A completed shard: winners for `signatures[start..start + winners.len()]`.
+struct Shard {
+    start: usize,
+    winners: Vec<Option<BatchWinner>>,
+}
+
+/// The fixed worker pool. Workers pull jobs off a shared queue; dropping the
+/// pool closes the queue and joins every thread.
+struct WorkerPool {
+    job_tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize, layer: Arc<PackedLayer>) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handles = (0..workers)
+            .map(|worker_index| {
+                let job_rx = Arc::clone(&job_rx);
+                let layer = Arc::clone(&layer);
+                std::thread::Builder::new()
+                    .name(format!("bsom-engine-{worker_index}"))
+                    .spawn(move || worker_loop(&job_rx, &layer))
+                    .expect("spawning an engine worker thread")
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.job_tx
+            .as_ref()
+            .expect("pool is alive while the engine exists")
+            .send(job)
+            .expect("workers outlive the engine");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's receive loop.
+        self.job_tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: drain the shared job queue, running the batched winner
+/// search over each shard with a reusable distance buffer.
+fn worker_loop(job_rx: &Mutex<Receiver<Job>>, layer: &PackedLayer) {
+    let mut distances = vec![0u32; layer.neuron_count()];
+    loop {
+        // Hold the lock only while receiving so shards drain in parallel.
+        let job = match job_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // a sibling worker panicked; shut down
+        };
+        let Ok(job) = job else {
+            return; // queue closed: the engine was dropped
+        };
+        let winners = job.range.clone().map(|i| {
+            layer
+                .winner_with_buffer(&job.signatures[i], &mut distances)
+                .ok()
+        });
+        let shard = Shard {
+            start: job.range.start,
+            winners: winners.collect(),
+        };
+        // The collector may have been dropped (e.g. a panicking caller);
+        // losing the reply is then harmless.
+        let _ = job.reply.send(shard);
+    }
+}
+
+/// A batched, sharded recognition engine over a trained, labelled bSOM.
+///
+/// The engine snapshots the classifier at construction time: the competitive
+/// layer is re-laid out plane-sliced ([`PackedLayer`]) and shared read-only
+/// across a fixed worker-thread pool. Batches submitted through
+/// [`classify_batch`](Self::classify_batch) are split into one contiguous
+/// shard per worker, each shard runs the batched winner search, and results
+/// are reassembled in input order.
+pub struct RecognitionEngine {
+    layer: Arc<PackedLayer>,
+    labels: Vec<Option<ObjectLabel>>,
+    unknown_threshold: Option<f64>,
+    workers: usize,
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for RecognitionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecognitionEngine")
+            .field("neurons", &self.layer.neuron_count())
+            .field("vector_len", &self.layer.vector_len())
+            .field("workers", &self.workers)
+            .field("unknown_threshold", &self.unknown_threshold)
+            .finish()
+    }
+}
+
+impl RecognitionEngine {
+    /// Builds an engine from a trained, labelled classifier.
+    ///
+    /// The classifier is snapshotted (weights, labels, threshold); later
+    /// training on the original map does not affect the engine.
+    pub fn new(classifier: &LabelledSom<BSom>, config: EngineConfig) -> Self {
+        Self::from_parts(
+            PackedLayer::from_som(classifier.map()),
+            classifier.neuron_labels().to_vec(),
+            config.unknown_threshold.or(classifier.unknown_threshold()),
+            config.workers,
+        )
+    }
+
+    /// Builds an engine from an already-packed layer plus per-neuron labels,
+    /// e.g. weights exported from the FPGA BlockRAM after off-line training
+    /// (paper §V-F).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the layer's neuron count.
+    pub fn from_parts(
+        layer: PackedLayer,
+        labels: Vec<Option<ObjectLabel>>,
+        unknown_threshold: Option<f64>,
+        workers: usize,
+    ) -> Self {
+        assert_eq!(
+            labels.len(),
+            layer.neuron_count(),
+            "one label slot per neuron"
+        );
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let layer = Arc::new(layer);
+        let pool = WorkerPool::spawn(workers, Arc::clone(&layer));
+        RecognitionEngine {
+            layer,
+            labels,
+            unknown_threshold,
+            workers,
+            pool,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// The plane-sliced competitive layer the workers search.
+    pub fn layer(&self) -> &PackedLayer {
+        &self.layer
+    }
+
+    /// The unknown-rejection distance threshold, if any.
+    pub fn unknown_threshold(&self) -> Option<f64> {
+        self.unknown_threshold
+    }
+
+    /// Converts a raw winner into the engine's verdict, applying the label
+    /// table and the unknown threshold exactly like
+    /// [`LabelledSom::classify`].
+    fn verdict(&self, winner: Option<BatchWinner>) -> Prediction {
+        let Some(winner) = winner else {
+            return Prediction::Unknown; // wrong-length signature
+        };
+        let distance = winner.distance as f64;
+        if let Some(threshold) = self.unknown_threshold {
+            if distance > threshold {
+                return Prediction::Unknown;
+            }
+        }
+        match self.labels[winner.index] {
+            Some(label) => Prediction::Known {
+                label,
+                neuron: winner.index,
+                distance,
+            },
+            None => Prediction::Unknown,
+        }
+    }
+
+    /// Raw batched winner search sharded across the pool; `None` entries are
+    /// wrong-length signatures.
+    fn batch_winners(&self, signatures: Arc<Vec<BinaryVector>>) -> Vec<Option<BatchWinner>> {
+        let total = signatures.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let shard_len = total.div_ceil(self.workers);
+        let (reply_tx, reply_rx) = mpsc::channel::<Shard>();
+        let mut shards_sent = 0usize;
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + shard_len).min(total);
+            self.pool.submit(Job {
+                signatures: Arc::clone(&signatures),
+                range: start..end,
+                reply: reply_tx.clone(),
+            });
+            shards_sent += 1;
+            start = end;
+        }
+        drop(reply_tx);
+
+        let mut winners: Vec<Option<BatchWinner>> = vec![None; total];
+        for _ in 0..shards_sent {
+            let shard = reply_rx
+                .recv()
+                .expect("every submitted shard sends exactly one reply");
+            for (offset, winner) in shard.winners.into_iter().enumerate() {
+                winners[shard.start + offset] = winner;
+            }
+        }
+        winners
+    }
+
+    /// Classifies a batch of signatures, sharding the winner search across
+    /// the worker pool. Results are in input order; wrong-length signatures
+    /// yield [`Prediction::Unknown`], mirroring [`LabelledSom::classify`].
+    ///
+    /// The batch is copied once into shared ownership for the pool; callers
+    /// that already hold an `Arc` can use
+    /// [`classify_batch_shared`](Self::classify_batch_shared).
+    pub fn classify_batch(&self, signatures: &[BinaryVector]) -> Vec<Prediction> {
+        self.classify_batch_shared(Arc::new(signatures.to_vec()))
+    }
+
+    /// [`classify_batch`](Self::classify_batch) without the defensive copy.
+    pub fn classify_batch_shared(&self, signatures: Arc<Vec<BinaryVector>>) -> Vec<Prediction> {
+        self.batch_winners(signatures)
+            .into_iter()
+            .map(|w| self.verdict(w))
+            .collect()
+    }
+
+    /// Runs a batch of frames through a [`SurveillancePipeline`] and
+    /// classifies every surviving tracked object in one sharded winner
+    /// search.
+    ///
+    /// The pipeline stays sequential (its background model and tracker are
+    /// stateful), but all signatures the batch produces — across every frame
+    /// — are classified together, which is where the batching pays off on
+    /// busy scenes.
+    pub fn process_frames(
+        &self,
+        pipeline: &mut SurveillancePipeline,
+        frames: &[RgbImage],
+    ) -> Vec<Vec<RecognizedObject>> {
+        let per_frame = pipeline.process_frames(frames);
+        let signatures: Vec<BinaryVector> = per_frame
+            .iter()
+            .flatten()
+            .map(|obs| obs.signature.clone())
+            .collect();
+        let mut predictions = self.classify_batch_shared(Arc::new(signatures)).into_iter();
+        per_frame
+            .into_iter()
+            .map(|observations| {
+                observations
+                    .into_iter()
+                    .map(|observation| RecognizedObject {
+                        observation,
+                        prediction: predictions
+                            .next()
+                            .expect("one prediction per flattened observation"),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsom_som::{BSomConfig, SelfOrganizingMap, TrainSchedule};
+    use bsom_vision::pipeline::PipelineConfig;
+    use bsom_vision::scene::{SceneConfig, SceneSimulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xE961E)
+    }
+
+    fn trained_classifier(r: &mut StdRng) -> (LabelledSom<BSom>, Vec<BinaryVector>) {
+        let patterns: Vec<BinaryVector> = (0..6).map(|_| BinaryVector::random(96, r)).collect();
+        let data: Vec<(BinaryVector, ObjectLabel)> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), ObjectLabel::new(i % 3)))
+            .collect();
+        let mut som = BSom::new(BSomConfig::new(12, 96), r);
+        som.train_labelled_data(&data, TrainSchedule::new(40), r)
+            .unwrap();
+        (LabelledSom::label(som, &data), patterns)
+    }
+
+    #[test]
+    fn engine_matches_scalar_classifier_on_a_batch() {
+        let mut r = rng();
+        let (classifier, _) = trained_classifier(&mut r);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(3));
+        let batch: Vec<BinaryVector> = (0..50).map(|_| BinaryVector::random(96, &mut r)).collect();
+        let batched = engine.classify_batch(&batch);
+        assert_eq!(batched.len(), batch.len());
+        for (signature, prediction) in batch.iter().zip(&batched) {
+            assert_eq!(*prediction, classifier.classify(signature));
+        }
+    }
+
+    #[test]
+    fn engine_respects_unknown_threshold_override() {
+        let mut r = rng();
+        let (classifier, patterns) = trained_classifier(&mut r);
+        // Threshold 0 on a far-away probe forces Unknown.
+        let engine = RecognitionEngine::new(
+            &classifier,
+            EngineConfig::with_workers(2).with_unknown_threshold(0.0),
+        );
+        assert_eq!(engine.unknown_threshold(), Some(0.0));
+        let probe = !&patterns[0];
+        let out = engine.classify_batch(std::slice::from_ref(&probe));
+        assert_eq!(out[0], Prediction::Unknown);
+    }
+
+    #[test]
+    fn wrong_length_signatures_classify_as_unknown() {
+        let mut r = rng();
+        let (classifier, patterns) = trained_classifier(&mut r);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+        let batch = vec![BinaryVector::zeros(8), patterns[0].clone()];
+        let out = engine.classify_batch(&batch);
+        assert_eq!(out[0], Prediction::Unknown);
+        assert_eq!(out[1], classifier.classify(&patterns[0]));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut r = rng();
+        let (classifier, _) = trained_classifier(&mut r);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+        assert!(engine.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_signatures_is_fine() {
+        let mut r = rng();
+        let (classifier, patterns) = trained_classifier(&mut r);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(8));
+        assert_eq!(engine.worker_count(), 8);
+        let out = engine.classify_batch(&patterns[..2]);
+        assert_eq!(out.len(), 2);
+        for (s, p) in patterns[..2].iter().zip(&out) {
+            assert_eq!(*p, classifier.classify(s));
+        }
+    }
+
+    #[test]
+    fn default_config_resolves_a_positive_worker_count() {
+        let mut r = rng();
+        let (classifier, _) = trained_classifier(&mut r);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::default());
+        assert!(engine.worker_count() >= 1);
+        assert!(!format!("{engine:?}").is_empty());
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_labels() {
+        let mut r = rng();
+        let (classifier, _) = trained_classifier(&mut r);
+        let layer = PackedLayer::from_som(classifier.map());
+        let result = std::panic::catch_unwind(|| {
+            RecognitionEngine::from_parts(layer, vec![None; 1], None, 1)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn process_frames_classifies_every_observation() {
+        let mut r = rng();
+        // A tiny engine over paper-sized signatures (the pipeline emits
+        // 768-bit signatures).
+        let data: Vec<(BinaryVector, ObjectLabel)> = (0..4)
+            .map(|i| (BinaryVector::random(768, &mut r), ObjectLabel::new(i)))
+            .collect();
+        let mut som = BSom::new(BSomConfig::paper_default(), &mut r);
+        som.train_labelled_data(&data, TrainSchedule::new(5), &mut r)
+            .unwrap();
+        let classifier = LabelledSom::label(som, &data);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+
+        let scene_config = SceneConfig {
+            entry_probability: 0.0,
+            jitter: 0,
+            lighting_drift: 0,
+            ..SceneConfig::small()
+        };
+        let mut scene = SceneSimulator::new(scene_config, &mut r);
+        let mut pipeline = SurveillancePipeline::with_config(
+            scene.config().width,
+            scene.config().height,
+            PipelineConfig {
+                min_object_pixels: Some(300),
+                ..PipelineConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            pipeline.observe_background(&scene.render_background_only(&mut r));
+        }
+        scene.spawn_person(4, true);
+        let frames: Vec<RgbImage> = (0..12).map(|_| scene.render_frame(&mut r).image).collect();
+
+        let results = engine.process_frames(&mut pipeline, &frames);
+        assert_eq!(results.len(), frames.len());
+        let mut seen = 0;
+        for frame in &results {
+            for recognized in frame {
+                seen += 1;
+                assert_eq!(recognized.observation.signature.len(), 768);
+                // Engine verdict must agree with the scalar classifier.
+                assert_eq!(
+                    recognized.prediction,
+                    classifier.classify(&recognized.observation.signature)
+                );
+            }
+        }
+        assert!(seen > 0, "the walking person must be observed");
+        assert_eq!(pipeline.frames_processed(), frames.len() as u64);
+    }
+
+    #[test]
+    fn engine_survives_many_small_batches() {
+        let mut r = rng();
+        let (classifier, _) = trained_classifier(&mut r);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(4));
+        for _ in 0..20 {
+            let batch: Vec<BinaryVector> =
+                (0..7).map(|_| BinaryVector::random(96, &mut r)).collect();
+            assert_eq!(engine.classify_batch(&batch).len(), 7);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Engine-vs-scalar throughput, compared against the FPGA cycle model.
+//!
+//! The paper's §V-F claim is 25,000 recognitions per second at 40 MHz. This
+//! module measures the software side of the same question three ways —
+//! the scalar per-neuron loop ([`bsom_som::SelfOrganizingMap::winner`]), the
+//! single-threaded batched winner search ([`bsom_som::PackedLayer`]), and the
+//! sharded [`RecognitionEngine`] — and places the
+//! results next to the patterns-per-second figure that
+//! [`bsom_fpga::throughput`] derives from simulated cycle counts, so the
+//! "faster than the hardware allows?" question has one mechanical answer.
+
+use std::time::{Duration, Instant};
+
+use bsom_fpga::throughput::{recognition_throughput, ThroughputReport};
+use bsom_fpga::FpgaConfig;
+use bsom_signature::BinaryVector;
+use bsom_som::{BSom, SelfOrganizingMap};
+use serde::{Deserialize, Serialize};
+
+use crate::RecognitionEngine;
+
+/// One wall-clock throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredThroughput {
+    /// Signatures classified per second.
+    pub patterns_per_second: f64,
+    /// Seconds per signature.
+    pub seconds_per_pattern: f64,
+    /// How many passes over the batch the figure was averaged over.
+    pub rounds: usize,
+}
+
+impl MeasuredThroughput {
+    /// Derives a throughput figure from `rounds` passes over a batch of
+    /// `batch_size` signatures taking `elapsed` in total.
+    fn from_elapsed(batch_size: usize, rounds: usize, elapsed: Duration) -> Self {
+        let patterns = (batch_size * rounds) as f64;
+        let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        MeasuredThroughput {
+            patterns_per_second: patterns / secs,
+            seconds_per_pattern: secs / patterns.max(1.0),
+            rounds,
+        }
+    }
+}
+
+/// The three software measurements next to the FPGA cycle-model figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputComparison {
+    /// Number of signatures in the measured batch.
+    pub batch_size: usize,
+    /// Scalar per-neuron winner loop, single thread.
+    pub scalar: MeasuredThroughput,
+    /// Plane-sliced batched winner search, single thread.
+    pub batched: MeasuredThroughput,
+    /// The sharded engine (batched search on every worker).
+    pub engine: MeasuredThroughput,
+    /// The FPGA cycle model's recognition throughput (§V-F derivation).
+    pub fpga: ThroughputReport,
+}
+
+impl ThroughputComparison {
+    /// Speed-up of the single-threaded batched search over the scalar loop —
+    /// the pure effect of the plane-sliced layout.
+    pub fn batched_speedup_over_scalar(&self) -> f64 {
+        self.batched.patterns_per_second / self.scalar.patterns_per_second
+    }
+
+    /// Speed-up of the sharded engine over the scalar loop — layout plus
+    /// multi-core sharding.
+    pub fn engine_speedup_over_scalar(&self) -> f64 {
+        self.engine.patterns_per_second / self.scalar.patterns_per_second
+    }
+
+    /// Ratio of engine throughput to the FPGA cycle model's figure; above
+    /// 1.0 the software engine outruns the modelled hardware.
+    pub fn engine_vs_fpga(&self) -> f64 {
+        self.engine.patterns_per_second / self.fpga.patterns_per_second
+    }
+}
+
+impl std::fmt::Display for ThroughputComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "recognition throughput (batch of {})", self.batch_size)?;
+        writeln!(
+            f,
+            "  scalar loop   {:>12.0} signatures/s",
+            self.scalar.patterns_per_second
+        )?;
+        writeln!(
+            f,
+            "  batched (1T)  {:>12.0} signatures/s  ({:.2}x scalar)",
+            self.batched.patterns_per_second,
+            self.batched_speedup_over_scalar()
+        )?;
+        writeln!(
+            f,
+            "  engine        {:>12.0} signatures/s  ({:.2}x scalar)",
+            self.engine.patterns_per_second,
+            self.engine_speedup_over_scalar()
+        )?;
+        write!(
+            f,
+            "  fpga model    {:>12.0} signatures/s  (engine = {:.2}x fpga)",
+            self.fpga.patterns_per_second,
+            self.engine_vs_fpga()
+        )
+    }
+}
+
+/// Times `work` (one full pass over the batch per call) repeatedly until
+/// `min_duration` of wall clock has been spent, returning the averaged
+/// throughput.
+fn measure<F: FnMut()>(
+    batch_size: usize,
+    min_duration: Duration,
+    mut work: F,
+) -> MeasuredThroughput {
+    // One untimed warm-up pass (page in the weights, fill the pool queues).
+    work();
+    let start = Instant::now();
+    let mut rounds = 0usize;
+    loop {
+        work();
+        rounds += 1;
+        if start.elapsed() >= min_duration {
+            break;
+        }
+    }
+    MeasuredThroughput::from_elapsed(batch_size, rounds, start.elapsed())
+}
+
+/// Measures scalar / batched / engine recognition throughput on `signatures`
+/// and derives the FPGA figure from `fpga_config`'s cycle model.
+///
+/// `som` must be the same trained map the engine snapshotted, so the three
+/// software paths do identical work. `min_duration` is spent on **each** of
+/// the three measurements; a few tens of milliseconds already gives stable
+/// relative numbers with the vendored timer.
+///
+/// # Panics
+///
+/// Panics if `signatures` is empty.
+pub fn compare_recognition_throughput(
+    engine: &RecognitionEngine,
+    som: &BSom,
+    signatures: &[BinaryVector],
+    fpga_config: FpgaConfig,
+    min_duration: Duration,
+) -> ThroughputComparison {
+    assert!(!signatures.is_empty(), "cannot measure an empty batch");
+    let batch_size = signatures.len();
+
+    let scalar = measure(batch_size, min_duration, || {
+        for s in signatures {
+            std::hint::black_box(som.winner(s).expect("signature lengths match the map"));
+        }
+    });
+
+    let layer = engine.layer();
+    let mut distances = vec![0u32; layer.neuron_count()];
+    let batched = measure(batch_size, min_duration, || {
+        for s in signatures {
+            std::hint::black_box(
+                layer
+                    .winner_with_buffer(s, &mut distances)
+                    .expect("signature lengths match the layer"),
+            );
+        }
+    });
+
+    let shared = std::sync::Arc::new(signatures.to_vec());
+    let engine_measured = measure(batch_size, min_duration, || {
+        std::hint::black_box(engine.classify_batch_shared(std::sync::Arc::clone(&shared)));
+    });
+
+    ThroughputComparison {
+        batch_size,
+        scalar,
+        batched,
+        engine: engine_measured,
+        fpga: recognition_throughput(fpga_config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use bsom_som::{BSomConfig, LabelledSom, ObjectLabel, TrainSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn comparison_produces_positive_figures_and_renders() {
+        let mut r = StdRng::seed_from_u64(0x7412);
+        let data: Vec<(BinaryVector, ObjectLabel)> = (0..4)
+            .map(|i| (BinaryVector::random(768, &mut r), ObjectLabel::new(i)))
+            .collect();
+        let mut som = BSom::new(BSomConfig::paper_default(), &mut r);
+        som.train_labelled_data(&data, TrainSchedule::new(2), &mut r)
+            .unwrap();
+        let classifier = LabelledSom::label(som.clone(), &data);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+        let batch: Vec<BinaryVector> = (0..64).map(|_| BinaryVector::random(768, &mut r)).collect();
+
+        let comparison = compare_recognition_throughput(
+            &engine,
+            &som,
+            &batch,
+            FpgaConfig::paper_default(),
+            Duration::from_millis(20),
+        );
+        assert_eq!(comparison.batch_size, 64);
+        assert!(comparison.scalar.patterns_per_second > 0.0);
+        assert!(comparison.batched.patterns_per_second > 0.0);
+        assert!(comparison.engine.patterns_per_second > 0.0);
+        assert!(comparison.fpga.patterns_per_second > 0.0);
+        assert!(comparison.scalar.rounds >= 1);
+        let text = comparison.to_string();
+        assert!(text.contains("scalar loop"));
+        assert!(text.contains("fpga model"));
+        let json = serde_json::to_string(&comparison).unwrap();
+        assert!(json.contains("patterns_per_second"));
+    }
+
+    // Wall-clock assertion: sound in release on an idle machine, but timing
+    // noise under a loaded CI runner (or the dev profile) can flip it with no
+    // code defect, so it is opt-in. `benches/engine_batch.rs` measures the
+    // same claim on every bench run; run this directly with
+    // `cargo test -p bsom-engine --release -- --ignored`.
+    #[test]
+    #[ignore = "wall-clock perf assertion; covered by the engine_batch bench"]
+    fn batched_layout_beats_the_scalar_loop_on_the_paper_configuration() {
+        // The acceptance-criterion micro-check: 40 neurons x 768 bits, the
+        // plane-sliced search must not be slower than the per-neuron loop.
+        let mut r = StdRng::seed_from_u64(0xFA57);
+        let data: Vec<(BinaryVector, ObjectLabel)> = (0..4)
+            .map(|i| (BinaryVector::random(768, &mut r), ObjectLabel::new(i)))
+            .collect();
+        let mut som = BSom::new(BSomConfig::paper_default(), &mut r);
+        som.train_labelled_data(&data, TrainSchedule::new(2), &mut r)
+            .unwrap();
+        let classifier = LabelledSom::label(som.clone(), &data);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+        let batch: Vec<BinaryVector> = (0..256)
+            .map(|_| BinaryVector::random(768, &mut r))
+            .collect();
+        let comparison = compare_recognition_throughput(
+            &engine,
+            &som,
+            &batch,
+            FpgaConfig::paper_default(),
+            Duration::from_millis(60),
+        );
+        assert!(
+            comparison.batched_speedup_over_scalar() > 1.0,
+            "plane-sliced batch search should beat the scalar loop, got {:.2}x",
+            comparison.batched_speedup_over_scalar()
+        );
+    }
+}

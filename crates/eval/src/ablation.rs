@@ -1,4 +1,5 @@
-//! Design-choice ablations called out in DESIGN.md: the bSOM update rule
+//! Design-choice ablations called out in DESIGN.md §"Experiment and
+//! ablation index": the bSOM update rule
 //! (neighbour policy and stochastic damping) and the histogram binarisation
 //! threshold (mean versus median).
 

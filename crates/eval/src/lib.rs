@@ -17,7 +17,7 @@
 //! | Fig. 4/5 + §V | Block cycle counts and throughput | [`fig5`] |
 //! | Fig. 6 | End-to-end FPGA recognition after off-line training | [`fig6`] |
 //! | §IV text | Neuron-count sweep (both SOMs > 90 % above 50 neurons) | [`neuron_sweep`] |
-//! | DESIGN.md ablations | Update rule / binarisation threshold ablations | [`ablation`] |
+//! | DESIGN.md §"Experiment and ablation index" | Update rule / binarisation threshold ablations | [`ablation`] |
 //!
 //! ## Quick example
 //!
@@ -33,7 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablation;
 pub mod fig2;

@@ -10,8 +10,9 @@
 //!
 //! The comparator key carried through the tree is `(distance, #-count,
 //! address)`: the secondary key implements the specificity tie-break
-//! documented in `bsom_som::BSom::winner` (DESIGN.md), and the address makes
-//! the reduction deterministic, matching the software map bit for bit.
+//! documented in `bsom_som::BSom::winner` (DESIGN.md §"Winner selection and
+//! the WTA tie-break key"), and the address makes the reduction
+//! deterministic, matching the software map bit for bit.
 
 use crate::clock::CycleCount;
 

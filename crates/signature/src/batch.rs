@@ -1,0 +1,193 @@
+//! Batched #-aware Hamming kernels on packed word slices.
+//!
+//! The FPGA streams every input pattern past one Hamming unit per neuron, so
+//! the whole competitive layer consumes the input in a single pass. The
+//! software analogue (see DESIGN.md §"The batched engine layout") stores the
+//! competitive layer *plane-sliced*: for each 64-bit word index `w`, the
+//! `w`-th value (and care) word of **every** neuron is stored contiguously.
+//! One outer loop over the input words then updates all neuron distances with
+//! sequential, cache-friendly XOR/AND/popcount — no bit is ever unpacked.
+//!
+//! These kernels are deliberately free of any `BinaryVector` /
+//! `TriStateVector` bookkeeping: they operate on raw `&[u64]` slices so the
+//! SOM layer can own the layout and the engine can shard work across threads
+//! without cloning vectors.
+
+/// #-aware Hamming distance between one weight vector and one input, all as
+/// packed word slices: `popcount((value ^ input) & care)` summed over words
+/// (paper Eq. 3).
+///
+/// All three slices must have the same length; any tail bits beyond the
+/// logical vector length must be zero in `care` (the invariant maintained by
+/// [`BinaryVector::as_words`](crate::BinaryVector::as_words)).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn masked_hamming_words(value: &[u64], care: &[u64], input: &[u64]) -> usize {
+    assert_eq!(value.len(), input.len(), "value/input word count mismatch");
+    assert_eq!(care.len(), input.len(), "care/input word count mismatch");
+    value
+        .iter()
+        .zip(input)
+        .zip(care)
+        .map(|((w, x), c)| ((w ^ x) & c).count_ones() as usize)
+        .sum()
+}
+
+/// One pass of the batched winner-search kernel: accumulates the #-aware
+/// Hamming distance of `input` to every neuron of a plane-sliced layer.
+///
+/// `values` and `cares` hold `neurons` words per input word index, i.e.
+/// `values[w * neurons + i]` is neuron `i`'s `w`-th value word. `distances`
+/// is **accumulated into** (callers zero it first), which lets the engine
+/// split very wide vectors across calls.
+///
+/// # Panics
+///
+/// Panics if `distances.len() != neurons` or if `values`/`cares` are not
+/// exactly `input.len() * neurons` words long.
+pub fn batch_masked_hamming(
+    values: &[u64],
+    cares: &[u64],
+    input: &[u64],
+    neurons: usize,
+    distances: &mut [u32],
+) {
+    assert_eq!(distances.len(), neurons, "one distance slot per neuron");
+    assert_eq!(
+        values.len(),
+        input.len() * neurons,
+        "values must hold `neurons` words per input word"
+    );
+    assert_eq!(
+        cares.len(),
+        input.len() * neurons,
+        "cares must hold `neurons` words per input word"
+    );
+    for (w, &x) in input.iter().enumerate() {
+        let row = w * neurons;
+        let value_row = &values[row..row + neurons];
+        let care_row = &cares[row..row + neurons];
+        for i in 0..neurons {
+            distances[i] += ((value_row[i] ^ x) & care_row[i]).count_ones();
+        }
+    }
+}
+
+/// Selects the winner from per-neuron distances using the full FPGA
+/// comparator key `{distance, #-count, address}` (DESIGN.md §"Winner
+/// selection and the WTA tie-break key"): smallest distance first, then the
+/// most specific neuron (fewest `#`s), then the lowest address.
+///
+/// Returns `(address, distance)` of the winner, or `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `dont_care_counts.len() != distances.len()`.
+pub fn select_winner(distances: &[u32], dont_care_counts: &[u32]) -> Option<(usize, u32)> {
+    assert_eq!(
+        distances.len(),
+        dont_care_counts.len(),
+        "one #-count per neuron"
+    );
+    let mut best: Option<(u32, u32, usize)> = None;
+    for (i, (&d, &dc)) in distances.iter().zip(dont_care_counts).enumerate() {
+        let key = (d, dc, i);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map(|(d, _, i)| (i, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryVector, TriStateVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masked_hamming_words_matches_tristate_hamming() {
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        for _ in 0..20 {
+            let w = TriStateVector::random_with_dont_care(768, 0.3, &mut rng);
+            let x = BinaryVector::random(768, &mut rng);
+            let scalar = w.hamming(&x).unwrap();
+            let kernel = masked_hamming_words(
+                w.value_plane().as_words(),
+                w.care_plane().as_words(),
+                x.as_words(),
+            );
+            assert_eq!(scalar, kernel);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn masked_hamming_words_rejects_mismatched_slices() {
+        masked_hamming_words(&[0, 0], &[0, 0], &[0]);
+    }
+
+    #[test]
+    fn batch_kernel_matches_per_neuron_scalar_loop() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let neurons = 7;
+        let len = 200; // 4 words with a masked tail
+        let weights: Vec<TriStateVector> = (0..neurons)
+            .map(|_| TriStateVector::random_with_dont_care(len, 0.25, &mut rng))
+            .collect();
+        let input = BinaryVector::random(len, &mut rng);
+
+        // Build the plane-sliced layout by hand.
+        let words = len.div_ceil(64);
+        let mut values = vec![0u64; words * neurons];
+        let mut cares = vec![0u64; words * neurons];
+        for (i, w) in weights.iter().enumerate() {
+            for (word, &v) in w.value_plane().as_words().iter().enumerate() {
+                values[word * neurons + i] = v;
+            }
+            for (word, &c) in w.care_plane().as_words().iter().enumerate() {
+                cares[word * neurons + i] = c;
+            }
+        }
+
+        let mut distances = vec![0u32; neurons];
+        batch_masked_hamming(&values, &cares, input.as_words(), neurons, &mut distances);
+        for (i, w) in weights.iter().enumerate() {
+            assert_eq!(distances[i] as usize, w.hamming(&input).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_kernel_accumulates_across_calls() {
+        // Splitting the word range across two calls must give the same total.
+        let values = vec![u64::MAX, 0, u64::MAX, 0];
+        let cares = vec![u64::MAX; 4];
+        let input = [0u64, u64::MAX];
+        let mut once = vec![0u32; 2];
+        batch_masked_hamming(&values, &cares, &input, 2, &mut once);
+        let mut split = vec![0u32; 2];
+        batch_masked_hamming(&values[..2], &cares[..2], &input[..1], 2, &mut split);
+        batch_masked_hamming(&values[2..], &cares[2..], &input[1..], 2, &mut split);
+        assert_eq!(once, split);
+    }
+
+    #[test]
+    #[should_panic(expected = "one distance slot per neuron")]
+    fn batch_kernel_rejects_wrong_distance_len() {
+        batch_masked_hamming(&[0], &[0], &[0], 1, &mut [0, 0]);
+    }
+
+    #[test]
+    fn select_winner_applies_full_comparator_key() {
+        // Distance first.
+        assert_eq!(select_winner(&[5, 3, 9], &[0, 700, 0]), Some((1, 3)));
+        // #-count breaks distance ties.
+        assert_eq!(select_winner(&[5, 5], &[700, 3]), Some((1, 5)));
+        // Address breaks full ties.
+        assert_eq!(select_winner(&[5, 5], &[3, 3]), Some((0, 5)));
+        assert_eq!(select_winner(&[], &[]), None);
+    }
+}

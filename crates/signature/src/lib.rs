@@ -32,14 +32,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod batch;
 pub mod bitvec;
 pub mod error;
 pub mod histogram;
 pub mod image;
 pub mod tristate;
 
+pub use batch::{batch_masked_hamming, masked_hamming_words, select_winner};
 pub use bitvec::BinaryVector;
 pub use error::SignatureError;
 pub use histogram::{ColorHistogram, BINS_PER_CHANNEL, HISTOGRAM_BINS};

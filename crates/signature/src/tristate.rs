@@ -296,14 +296,11 @@ impl TriStateVector {
                 right: input.len(),
             });
         }
-        Ok(self
-            .value
-            .as_words()
-            .iter()
-            .zip(input.as_words())
-            .zip(self.care.as_words())
-            .map(|((w, x), c)| ((w ^ x) & c).count_ones() as usize)
-            .sum())
+        Ok(crate::batch::masked_hamming_words(
+            self.value.as_words(),
+            self.care.as_words(),
+            input.as_words(),
+        ))
     }
 
     /// #-aware Hamming distance between two tri-state vectors.

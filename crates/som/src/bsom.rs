@@ -9,8 +9,9 @@
 //! ## Reconstructed training rule
 //!
 //! This SOCC 2010 paper does not restate the full update rule of its
-//! reference [5]; the rule implemented here (and documented in DESIGN.md as a
-//! substitution) is the natural tri-state rule with the properties the paper
+//! reference \[5\]; the rule implemented here (and documented in DESIGN.md
+//! §"The reconstructed update rule" as a substitution) is the natural
+//! tri-state rule with the properties the paper
 //! relies on, damped stochastically so that a prototype reflects the
 //! *majority* of the patterns a neuron wins rather than just the last one.
 //!
@@ -67,7 +68,7 @@ pub enum NeighbourRule {
 /// The defaults of [`BSomConfig::paper_default`] reproduce Table III: 40
 /// neurons, 768-bit vectors, random initial weights, maximum neighbourhood 4
 /// (the neighbourhood policy itself lives in
-/// [`TrainSchedule`](crate::TrainSchedule)).
+/// [`TrainSchedule`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BSomConfig {
     /// Number of neurons in the competitive layer.
@@ -357,7 +358,8 @@ impl SelfOrganizingMap for BSom {
         // artificially small distance to everything, so among equidistant
         // candidates the one that actually commits to more bits is the better
         // explanation of the input. In hardware this is a wider comparator
-        // key ({distance, #-count, address}); see DESIGN.md.
+        // key ({distance, #-count, address}); see DESIGN.md §"Winner
+        // selection and the WTA tie-break key".
         let mut best_key = (usize::MAX, usize::MAX);
         let mut best = Winner::new(0, f64::INFINITY);
         for (i, neuron) in self.neurons.iter().enumerate() {

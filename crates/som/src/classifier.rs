@@ -4,7 +4,7 @@
 //! labelled test set: the percentage of test signatures whose predicted label
 //! matches the manual annotation. This module provides the [`Prediction`]
 //! type returned by the classifier, the [`evaluate`] helper that computes the
-//! accuracy of a [`LabelledSom`](crate::LabelledSom) over a test set, and the
+//! accuracy of a [`LabelledSom`] over a test set, and the
 //! [`ConfusionMatrix`] used by the extended diagnostics.
 
 use std::collections::BTreeSet;

@@ -47,13 +47,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bsom;
 pub mod classifier;
 pub mod csom;
 pub mod error;
 pub mod labeling;
+pub mod packed;
 pub mod schedule;
 pub mod som_trait;
 
@@ -62,5 +63,6 @@ pub use classifier::{evaluate, ConfusionMatrix, Evaluation, Prediction};
 pub use csom::{CSom, CSomConfig, NeighbourhoodKernel};
 pub use error::SomError;
 pub use labeling::{LabelledSom, ObjectLabel};
+pub use packed::{BatchWinner, PackedLayer};
 pub use schedule::{NeighbourhoodSchedule, TrainSchedule};
 pub use som_trait::{SelfOrganizingMap, Winner};

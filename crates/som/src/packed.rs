@@ -1,0 +1,484 @@
+//! The plane-sliced competitive layer for batched winner search.
+//!
+//! [`BSom`] stores each neuron as its own pair of bit-planes,
+//! which is the right shape for training (weights mutate neuron by neuron)
+//! but the wrong shape for recognition traffic: the scalar winner search
+//! walks 40 separate heap allocations per input. [`PackedLayer`] is the
+//! recognition-side snapshot of the same weights in the layout the FPGA
+//! datapath implies (DESIGN.md §"The batched engine layout"): for each 64-bit
+//! word index, the corresponding value/care word of **every** neuron is
+//! stored contiguously, so one sequential pass over the input words computes
+//! the #-aware Hamming distance to all neurons at once and the whole layer
+//! fits the cache line by line.
+//!
+//! The winner returned by [`PackedLayer::winner`] is bit-identical to
+//! [`BSom::winner`](crate::SelfOrganizingMap::winner) — including the
+//! `{distance, #-count, address}` tie-break — a property pinned down by the
+//! `packed_equivalence` proptest suite.
+
+use bsom_signature::{batch_masked_hamming, select_winner, BinaryVector, TriStateVector};
+use serde::{Deserialize, Serialize};
+
+use crate::bsom::BSom;
+use crate::error::SomError;
+
+/// The result of a batched winner search, carrying the full FPGA comparator
+/// key so callers can audit tie-breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchWinner {
+    /// Address of the winning neuron.
+    pub index: usize,
+    /// Its #-aware Hamming distance to the input.
+    pub distance: u32,
+    /// The winning neuron's `#`-count (the secondary comparator key).
+    pub dont_care_count: u32,
+}
+
+/// A read-only, plane-sliced snapshot of a bSOM competitive layer.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_signature::BinaryVector;
+/// use bsom_som::{BSom, BSomConfig, PackedLayer, SelfOrganizingMap};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let som = BSom::new(BSomConfig::new(8, 64), &mut rng);
+/// let layer = PackedLayer::from_som(&som);
+/// let input = BinaryVector::random(64, &mut rng);
+/// let batched = layer.winner(&input).unwrap();
+/// let scalar = som.winner(&input).unwrap();
+/// assert_eq!(batched.index, scalar.index);
+/// assert_eq!(batched.distance as f64, scalar.distance);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PackedLayer {
+    neurons: usize,
+    vector_len: usize,
+    words_per_vector: usize,
+    /// Value words, word-major: `values[w * neurons + i]` is neuron `i`'s
+    /// `w`-th value word.
+    values: Vec<u64>,
+    /// Care words in the same layout.
+    cares: Vec<u64>,
+    /// Per-neuron `#`-counts, precomputed for the tie-break key.
+    dont_care_counts: Vec<u32>,
+}
+
+impl PackedLayer {
+    /// Builds a packed layer from explicit tri-state weight vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::EmptyConfiguration`] for an empty weight list and
+    /// [`SomError::InputLengthMismatch`] if the weights disagree on length.
+    pub fn from_neurons(weights: &[TriStateVector]) -> Result<Self, SomError> {
+        let vector_len = weights.first().map(TriStateVector::len).unwrap_or(0);
+        if weights.is_empty() || vector_len == 0 {
+            return Err(SomError::EmptyConfiguration {
+                neurons: weights.len(),
+                vector_len,
+            });
+        }
+        if let Some(bad) = weights.iter().find(|w| w.len() != vector_len) {
+            return Err(SomError::InputLengthMismatch {
+                expected: vector_len,
+                actual: bad.len(),
+            });
+        }
+        let neurons = weights.len();
+        let words_per_vector = vector_len.div_ceil(64);
+        let mut values = vec![0u64; words_per_vector * neurons];
+        let mut cares = vec![0u64; words_per_vector * neurons];
+        for (i, weight) in weights.iter().enumerate() {
+            for (w, &v) in weight.value_plane().as_words().iter().enumerate() {
+                values[w * neurons + i] = v;
+            }
+            for (w, &c) in weight.care_plane().as_words().iter().enumerate() {
+                cares[w * neurons + i] = c;
+            }
+        }
+        let dont_care_counts = weights.iter().map(|w| w.count_dont_care() as u32).collect();
+        Ok(PackedLayer {
+            neurons,
+            vector_len,
+            words_per_vector,
+            values,
+            cares,
+            dont_care_counts,
+        })
+    }
+
+    /// Snapshots a trained [`BSom`]'s competitive layer.
+    pub fn from_som(som: &BSom) -> Self {
+        Self::from_neurons(som.neurons()).expect("a constructed BSom is never empty")
+    }
+
+    /// Number of neurons in the layer.
+    pub fn neuron_count(&self) -> usize {
+        self.neurons
+    }
+
+    /// Length of the weight vectors / expected input length in bits.
+    pub fn vector_len(&self) -> usize {
+        self.vector_len
+    }
+
+    /// Per-neuron `#`-counts in address order (the secondary comparator key).
+    pub fn dont_care_counts(&self) -> &[u32] {
+        &self.dont_care_counts
+    }
+
+    /// The word-major value plane (`neurons` words per input word index).
+    pub fn value_words(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The word-major care plane, in the same layout as
+    /// [`value_words`](Self::value_words).
+    pub fn care_words(&self) -> &[u64] {
+        &self.cares
+    }
+
+    fn check_input(&self, input: &BinaryVector) -> Result<(), SomError> {
+        if input.len() != self.vector_len {
+            return Err(SomError::InputLengthMismatch {
+                expected: self.vector_len,
+                actual: input.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Accumulates the #-aware Hamming distances from `input` to every neuron
+    /// into `distances` (which must hold one zeroed slot per neuron). Exposed
+    /// so callers that classify in a tight loop can reuse the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::InputLengthMismatch`] for a wrong-length input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances.len() != self.neuron_count()`.
+    pub fn distances_into(
+        &self,
+        input: &BinaryVector,
+        distances: &mut [u32],
+    ) -> Result<(), SomError> {
+        self.check_input(input)?;
+        batch_masked_hamming(
+            &self.values,
+            &self.cares,
+            input.as_words(),
+            self.neurons,
+            distances,
+        );
+        Ok(())
+    }
+
+    /// Distances from `input` to every neuron, in address order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::InputLengthMismatch`] for a wrong-length input.
+    pub fn distances(&self, input: &BinaryVector) -> Result<Vec<u32>, SomError> {
+        let mut distances = vec![0u32; self.neurons];
+        self.distances_into(input, &mut distances)?;
+        Ok(distances)
+    }
+
+    /// Batched winner search: one sequential pass over the input words
+    /// against the plane-sliced layer, then the `{distance, #-count,
+    /// address}` reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::InputLengthMismatch`] for a wrong-length input.
+    pub fn winner(&self, input: &BinaryVector) -> Result<BatchWinner, SomError> {
+        let mut distances = vec![0u32; self.neurons];
+        self.winner_with_buffer(input, &mut distances)
+    }
+
+    /// [`winner`](Self::winner) with a caller-provided distance buffer,
+    /// avoiding the per-call allocation in batch loops. The buffer is
+    /// overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::InputLengthMismatch`] for a wrong-length input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances.len() != self.neuron_count()`.
+    pub fn winner_with_buffer(
+        &self,
+        input: &BinaryVector,
+        distances: &mut [u32],
+    ) -> Result<BatchWinner, SomError> {
+        distances.fill(0);
+        self.distances_into(input, distances)?;
+        let (index, distance) = select_winner(distances, &self.dont_care_counts)
+            .expect("a constructed PackedLayer is never empty");
+        Ok(BatchWinner {
+            index,
+            distance,
+            dont_care_count: self.dont_care_counts[index],
+        })
+    }
+
+    /// Winner search over a whole batch of inputs, reusing one distance
+    /// buffer across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SomError::InputLengthMismatch`] encountered.
+    pub fn winners(&self, inputs: &[BinaryVector]) -> Result<Vec<BatchWinner>, SomError> {
+        let mut distances = vec![0u32; self.neurons];
+        inputs
+            .iter()
+            .map(|input| self.winner_with_buffer(input, &mut distances))
+            .collect()
+    }
+}
+
+/// The raw wire shape of a [`PackedLayer`], deserialized without invariants.
+///
+/// The public type's constructors all enforce the cross-field invariants the
+/// search kernels index by; deserialization must not be a back door around
+/// them, so [`PackedLayer`]'s `Deserialize` goes through this struct plus
+/// [`PackedLayer::validate_raw`].
+#[derive(Deserialize)]
+struct RawPackedLayer {
+    neurons: usize,
+    vector_len: usize,
+    words_per_vector: usize,
+    values: Vec<u64>,
+    cares: Vec<u64>,
+    dont_care_counts: Vec<u32>,
+}
+
+impl PackedLayer {
+    /// Checks every invariant the hand-written constructors guarantee; a
+    /// snapshot violating any of them would panic or mis-index at
+    /// classification time.
+    fn validate_raw(raw: RawPackedLayer) -> Result<Self, String> {
+        if raw.neurons == 0 || raw.vector_len == 0 {
+            return Err(format!(
+                "PackedLayer must be non-empty (neurons = {}, vector_len = {})",
+                raw.neurons, raw.vector_len
+            ));
+        }
+        if raw.words_per_vector != raw.vector_len.div_ceil(64) {
+            return Err(format!(
+                "words_per_vector {} does not match vector_len {}",
+                raw.words_per_vector, raw.vector_len
+            ));
+        }
+        let expected_words = raw.words_per_vector * raw.neurons;
+        if raw.values.len() != expected_words || raw.cares.len() != expected_words {
+            return Err(format!(
+                "plane sizes ({} values, {} cares) do not match {} words x {} neurons",
+                raw.values.len(),
+                raw.cares.len(),
+                raw.words_per_vector,
+                raw.neurons
+            ));
+        }
+        if raw.dont_care_counts.len() != raw.neurons {
+            return Err(format!(
+                "{} #-counts for {} neurons",
+                raw.dont_care_counts.len(),
+                raw.neurons
+            ));
+        }
+        // Tail bits beyond vector_len must be zero in both planes — Eq. 3
+        // popcounts would otherwise see phantom trits.
+        let rem = raw.vector_len % 64;
+        if rem != 0 {
+            let tail_mask = !((1u64 << rem) - 1);
+            let tail_row = (raw.words_per_vector - 1) * raw.neurons;
+            for plane in [&raw.values, &raw.cares] {
+                if plane[tail_row..].iter().any(|w| w & tail_mask != 0) {
+                    return Err(format!(
+                        "tail bits beyond vector_len {} are set",
+                        raw.vector_len
+                    ));
+                }
+            }
+        }
+        Ok(PackedLayer {
+            neurons: raw.neurons,
+            vector_len: raw.vector_len,
+            words_per_vector: raw.words_per_vector,
+            values: raw.values,
+            cares: raw.cares,
+            dont_care_counts: raw.dont_care_counts,
+        })
+    }
+}
+
+// Written against the vendored serde stand-in's `from_value` trait; with
+// registry serde this collapses to `#[serde(try_from = "RawPackedLayer")]`
+// on the struct (see vendor/README.md).
+impl serde::Deserialize for PackedLayer {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let raw = RawPackedLayer::from_value(value)?;
+        PackedLayer::validate_raw(raw).map_err(serde::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsom::BSomConfig;
+    use crate::som_trait::SelfOrganizingMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBA7C4ED)
+    }
+
+    #[test]
+    fn from_neurons_validates_shapes() {
+        assert!(matches!(
+            PackedLayer::from_neurons(&[]),
+            Err(SomError::EmptyConfiguration { .. })
+        ));
+        let bad = [TriStateVector::zeros(8), TriStateVector::zeros(9)];
+        assert!(matches!(
+            PackedLayer::from_neurons(&bad),
+            Err(SomError::InputLengthMismatch {
+                expected: 8,
+                actual: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn packed_distances_match_scalar_distances() {
+        let mut r = rng();
+        let som = BSom::new(BSomConfig::paper_default(), &mut r);
+        let layer = PackedLayer::from_som(&som);
+        assert_eq!(layer.neuron_count(), 40);
+        assert_eq!(layer.vector_len(), 768);
+        for _ in 0..10 {
+            let input = BinaryVector::random(768, &mut r);
+            let scalar = som.distances(&input).unwrap();
+            let packed = layer.distances(&input).unwrap();
+            for (s, p) in scalar.iter().zip(&packed) {
+                assert_eq!(*s, *p as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_winner_matches_scalar_winner_after_training() {
+        let mut r = rng();
+        let mut som = BSom::new(BSomConfig::new(16, 96), &mut r);
+        let data: Vec<BinaryVector> = (0..8).map(|_| BinaryVector::random(96, &mut r)).collect();
+        som.train(&data, crate::TrainSchedule::new(30), &mut r)
+            .unwrap();
+        let layer = PackedLayer::from_som(&som);
+        for input in &data {
+            let scalar = som.winner(input).unwrap();
+            let packed = layer.winner(input).unwrap();
+            assert_eq!(packed.index, scalar.index);
+            assert_eq!(packed.distance as f64, scalar.distance);
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_specific_then_low_address() {
+        // Neuron 0 is all-#: distance 0 everywhere but maximally unspecific.
+        // Neuron 1 exactly matches the input: distance 0 and fully concrete.
+        let weights = [
+            TriStateVector::from_str("####").unwrap(),
+            TriStateVector::from_str("1010").unwrap(),
+            TriStateVector::from_str("1010").unwrap(),
+        ];
+        let layer = PackedLayer::from_neurons(&weights).unwrap();
+        let w = layer
+            .winner(&BinaryVector::from_bit_str("1010").unwrap())
+            .unwrap();
+        assert_eq!(w.index, 1, "specificity beats the all-# neuron");
+        assert_eq!(w.distance, 0);
+        assert_eq!(w.dont_care_count, 0);
+    }
+
+    #[test]
+    fn wrong_length_input_errors() {
+        let layer = PackedLayer::from_neurons(&[TriStateVector::zeros(16)]).unwrap();
+        assert!(matches!(
+            layer.winner(&BinaryVector::zeros(8)),
+            Err(SomError::InputLengthMismatch {
+                expected: 16,
+                actual: 8
+            })
+        ));
+        assert!(layer.winners(&[BinaryVector::zeros(8)]).is_err());
+    }
+
+    #[test]
+    fn winners_batch_matches_individual_calls() {
+        let mut r = rng();
+        let som = BSom::new(BSomConfig::new(12, 128), &mut r);
+        let layer = PackedLayer::from_som(&som);
+        let inputs: Vec<BinaryVector> = (0..6).map(|_| BinaryVector::random(128, &mut r)).collect();
+        let batch = layer.winners(&inputs).unwrap();
+        for (input, batched) in inputs.iter().zip(&batch) {
+            assert_eq!(*batched, layer.winner(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = rng();
+        let som = BSom::new(BSomConfig::new(4, 70), &mut r);
+        let layer = PackedLayer::from_som(&som);
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: PackedLayer = serde_json::from_str(&json).unwrap();
+        assert_eq!(layer, back);
+    }
+
+    #[test]
+    fn deserialize_rejects_inconsistent_snapshots() {
+        let mut r = rng();
+        let layer = PackedLayer::from_som(&BSom::new(BSomConfig::new(4, 70), &mut r));
+        let json = serde_json::to_string(&layer).unwrap();
+
+        // Structural tampering: wrong neuron count for the stored planes.
+        let bad = json.replace("\"neurons\":4", "\"neurons\":5");
+        assert!(serde_json::from_str::<PackedLayer>(&bad).is_err());
+
+        // Empty layer.
+        let empty = json
+            .replace("\"neurons\":4", "\"neurons\":0")
+            .replace("\"vector_len\":70", "\"vector_len\":0");
+        assert!(serde_json::from_str::<PackedLayer>(&empty).is_err());
+
+        // Wrong words_per_vector for the claimed vector_len.
+        let skewed = json.replace("\"words_per_vector\":2", "\"words_per_vector\":3");
+        assert!(serde_json::from_str::<PackedLayer>(&skewed).is_err());
+
+        // #-count table not one-per-neuron.
+        let counts = json.replace("\"dont_care_counts\":[0,0,0,0]", "\"dont_care_counts\":[0]");
+        assert_ne!(counts, json, "fixture must actually tamper the counts");
+        assert!(serde_json::from_str::<PackedLayer>(&counts).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_set_tail_bits() {
+        // 70-bit vectors leave 58 tail bits in the second word; phantom trits
+        // there would corrupt every popcount. All-# layer except for a care
+        // tail word with every bit set.
+        let good = r#"{"neurons":1,"vector_len":70,"words_per_vector":2,
+            "values":[0,0],"cares":[0,0],"dont_care_counts":[70]}"#;
+        assert!(serde_json::from_str::<PackedLayer>(good).is_ok());
+        let bad = good.replace("\"cares\":[0,0]", "\"cares\":[0,18446744073709551615]");
+        assert!(serde_json::from_str::<PackedLayer>(&bad).is_err());
+    }
+}

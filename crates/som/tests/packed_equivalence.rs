@@ -1,0 +1,114 @@
+//! Property suite pinning the batch/scalar winner-search equivalence
+//! (DESIGN.md §"The batched engine layout"): for arbitrary layers and inputs
+//! — including engineered ties — the plane-sliced [`PackedLayer`] search must
+//! return a bit-identical `{winner, distance}` to the per-neuron
+//! [`BSom::winner`] reference loop, and identical full distance vectors.
+
+use bsom_signature::{BinaryVector, TriStateVector, Trit};
+use bsom_som::{BSom, PackedLayer, SelfOrganizingMap};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary binary input of the given length.
+fn binary_vector(len: usize) -> impl Strategy<Value = BinaryVector> {
+    prop::collection::vec(any::<bool>(), len).prop_map(BinaryVector::from_bits)
+}
+
+/// Strategy producing an arbitrary tri-state weight vector of the given
+/// length, with all three trit kinds well represented.
+fn tristate_vector(len: usize) -> impl Strategy<Value = TriStateVector> {
+    prop::collection::vec(0u8..3, len).prop_map(|raw| {
+        TriStateVector::from_trits(raw.into_iter().map(|v| match v {
+            0 => Trit::Zero,
+            1 => Trit::One,
+            _ => Trit::DontCare,
+        }))
+    })
+}
+
+/// Strategy producing a whole competitive layer: 1–12 neurons over vectors
+/// spanning several 64-bit words (so the masked tail word is exercised).
+fn layer(len: usize) -> impl Strategy<Value = Vec<TriStateVector>> {
+    prop::collection::vec(tristate_vector(len), 1..12)
+}
+
+/// A layer engineered to produce distance ties: neurons are drawn from a
+/// tiny pool of base vectors, with only `#`-counts and addresses left to
+/// disambiguate.
+fn tie_heavy_layer(len: usize) -> impl Strategy<Value = Vec<TriStateVector>> {
+    (prop::collection::vec(tristate_vector(len), 1..3), 2usize..9).prop_map(|(bases, copies)| {
+        let mut neurons = Vec::new();
+        for _ in 0..copies {
+            neurons.extend(bases.iter().cloned());
+        }
+        neurons
+    })
+}
+
+/// Asserts full scalar/batched agreement for one layer and one input.
+fn assert_equivalent(
+    weights: Vec<TriStateVector>,
+    input: &BinaryVector,
+) -> Result<(), TestCaseError> {
+    let som = BSom::from_weights(weights.clone()).expect("non-empty layer");
+    let packed = PackedLayer::from_neurons(&weights).expect("non-empty layer");
+
+    let scalar_distances = som.winner(input).map(|_| som.distances(input).unwrap());
+    let packed_distances = packed.distances(input);
+    prop_assert_eq!(scalar_distances.is_ok(), packed_distances.is_ok());
+    let (Ok(scalar_distances), Ok(packed_distances)) = (scalar_distances, packed_distances) else {
+        return Ok(()); // both rejected the input (length mismatch)
+    };
+    for (s, p) in scalar_distances.iter().zip(&packed_distances) {
+        prop_assert_eq!(*s, *p as f64);
+    }
+
+    let scalar = som.winner(input).unwrap();
+    let batched = packed.winner(input).unwrap();
+    prop_assert_eq!(batched.index, scalar.index);
+    prop_assert_eq!(batched.distance as f64, scalar.distance);
+    prop_assert_eq!(
+        batched.dont_care_count as usize,
+        weights[batched.index].count_dont_care()
+    );
+    Ok(())
+}
+
+proptest! {
+    /// Arbitrary layers and inputs across a word boundary (len 96 = 1.5 words).
+    #[test]
+    fn batch_winner_matches_scalar_loop(weights in layer(96), input in binary_vector(96)) {
+        assert_equivalent(weights, &input)?;
+    }
+
+    /// Tie-heavy layers: duplicated neurons force the `{distance, #-count,
+    /// address}` tie-break to decide, and it must decide identically.
+    #[test]
+    fn tie_breaks_are_bit_identical(weights in tie_heavy_layer(64), input in binary_vector(64)) {
+        assert_equivalent(weights, &input)?;
+    }
+
+    /// The paper's exact shape: 768-bit vectors (12 whole words, no tail).
+    #[test]
+    fn paper_width_vectors_agree(weights in layer(768), input in binary_vector(768)) {
+        assert_equivalent(weights, &input)?;
+    }
+
+    /// Wrong-length inputs must be rejected by both paths, never mis-scored.
+    #[test]
+    fn both_paths_reject_mismatched_lengths(weights in layer(96), input in binary_vector(64)) {
+        assert_equivalent(weights, &input)?;
+    }
+
+    /// A batched call over many inputs equals one-at-a-time calls.
+    #[test]
+    fn winners_batch_equals_pointwise(
+        weights in layer(96),
+        inputs in prop::collection::vec(binary_vector(96), 1..8),
+    ) {
+        let packed = PackedLayer::from_neurons(&weights).expect("non-empty layer");
+        let batch = packed.winners(&inputs).unwrap();
+        for (input, batched) in inputs.iter().zip(&batch) {
+            prop_assert_eq!(*batched, packed.winner(input).unwrap());
+        }
+    }
+}

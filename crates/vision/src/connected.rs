@@ -1,7 +1,7 @@
 //! Two-pass connected-components labelling.
 //!
 //! The paper's segmentation stage groups foreground pixels into objects with
-//! connected-components analysis (their reference [2] accelerates this on
+//! connected-components analysis (their reference \[2\] accelerates this on
 //! FPGA; here a classic two-pass union–find implementation suffices, since in
 //! this reproduction the stage runs on the CPU side exactly as in the paper's
 //! §I pipeline description).

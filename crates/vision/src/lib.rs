@@ -3,11 +3,12 @@
 //! The surveillance substrate of the bSOM reproduction.
 //!
 //! The paper's identification system sits downstream of a CPU-based tracking
-//! pipeline (their references [3], [21]) that segments moving objects from an
+//! pipeline (their references \[3\], \[21\]) that segments moving objects from an
 //! indoor camera, labels connected components, tracks the resulting blobs and
 //! extracts a colour histogram per object per frame. That pipeline — and the
 //! two-hour indoor recording it ran on — is not available, so this crate
-//! provides the closest synthetic equivalent (see DESIGN.md):
+//! provides the closest synthetic equivalent (see DESIGN.md §"Synthetic data
+//! substitutions"):
 //!
 //! * [`scene`] — a synthetic indoor scene renderer with nine parameterised
 //!   "person" appearance models, static furniture that partially occludes
@@ -48,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod background;
 pub mod blob;

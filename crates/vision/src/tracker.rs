@@ -1,7 +1,7 @@
 //! Greedy centroid tracking.
 //!
 //! The paper relies on "a robust tracking algorithm capable of extracting the
-//! colour histogram for every moving object" (their references [3], [21]).
+//! colour histogram for every moving object" (their references \[3\], \[21\]).
 //! For the reproduction a deliberately simple tracker suffices: blobs are
 //! matched to existing tracks by nearest centroid within a gating distance,
 //! unmatched blobs open new tracks, and tracks that go unseen for a number of

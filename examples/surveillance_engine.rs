@@ -1,0 +1,107 @@
+//! The batched multi-core serving path: synthetic video frames -> vision
+//! pipeline -> `RecognitionEngine` sharded winner search -> identities, plus
+//! the engine-vs-scalar-vs-FPGA throughput comparison.
+//!
+//! This is `surveillance_pipeline` upgraded to the engine: instead of
+//! classifying each observation with the scalar per-neuron loop as it
+//! appears, whole frame batches are classified in one sharded pass over the
+//! plane-sliced competitive layer (DESIGN.md §"The batched engine layout").
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example surveillance_engine
+//! ```
+
+use std::time::Duration;
+
+use bsom_repro::engine::{compare_recognition_throughput, EngineConfig, RecognitionEngine};
+use bsom_repro::prelude::*;
+use bsom_repro::vision::pipeline::PipelineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // --- Off-line phase: enrol the nine identities (paper §V-F). ---
+    let dataset_config = DatasetConfig {
+        train_instances: 600,
+        test_instances: 400,
+        ..DatasetConfig::paper_default()
+    };
+    let enrolment = SurveillanceDataset::generate(&dataset_config, &mut rng);
+    let mut som = BSom::new(BSomConfig::paper_default(), &mut rng);
+    som.train_labelled_data(&enrolment.train, TrainSchedule::new(20), &mut rng)
+        .expect("enrolment data present");
+    let classifier = LabelledSom::label(som.clone(), &enrolment.train);
+
+    // --- Snapshot the trained map into the engine. ---
+    let engine = RecognitionEngine::new(&classifier, EngineConfig::default());
+    println!(
+        "engine: {} neurons x {} bits, {} workers",
+        engine.layer().neuron_count(),
+        engine.layer().vector_len(),
+        engine.worker_count()
+    );
+
+    // --- Live phase: batches of frames through the pipeline + engine. ---
+    let scene_config = SceneConfig {
+        entry_probability: 0.15,
+        ..SceneConfig::small()
+    };
+    let mut scene = SceneSimulator::new(scene_config, &mut rng);
+    let min_pixels = (scene.config().person_width * scene.config().person_height) / 4;
+    let mut pipeline = SurveillancePipeline::with_config(
+        scene.config().width,
+        scene.config().height,
+        PipelineConfig {
+            min_object_pixels: Some(min_pixels),
+            ..PipelineConfig::default()
+        },
+    );
+    for _ in 0..15 {
+        pipeline.observe_background(&scene.render_background_only(&mut rng));
+    }
+
+    let mut detections = 0usize;
+    let mut identified = 0usize;
+    for batch_index in 0..8 {
+        // The camera delivers frames one by one; the server accumulates a
+        // small batch and classifies all its objects in one sharded pass.
+        let frames: Vec<_> = (0..25)
+            .map(|_| scene.render_frame(&mut rng).image)
+            .collect();
+        let results = engine.process_frames(&mut pipeline, &frames);
+        let batch_objects: usize = results.iter().map(Vec::len).sum();
+        detections += batch_objects;
+        for recognized in results.iter().flatten() {
+            if recognized.prediction.is_known() {
+                identified += 1;
+            }
+        }
+        println!(
+            "batch {batch_index}: {} frames, {} tracked objects classified",
+            frames.len(),
+            batch_objects
+        );
+    }
+    println!(
+        "\nprocessed {} frames, {} tracked detections, {} identified as known objects",
+        pipeline.frames_processed(),
+        detections,
+        identified
+    );
+
+    // --- The §V-F question, answered mechanically: how do the software
+    //     paths compare with the FPGA cycle model's signatures/s figure? ---
+    let probe: Vec<BinaryVector> = enrolment.test.iter().map(|(s, _)| s.clone()).collect();
+    let comparison = compare_recognition_throughput(
+        &engine,
+        &som,
+        &probe,
+        FpgaConfig::paper_default(),
+        Duration::from_millis(150),
+    );
+    println!("\n{comparison}");
+}

@@ -16,6 +16,8 @@
 //!   XC4VLX160 resource model.
 //! * [`stats`] — the Wilcoxon rank-sum machinery behind Table II.
 //! * [`eval`] — the experiment harness regenerating every table and figure.
+//! * [`engine`] — the batched, multi-core recognition engine serving
+//!   signature traffic through a sharded plane-sliced winner search.
 //!
 //! ## Quickstart
 //!
@@ -40,9 +42,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use bsom_dataset as dataset;
+pub use bsom_engine as engine;
 pub use bsom_eval as eval;
 pub use bsom_fpga as fpga;
 pub use bsom_signature as signature;
@@ -53,11 +56,12 @@ pub use bsom_vision as vision;
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
     pub use bsom_dataset::{AppearanceModel, CorruptionConfig, DatasetConfig, SurveillanceDataset};
+    pub use bsom_engine::{EngineConfig, RecognitionEngine};
     pub use bsom_fpga::{FpgaBSom, FpgaConfig, ResourceReport};
     pub use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector, Trit};
     pub use bsom_som::{
-        evaluate, BSom, BSomConfig, CSom, CSomConfig, LabelledSom, ObjectLabel, SelfOrganizingMap,
-        TrainSchedule,
+        evaluate, BSom, BSomConfig, CSom, CSomConfig, LabelledSom, ObjectLabel, PackedLayer,
+        SelfOrganizingMap, TrainSchedule,
     };
     pub use bsom_stats::{wilcoxon_rank_sum, Alternative};
     pub use bsom_vision::pipeline::SurveillancePipeline;
