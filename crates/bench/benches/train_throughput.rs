@@ -1,0 +1,70 @@
+//! Training-datapath workload (DESIGN.md §"The word-parallel trainer"): the
+//! bit-serial per-trit update loop versus the word-parallel (value, care)
+//! plane kernels, on the paper's 40-neuron × 768-bit configuration — the
+//! acceptance micro-benchmark for the word-parallel trainer, mirroring what
+//! `engine_batch.rs` is for the recognition side.
+
+use bsom_bench::bench_dataset;
+use bsom_engine::TrainEngine;
+use bsom_som::{BSom, BSomConfig, SelfOrganizingMap, TrainSchedule};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn train_throughput(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let signatures = dataset.train_signatures();
+    let schedule = TrainSchedule::new(usize::MAX); // hold the radius fixed across rounds
+    let fresh = || {
+        BSom::new(
+            BSomConfig::paper_default(),
+            &mut StdRng::seed_from_u64(0xB50A),
+        )
+    };
+
+    let mut group = c.benchmark_group("train_throughput");
+    group.throughput(Throughput::Elements(signatures.len() as u64));
+
+    // The baseline the tentpole replaces: one trit visit + one scalar coin
+    // per weight bit, 768 bits x up to 9 neighbourhood neurons per step.
+    group.bench_function("bit_serial_epoch", |b| {
+        let mut som = fresh();
+        let mut t = 0usize;
+        b.iter(|| {
+            for s in &signatures {
+                black_box(som.train_step_bit_serial(s, t, &schedule).unwrap());
+            }
+            t += 1;
+        })
+    });
+
+    // The word-parallel path: Bernoulli mask words + the three-bitwise-op
+    // update kernel, with incrementally maintained #-counts in the winner
+    // search.
+    group.bench_function("word_parallel_epoch", |b| {
+        let mut som = fresh();
+        let mut t = 0usize;
+        b.iter(|| {
+            for s in &signatures {
+                black_box(som.train_step(s, t, &schedule).unwrap());
+            }
+            t += 1;
+        })
+    });
+
+    // The same path through the engine's owned epoch loop (adds shuffling,
+    // bookkeeping and reporting — the production entry point).
+    group.bench_function("train_engine_epoch", |b| {
+        let mut engine = TrainEngine::new(fresh(), TrainSchedule::new(usize::MAX));
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        b.iter(|| {
+            black_box(engine.train_epochs(&signatures, 1, &mut rng).unwrap());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, train_throughput);
+criterion_main!(benches);

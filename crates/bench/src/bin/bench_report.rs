@@ -1,0 +1,165 @@
+//! Machine-readable performance tracking for the hot paths.
+//!
+//! Writes `BENCH_train.json` (training steps/s, bit-serial vs word-parallel,
+//! speedup) and `BENCH_recognition.json` (signatures/s, scalar vs batched vs
+//! engine, speedups, FPGA cycle-model comparison) so the perf trajectory of
+//! the repo is tracked by numbers rather than prose. CI runs it in `--smoke`
+//! mode to keep the reporter itself from rotting; committed snapshots come
+//! from full runs.
+//!
+//! ```text
+//! bench_report [--smoke] [--out DIR]
+//!
+//!   --smoke   short measurement windows (CI liveness check, noisy numbers)
+//!   --out     directory to write the two JSON files into (default: .)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bsom_bench::bench_dataset;
+use bsom_engine::{
+    compare_recognition_throughput, compare_training_throughput, EngineConfig, RecognitionEngine,
+    ThroughputComparison, TrainThroughputComparison,
+};
+use bsom_fpga::FpgaConfig;
+use bsom_som::{BSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// The `BENCH_train.json` document.
+#[derive(Debug, Serialize)]
+struct TrainBenchReport {
+    /// `"smoke"` or `"full"` — smoke numbers are liveness checks, not data.
+    mode: String,
+    /// Seconds of wall clock spent per measured path.
+    min_duration_seconds: f64,
+    /// The raw two-path comparison (steps/s each way).
+    comparison: TrainThroughputComparison,
+    /// Word-parallel steps/s over bit-serial steps/s.
+    speedup_word_parallel_over_bit_serial: f64,
+}
+
+/// The `BENCH_recognition.json` document.
+#[derive(Debug, Serialize)]
+struct RecognitionBenchReport {
+    /// `"smoke"` or `"full"`.
+    mode: String,
+    /// Seconds of wall clock spent per measured path.
+    min_duration_seconds: f64,
+    /// Scalar / batched / engine signatures-per-second plus the FPGA model.
+    comparison: ThroughputComparison,
+    /// Single-thread plane-sliced search over the scalar loop.
+    speedup_batched_over_scalar: f64,
+    /// Sharded engine over the scalar loop.
+    speedup_engine_over_scalar: f64,
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("bench_report [--smoke] [--out DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unrecognised argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(error) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {error}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    let min_duration = if smoke {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(1500)
+    };
+
+    println!("bench_report: generating the shared fixture dataset...");
+    let dataset = bench_dataset();
+    let train_signatures = dataset.train_signatures();
+    let test_signatures: Vec<_> = dataset.test.iter().map(|(s, _)| s.clone()).collect();
+
+    // --- Training: bit-serial vs word-parallel on the paper configuration.
+    println!("bench_report: measuring training throughput ({mode})...");
+    let train = compare_training_throughput(
+        BSomConfig::paper_default(),
+        &train_signatures,
+        min_duration,
+        0xB50A,
+    );
+    println!("{train}");
+    let train_report = TrainBenchReport {
+        mode: mode.to_string(),
+        min_duration_seconds: min_duration.as_secs_f64(),
+        speedup_word_parallel_over_bit_serial: train.speedup(),
+        comparison: train,
+    };
+
+    // --- Recognition: scalar vs batched vs engine on a trained map.
+    println!("bench_report: measuring recognition throughput ({mode})...");
+    let mut rng = StdRng::seed_from_u64(0xB50A);
+    let mut som = bsom_som::BSom::new(BSomConfig::paper_default(), &mut rng);
+    som.train_labelled_data(&dataset.train, TrainSchedule::new(3), &mut rng)
+        .expect("fixture dataset is non-empty");
+    let classifier = LabelledSom::label(som.clone(), &dataset.train);
+    let engine = RecognitionEngine::new(&classifier, EngineConfig::default());
+    let recognition = compare_recognition_throughput(
+        &engine,
+        &som,
+        &test_signatures,
+        FpgaConfig::paper_default(),
+        min_duration,
+    );
+    println!("{recognition}");
+    let recognition_report = RecognitionBenchReport {
+        mode: mode.to_string(),
+        min_duration_seconds: min_duration.as_secs_f64(),
+        speedup_batched_over_scalar: recognition.batched_speedup_over_scalar(),
+        speedup_engine_over_scalar: recognition.engine_speedup_over_scalar(),
+        comparison: recognition,
+    };
+
+    for (name, json) in [
+        (
+            "BENCH_train.json",
+            serde_json::to_string_pretty(&train_report),
+        ),
+        (
+            "BENCH_recognition.json",
+            serde_json::to_string_pretty(&recognition_report),
+        ),
+    ] {
+        let path = out_dir.join(name);
+        let json = match json {
+            Ok(json) => json,
+            Err(error) => {
+                eprintln!("serializing {name}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(error) = std::fs::write(&path, json + "\n") {
+            eprintln!("writing {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench_report: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -18,8 +18,13 @@
 //!   drives a whole frame batch through `bsom_vision`'s pipeline and
 //!   classifies every tracked object it finds.
 //! * [`EngineConfig`] — worker count and unknown-rejection override.
+//! * [`TrainEngine`] — the training half: an owned, resumable epoch loop
+//!   over the word-parallel bSOM trainer that
+//!   [`finish`](TrainEngine::finish)es into a `RecognitionEngine` snapshot.
 //! * [`throughput`] — measured engine / batched / scalar throughput compared
 //!   against the `bsom_fpga` cycle model's patterns-per-second figure.
+//! * [`train`] — bit-serial vs word-parallel training throughput, the
+//!   tracked speedup number of the training datapath.
 //!
 //! ## Quick example
 //!
@@ -48,6 +53,7 @@
 #![deny(missing_docs)]
 
 pub mod throughput;
+pub mod train;
 
 use std::ops::Range;
 use std::sync::mpsc::{Receiver, Sender};
@@ -60,6 +66,7 @@ use bsom_vision::pipeline::{ObjectObservation, SurveillancePipeline};
 use serde::{Deserialize, Serialize};
 
 pub use throughput::{compare_recognition_throughput, MeasuredThroughput, ThroughputComparison};
+pub use train::{compare_training_throughput, TrainEngine, TrainReport, TrainThroughputComparison};
 
 /// Configuration for a [`RecognitionEngine`].
 ///

@@ -33,7 +33,7 @@ pub struct MeasuredThroughput {
 impl MeasuredThroughput {
     /// Derives a throughput figure from `rounds` passes over a batch of
     /// `batch_size` signatures taking `elapsed` in total.
-    fn from_elapsed(batch_size: usize, rounds: usize, elapsed: Duration) -> Self {
+    pub(crate) fn from_elapsed(batch_size: usize, rounds: usize, elapsed: Duration) -> Self {
         let patterns = (batch_size * rounds) as f64;
         let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
         MeasuredThroughput {
@@ -111,7 +111,7 @@ impl std::fmt::Display for ThroughputComparison {
 /// Times `work` (one full pass over the batch per call) repeatedly until
 /// `min_duration` of wall clock has been spent, returning the averaged
 /// throughput.
-fn measure<F: FnMut()>(
+pub(crate) fn measure<F: FnMut()>(
     batch_size: usize,
     min_duration: Duration,
     mut work: F,

@@ -17,6 +17,7 @@
 //! | Fig. 4/5 + §V | Block cycle counts and throughput | [`fig5`] |
 //! | Fig. 6 | End-to-end FPGA recognition after off-line training | [`fig6`] |
 //! | §IV text | Neuron-count sweep (both SOMs > 90 % above 50 neurons) | [`neuron_sweep`] |
+//! | §V-E + DESIGN.md | Bit-serial vs word-parallel training throughput | [`train_throughput`] |
 //! | DESIGN.md §"Experiment and ablation index" | Update rule / binarisation threshold ablations | [`ablation`] |
 //!
 //! ## Quick example
@@ -46,5 +47,6 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod train_throughput;
 
 pub use report::TextTable;

@@ -14,6 +14,7 @@
 //!   fig5          Fig. 4/5  — block cycle counts and throughput
 //!   fig6          Fig. 6    — end-to-end FPGA recognition
 //!   neuron-sweep  §IV       — accuracy vs neuron count
+//!   train         §V-E      — bit-serial vs word-parallel training throughput
 //!   ablation      DESIGN.md — update-rule / binarisation ablations
 //!   all           every experiment above (table1/2 use the selected profile)
 //! ```
@@ -21,7 +22,10 @@
 use std::env;
 use std::process::ExitCode;
 
-use bsom_eval::{ablation, fig2, fig3, fig5, fig6, neuron_sweep, table1, table2, table3, table4};
+use bsom_eval::{
+    ablation, fig2, fig3, fig5, fig6, neuron_sweep, table1, table2, table3, table4,
+    train_throughput,
+};
 
 /// Which Table I protocol to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +89,11 @@ fn main() -> ExitCode {
             &neuron_sweep::run(&neuron_sweep::NeuronSweepConfig::paper_default()),
             |r| r.render().to_string(),
         ),
+        "train" | "train-throughput" | "train_throughput" => {
+            emit(json, &train_throughput::run(&train_config(profile)), |r| {
+                r.render().to_string()
+            })
+        }
         "ablation" => emit(
             json,
             &ablation::run(&ablation::AblationConfig::quick()),
@@ -104,7 +113,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: bsom-eval <table1|table2|table3|table4|fig2|fig3|fig5|fig6|neuron-sweep|ablation|all> [--quick|--paper] [--json]"
+        "usage: bsom-eval <table1|table2|table3|table4|fig2|fig3|fig5|fig6|neuron-sweep|train|ablation|all> [--quick|--paper] [--json]"
     );
 }
 
@@ -112,6 +121,13 @@ fn table1_config(profile: Profile) -> table1::Table1Config {
     match profile {
         Profile::Quick => table1::Table1Config::quick(),
         Profile::Paper => table1::Table1Config::paper_default(),
+    }
+}
+
+fn train_config(profile: Profile) -> train_throughput::TrainThroughputConfig {
+    match profile {
+        Profile::Quick => train_throughput::TrainThroughputConfig::quick(),
+        Profile::Paper => train_throughput::TrainThroughputConfig::paper_default(),
     }
 }
 
@@ -152,6 +168,10 @@ fn run_all(profile: Profile, json: bool) {
         &neuron_sweep::run(&neuron_sweep::NeuronSweepConfig::paper_default()),
         |r| r.render().to_string(),
     );
+    println!("\n== Training throughput ==");
+    print_result(json, &train_throughput::run(&train_config(profile)), |r| {
+        r.render().to_string()
+    });
     println!("\n== Ablations ==");
     print_result(
         json,

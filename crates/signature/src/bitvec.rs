@@ -237,6 +237,14 @@ impl BinaryVector {
         &self.words
     }
 
+    /// Mutable access to the packed words for the in-crate word-parallel
+    /// update kernels. Callers must keep every bit beyond `len` zero — the
+    /// invariant [`as_words`](Self::as_words) documents; `crate`-private so
+    /// the invariant stays enforceable inside this crate.
+    pub(crate) fn as_mut_words(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Clears any bits beyond `len` in the last word, maintaining the
     /// invariant required by [`count_ones`](Self::count_ones).
     fn mask_tail(&mut self) {

@@ -35,6 +35,7 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod bernoulli;
 pub mod bitvec;
 pub mod error;
 pub mod histogram;
@@ -42,11 +43,12 @@ pub mod image;
 pub mod tristate;
 
 pub use batch::{batch_masked_hamming, masked_hamming_words, select_winner};
+pub use bernoulli::{CoinThreshold, MaskPlan};
 pub use bitvec::BinaryVector;
 pub use error::SignatureError;
 pub use histogram::{ColorHistogram, BINS_PER_CHANNEL, HISTOGRAM_BINS};
 pub use image::{BinaryImage, Rgb, RgbImage, Silhouette, SIGNATURE_HEIGHT, SIGNATURE_WIDTH};
-pub use tristate::{TriStateVector, Trit};
+pub use tristate::{update_word, TriStateVector, Trit, UpdateDelta, WordUpdate};
 
 /// Number of bits in a full-size appearance signature (768 = 3 × 256 bins).
 ///

@@ -17,8 +17,84 @@ use std::fmt;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::bernoulli::MaskPlan;
 use crate::bitvec::BinaryVector;
 use crate::error::SignatureError;
+
+/// One word of the word-parallel stochastic tri-state update: the new plane
+/// words plus the exact bit sets that changed, so callers can maintain
+/// incremental `#`-counts from popcount deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordUpdate {
+    /// The updated value-plane word.
+    pub value: u64,
+    /// The updated care-plane word.
+    pub care: u64,
+    /// Bits that relaxed from a concrete mismatch to `#` this step.
+    pub relaxed: u64,
+    /// Bits that committed from `#` to the input value this step.
+    pub committed: u64,
+}
+
+/// The word-parallel tri-state update kernel (one 64-bit plane word).
+///
+/// This is the whole reconstructed update rule of DESIGN.md §"The
+/// reconstructed update rule" as three bitwise operations — exactly the
+/// tri-state logic the paper's FPGA update block wires per weight bit, 64
+/// lanes at a time:
+///
+/// * *relax*: concrete bits that disagree with the input
+///   (`mismatch = (value ^ input) & care`) drop to `#` where `relax_mask`
+///   is set — `care &= !(mismatch & relax_mask)`;
+/// * *commit*: `#` bits (`!care`) take the input value where `commit_mask`
+///   is set — care gains those bits, value copies the input there;
+/// * agreeing bits are untouched by construction.
+///
+/// The masks are per-bit Bernoulli streams (see
+/// [`bernoulli`](crate::bernoulli)); passing `!0` recovers the undamped
+/// single-step rule. For the final partial word of a vector the caller must
+/// AND `commit_mask` with the valid-lane mask — beyond-length lanes look
+/// like `#` (`care = 0`) and would otherwise gain phantom care bits.
+/// `relax_mask` needs no such masking: `mismatch ⊆ care` and tail care bits
+/// are zero by the plane invariant.
+///
+/// The relaxed value bits are cleared so the value plane stays zero wherever
+/// the care plane is (the invariant `TriStateVector::set` maintains).
+#[inline]
+pub fn update_word(
+    value: u64,
+    care: u64,
+    input: u64,
+    relax_mask: u64,
+    commit_mask: u64,
+) -> WordUpdate {
+    let mismatch = (value ^ input) & care;
+    let relaxed = mismatch & relax_mask;
+    let committed = !care & commit_mask;
+    WordUpdate {
+        value: (value & !relaxed) | (input & committed),
+        care: (care & !relaxed) | committed,
+        relaxed,
+        committed,
+    }
+}
+
+/// Net change of one stochastic update: how many trits relaxed to `#` and
+/// how many committed to concrete values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateDelta {
+    /// Trits that went concrete → `#`.
+    pub relaxed: usize,
+    /// Trits that went `#` → concrete.
+    pub committed: usize,
+}
+
+impl UpdateDelta {
+    /// Signed change in the vector's `#`-count.
+    pub fn dont_care_delta(&self) -> i64 {
+        self.relaxed as i64 - self.committed as i64
+    }
+}
 
 /// A single tri-state value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -361,6 +437,83 @@ impl TriStateVector {
         self.iter().map(Trit::to_char).collect()
     }
 
+    /// Applies one word-parallel stochastic tri-state update against `input`
+    /// (DESIGN.md §"The word-parallel trainer"): per 64-bit plane word, a
+    /// relax mask and a commit mask are drawn from the given
+    /// [`MaskPlan`]s — advancing `state` — and folded in with
+    /// [`update_word`]. Returns how many trits relaxed and committed, so
+    /// callers can maintain `#`-counts incrementally.
+    ///
+    /// Words with nothing to do consume no randomness: a word with no
+    /// concrete mismatch skips its relax draw and a fully concrete word
+    /// skips its commit draw (degenerate plans never draw at all). The RNG
+    /// consumption is therefore data-dependent but still deterministic for
+    /// a given state, and it differs from flipping one scalar coin per bit —
+    /// the two paths are distributionally equivalent, not stream-identical.
+    ///
+    /// The final partial word is handled internally: beyond-length lanes
+    /// never relax, commit, or contribute to the deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn stochastic_update(
+        &mut self,
+        input: &BinaryVector,
+        relax: &MaskPlan,
+        commit: &MaskPlan,
+        state: &mut u64,
+    ) -> UpdateDelta {
+        assert_eq!(
+            self.len(),
+            input.len(),
+            "stochastic_update requires equal lengths ({} vs {})",
+            self.len(),
+            input.len()
+        );
+        let len = self.len();
+        let mut delta = UpdateDelta::default();
+        let values = self.value.as_mut_words();
+        let cares = self.care.as_mut_words();
+        // When both transitions use the same probability (the 0.3/0.3 paper
+        // default), one mask word can serve both: relax only ever reads the
+        // `care` lanes and commit only the `!care` lanes, so the applied
+        // decisions come from disjoint — hence still independent — bits.
+        let shared_plan = relax == commit;
+        for (w, &x) in input.as_words().iter().enumerate() {
+            // Valid-lane mask: all ones except in the final partial word.
+            let lane_mask = if (w + 1) * 64 <= len {
+                u64::MAX
+            } else {
+                (1u64 << (len % 64)) - 1
+            };
+            let value = values[w];
+            let care = cares[w];
+            // Skip draws that cannot change anything; the plane invariants
+            // (tail care/value bits zero) make these checks exact.
+            let needs_relax = (value ^ x) & care != 0;
+            let needs_commit = care != lane_mask;
+            let (relax_mask, commit_mask) = if shared_plan && needs_relax && needs_commit {
+                let mask = relax.draw(state);
+                (mask, mask & lane_mask)
+            } else {
+                let relax_mask = if needs_relax { relax.draw(state) } else { 0 };
+                let commit_mask = if needs_commit {
+                    commit.draw(state) & lane_mask
+                } else {
+                    0
+                };
+                (relax_mask, commit_mask)
+            };
+            let updated = update_word(value, care, x, relax_mask, commit_mask);
+            values[w] = updated.value;
+            cares[w] = updated.care;
+            delta.relaxed += updated.relaxed.count_ones() as usize;
+            delta.committed += updated.committed.count_ones() as usize;
+        }
+        delta
+    }
+
     /// The care bit-plane (set ⇒ concrete trit).
     pub fn care_plane(&self) -> &BinaryVector {
         &self.care
@@ -604,6 +757,112 @@ mod tests {
         let collected: TriStateVector = w.iter().collect();
         assert_eq!(collected, w);
         assert_eq!(w.iter().len(), 6);
+    }
+
+    #[test]
+    fn update_word_undamped_rule_matches_trit_table() {
+        // weight 01#, input 001 (LSB first: bit0=0, bit1=0, bit2=1).
+        let w = TriStateVector::from_str("01#").unwrap();
+        let x = BinaryVector::from_bit_str("001").unwrap();
+        let up = update_word(
+            w.value_plane().as_words()[0],
+            w.care_plane().as_words()[0],
+            x.as_words()[0],
+            u64::MAX,
+            0b111,
+        );
+        let out = TriStateVector {
+            value: BinaryVector::from_bits((0..3).map(|i| (up.value >> i) & 1 == 1)),
+            care: BinaryVector::from_bits((0..3).map(|i| (up.care >> i) & 1 == 1)),
+        };
+        // keep 0, relax 1 -> #, commit # -> 1.
+        assert_eq!(out.to_trit_string(), "0#1");
+        assert_eq!(up.relaxed.count_ones(), 1);
+        assert_eq!(up.committed.count_ones(), 1);
+    }
+
+    #[test]
+    fn update_word_masks_gate_every_change() {
+        let w = TriStateVector::from_str("1111####").unwrap();
+        let x = BinaryVector::from_bit_str("00000000").unwrap();
+        let up = update_word(
+            w.value_plane().as_words()[0],
+            w.care_plane().as_words()[0],
+            x.as_words()[0],
+            0,
+            0,
+        );
+        assert_eq!(up.value, w.value_plane().as_words()[0]);
+        assert_eq!(up.care, w.care_plane().as_words()[0]);
+        assert_eq!(up.relaxed, 0);
+        assert_eq!(up.committed, 0);
+    }
+
+    #[test]
+    fn stochastic_update_undamped_matches_bitwise_rule_per_position() {
+        let mut rng = StdRng::seed_from_u64(0x0DD);
+        for len in [63usize, 64, 70, 128, 768] {
+            let mut w = TriStateVector::random_with_dont_care(len, 0.3, &mut rng);
+            let before = w.clone();
+            let x = BinaryVector::random(len, &mut rng);
+            let mut state = 0x1357_9BDF_u64;
+            let always = MaskPlan::from_probability(1.0);
+            let delta = w.stochastic_update(&x, &always, &always, &mut state);
+            assert_eq!(state, 0x1357_9BDF, "undamped update draws nothing");
+            for k in 0..len {
+                let expected = match before.trit(k) {
+                    Trit::DontCare => Trit::from_bit(x.bit(k)),
+                    t if t.matches(x.bit(k)) => t,
+                    _ => Trit::DontCare,
+                };
+                assert_eq!(w.trit(k), expected, "len {len}, position {k}");
+            }
+            assert_eq!(delta.committed, before.count_dont_care());
+            assert_eq!(
+                w.count_dont_care() as i64,
+                before.count_dont_care() as i64 + delta.dont_care_delta()
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_update_keeps_the_tail_clean() {
+        let mut rng = StdRng::seed_from_u64(0x7A11);
+        // 70 bits: 6 valid lanes in the second word, 58 tail lanes.
+        let mut w = TriStateVector::all_dont_care(70);
+        let x = BinaryVector::random(70, &mut rng);
+        let always = MaskPlan::from_probability(1.0);
+        let mut state = 3u64;
+        let delta = w.stochastic_update(&x, &always, &always, &mut state);
+        assert_eq!(delta.committed, 70, "every valid lane commits");
+        assert_eq!(w.count_dont_care(), 0);
+        let tail_mask = !((1u64 << 6) - 1);
+        assert_eq!(w.care_plane().as_words()[1] & tail_mask, 0);
+        assert_eq!(w.value_plane().as_words()[1] & tail_mask, 0);
+    }
+
+    #[test]
+    fn stochastic_update_probability_zero_is_identity_and_free() {
+        let mut rng = StdRng::seed_from_u64(0xF00);
+        let mut w = TriStateVector::random_with_dont_care(130, 0.4, &mut rng);
+        let before = w.clone();
+        let x = BinaryVector::random(130, &mut rng);
+        let never = MaskPlan::never();
+        let mut state = 11u64;
+        let delta = w.stochastic_update(&x, &never, &never, &mut state);
+        assert_eq!(w, before);
+        assert_eq!(delta, UpdateDelta::default());
+        assert_eq!(state, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn stochastic_update_rejects_length_mismatch() {
+        let mut w = TriStateVector::all_dont_care(8);
+        let x = BinaryVector::zeros(9);
+        let plan = MaskPlan::from_probability(0.5);
+        let mut state = 1u64;
+        let _ = w.stochastic_update(&x, &plan, &plan, &mut state);
     }
 
     #[test]

@@ -35,8 +35,27 @@
 //! The rule is learning-rate free. Bits that are consistent within the
 //! cluster of inputs a neuron wins converge to concrete values; bits that
 //! vary spend time in `#`, harmlessly excluded from the distance.
+//!
+//! ## The word-parallel training datapath
+//!
+//! [`BSom::train_step`] applies the table above **64 trits at a time** on the
+//! packed (value, care) plane words (DESIGN.md §"The word-parallel trainer"):
+//! the stochastic damping comes from whole-word Bernoulli masks
+//! ([`bsom_signature::bernoulli::MaskPlan`]) instead of one coin per bit, the
+//! update itself is [`bsom_signature::update_word`]'s three bitwise
+//! operations, and the per-neuron `#`-counts the WTA key needs are maintained
+//! incrementally from the popcount deltas of each masked write — `winner`
+//! never re-popcounts a care plane. The pre-word-parallel implementation is
+//! kept verbatim as [`BSom::train_step_bit_serial`]: it is the reference the
+//! `word_update_equivalence` proptests compare against and the baseline the
+//! `train_throughput` bench measures the speedup from. The two paths draw
+//! from the same xorshift64* state but consume it differently, so for
+//! interior probabilities they agree *in distribution*, not bit for bit;
+//! for probabilities 0 and 1 neither consumes randomness and they are
+//! bit-identical.
 
-use bsom_signature::{BinaryVector, TriStateVector, Trit};
+use bsom_signature::bernoulli::{CoinThreshold, MaskPlan};
+use bsom_signature::{masked_hamming_words, BinaryVector, TriStateVector, Trit};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -137,6 +156,37 @@ impl Default for BSomConfig {
     }
 }
 
+/// Precompiled stochastic-update machinery, derived from the configured
+/// probabilities once instead of per coin flip: whole-word Bernoulli mask
+/// plans for the word-parallel trainer and integer comparison thresholds for
+/// the bit-serial reference path. Rebuilt whenever the probabilities change;
+/// never serialized (it is a pure function of the config).
+#[derive(Debug, Clone, PartialEq)]
+struct UpdateTables {
+    /// Mask plan realising `relax_probability` 64 lanes at a time.
+    relax_plan: MaskPlan,
+    /// Mask plan realising `commit_probability` 64 lanes at a time.
+    commit_plan: MaskPlan,
+    /// The draw-free probability-0 plan used for relax-only neighbours.
+    no_commit_plan: MaskPlan,
+    /// Integer coin threshold for `relax_probability` (bit-serial path).
+    relax_coin: CoinThreshold,
+    /// Integer coin threshold for `commit_probability` (bit-serial path).
+    commit_coin: CoinThreshold,
+}
+
+impl UpdateTables {
+    fn from_config(config: &BSomConfig) -> Self {
+        UpdateTables {
+            relax_plan: MaskPlan::from_probability(config.relax_probability),
+            commit_plan: MaskPlan::from_probability(config.commit_probability),
+            no_commit_plan: MaskPlan::never(),
+            relax_coin: CoinThreshold::from_probability(config.relax_probability),
+            commit_coin: CoinThreshold::from_probability(config.commit_probability),
+        }
+    }
+}
+
 /// The tri-state binary Self-Organizing Map.
 ///
 /// # Examples
@@ -158,7 +208,7 @@ impl Default for BSomConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BSom {
     config: BSomConfig,
     neurons: Vec<TriStateVector>,
@@ -167,6 +217,16 @@ pub struct BSom {
     /// would use. Keeping it inside the map keeps `train_step` deterministic
     /// for a given construction seed.
     rng_state: u64,
+    /// Cached per-neuron `#`-counts, maintained incrementally from the
+    /// popcount delta of every masked weight write, so the `{distance,
+    /// #-count, address}` WTA key in [`BSom::winner`] (via
+    /// [`SelfOrganizingMap::winner`]) never re-popcounts a care plane.
+    /// Invariant: `dont_care_counts[i] == neurons[i].count_dont_care()`,
+    /// debug-asserted after every update.
+    dont_care_counts: Vec<u32>,
+    /// Precompiled mask plans / coin thresholds for the configured update
+    /// probabilities.
+    tables: UpdateTables,
 }
 
 impl BSom {
@@ -194,14 +254,19 @@ impl BSom {
                 vector_len: config.vector_len,
             });
         }
-        let neurons = (0..config.neurons)
+        let neurons: Vec<TriStateVector> = (0..config.neurons)
             .map(|_| TriStateVector::random_concrete(config.vector_len, rng))
             .collect();
         let rng_state = rng.gen::<u64>() | 1;
+        // Fresh random weights are fully concrete: every cached count is 0.
+        let dont_care_counts = vec![0u32; neurons.len()];
+        let tables = UpdateTables::from_config(&config);
         Ok(BSom {
             config,
             neurons,
             rng_state,
+            dont_care_counts,
+            tables,
         })
     }
 
@@ -228,10 +293,14 @@ impl BSom {
             });
         }
         let config = BSomConfig::new(weights.len(), vector_len);
+        let dont_care_counts = weights.iter().map(|w| w.count_dont_care() as u32).collect();
+        let tables = UpdateTables::from_config(&config);
         Ok(BSom {
             config,
             neurons: weights,
             rng_state: 0x9E37_79B9_7F4A_7C15,
+            dont_care_counts,
+            tables,
         })
     }
 
@@ -248,6 +317,7 @@ impl BSom {
     /// Panics if either probability is outside `[0, 1]`.
     pub fn with_update_probabilities(mut self, relax: f64, commit: f64) -> Self {
         self.config = self.config.with_update_probabilities(relax, commit);
+        self.tables = UpdateTables::from_config(&self.config);
         self
     }
 
@@ -274,60 +344,170 @@ impl BSom {
         &self.neurons
     }
 
+    /// Replaces the weight vector of neuron `index`, keeping the cached
+    /// `#`-count in sync (weights can only be mutated through the update
+    /// rule or through this method — never patch a neuron behind the map's
+    /// back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::NeuronOutOfRange`] for an invalid index and
+    /// [`SomError::InputLengthMismatch`] if the new weight's length differs
+    /// from the map's vector length.
+    pub fn set_neuron(&mut self, index: usize, weight: TriStateVector) -> Result<(), SomError> {
+        if index >= self.neurons.len() {
+            return Err(SomError::NeuronOutOfRange {
+                index,
+                neurons: self.neurons.len(),
+            });
+        }
+        if weight.len() != self.config.vector_len {
+            return Err(SomError::InputLengthMismatch {
+                expected: self.config.vector_len,
+                actual: weight.len(),
+            });
+        }
+        self.dont_care_counts[index] = weight.count_dont_care() as u32;
+        self.neurons[index] = weight;
+        Ok(())
+    }
+
+    /// The cached per-neuron `#`-counts in address order — the secondary
+    /// comparator key of the WTA search, maintained incrementally on every
+    /// weight write.
+    pub fn dont_care_counts(&self) -> &[u32] {
+        &self.dont_care_counts
+    }
+
     /// Total number of `#` trits across all neurons — a measure of how much
-    /// of the map has relaxed to "don't care".
+    /// of the map has relaxed to "don't care". Served from the incremental
+    /// cache; O(neurons) rather than O(neurons × words).
     pub fn total_dont_care(&self) -> usize {
+        self.dont_care_counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// `true` iff every cached `#`-count matches a full recount of its care
+    /// plane. Debug-asserted by the update and winner paths.
+    fn cache_matches_recount(&self) -> bool {
         self.neurons
             .iter()
-            .map(TriStateVector::count_dont_care)
-            .sum()
+            .zip(&self.dont_care_counts)
+            .all(|(n, &c)| n.count_dont_care() == c as usize)
     }
 
-    /// Advances the internal xorshift64* state and returns a coin flip that
-    /// is `true` with the given probability.
-    fn coin(&mut self, probability: f64) -> bool {
-        if probability >= 1.0 {
-            return true;
-        }
-        if probability <= 0.0 {
-            return false;
-        }
-        let mut x = self.rng_state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng_state = x;
-        let sample = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
-        sample < probability
+    /// Applies the word-parallel stochastically damped tri-state update to
+    /// neuron `neuron_index` for the given input: agreeing bits are kept,
+    /// disagreeing bits relax to `#` under a Bernoulli(relax) mask word, and
+    /// `#` bits commit to the input under a Bernoulli(commit) mask word
+    /// (suppressed entirely for relax-only neighbour updates). The cached
+    /// `#`-count is updated from the popcount delta of the masked write.
+    fn update_neuron(&mut self, neuron_index: usize, input: &BinaryVector, commit: bool) {
+        let BSom {
+            neurons,
+            rng_state,
+            dont_care_counts,
+            tables,
+            ..
+        } = self;
+        let commit_plan = if commit {
+            &tables.commit_plan
+        } else {
+            &tables.no_commit_plan
+        };
+        let delta = neurons[neuron_index].stochastic_update(
+            input,
+            &tables.relax_plan,
+            commit_plan,
+            rng_state,
+        );
+        let count = &mut dont_care_counts[neuron_index];
+        *count = (i64::from(*count) + delta.dont_care_delta()) as u32;
+        debug_assert_eq!(
+            *count as usize,
+            neurons[neuron_index].count_dont_care(),
+            "incremental #-count cache out of sync for neuron {neuron_index}"
+        );
     }
 
-    /// Applies the (stochastically damped) tri-state update to neuron
-    /// `neuron_index` for the given input: agreeing bits are kept,
-    /// disagreeing bits relax to `#` with `relax_probability`, and `#` bits
-    /// commit to the input with `commit_probability` (passed as 0 for
-    /// relax-only neighbour updates).
-    fn update_neuron(
+    /// The pre-word-parallel update: walk all bits of the neuron with one
+    /// integer-threshold coin per stochastic decision. Kept as the reference
+    /// implementation for the equivalence proptests and as the baseline the
+    /// train-throughput bench measures against.
+    fn update_neuron_bit_serial(
         &mut self,
         neuron_index: usize,
         input: &BinaryVector,
-        relax_probability: f64,
-        commit_probability: f64,
+        relax: CoinThreshold,
+        commit: CoinThreshold,
     ) {
         for k in 0..input.len() {
             let x = input.bit(k);
             match self.neurons[neuron_index].trit(k) {
                 Trit::DontCare => {
-                    if self.coin(commit_probability) {
+                    if commit.flip(&mut self.rng_state) {
                         self.neurons[neuron_index].set(k, Trit::from_bit(x));
+                        self.dont_care_counts[neuron_index] -= 1;
                     }
                 }
                 t => {
-                    if !t.matches(x) && self.coin(relax_probability) {
+                    if !t.matches(x) && relax.flip(&mut self.rng_state) {
                         self.neurons[neuron_index].set(k, Trit::DontCare);
+                        self.dont_care_counts[neuron_index] += 1;
                     }
                 }
             }
         }
+        debug_assert_eq!(
+            self.dont_care_counts[neuron_index] as usize,
+            self.neurons[neuron_index].count_dont_care(),
+            "incremental #-count cache out of sync for neuron {neuron_index}"
+        );
+    }
+
+    /// One training step through the **bit-serial reference datapath**: the
+    /// same winner search and neighbourhood policy as
+    /// [`SelfOrganizingMap::train_step`], but every weight bit is visited
+    /// individually and damped with its own scalar coin (an integer
+    /// threshold comparison — the last remnant of the pre-word-parallel
+    /// implementation, kept measurable on purpose).
+    ///
+    /// The word-parallel path consumes the shared RNG state differently, so
+    /// a map trained through this method matches the word-parallel result in
+    /// distribution — and bit for bit when both probabilities are 0 or 1,
+    /// where neither path consumes randomness (the `word_update_equivalence`
+    /// proptests pin both properties down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::InputLengthMismatch`] if the input length differs
+    /// from the configured vector length.
+    pub fn train_step_bit_serial(
+        &mut self,
+        input: &BinaryVector,
+        t: usize,
+        schedule: &TrainSchedule,
+    ) -> Result<Winner, SomError> {
+        let winner = self.winner(input)?;
+        let radius = schedule.radius_at(t);
+        let relax = self.tables.relax_coin;
+        let commit = self.tables.commit_coin;
+        let neighbourhood = line_neighbourhood(winner.index, radius, self.config.neurons);
+        for idx in neighbourhood {
+            if idx == winner.index {
+                self.update_neuron_bit_serial(idx, input, relax, commit);
+                continue;
+            }
+            match self.config.neighbour_rule {
+                NeighbourRule::SameAsWinner => {
+                    self.update_neuron_bit_serial(idx, input, relax, commit)
+                }
+                NeighbourRule::RelaxOnly => {
+                    self.update_neuron_bit_serial(idx, input, relax, CoinThreshold::Never)
+                }
+                NeighbourRule::WinnerOnly => {}
+            }
+        }
+        Ok(winner)
     }
 
     fn check_input(&self, input: &BinaryVector) -> Result<(), SomError> {
@@ -352,24 +532,31 @@ impl SelfOrganizingMap for BSom {
 
     fn winner(&self, input: &BinaryVector) -> Result<Winner, SomError> {
         self.check_input(input)?;
-        // Winner-take-all on the #-aware Hamming distance. Ties are broken
-        // towards the most *specific* neuron (fewest don't-cares) and then
-        // towards the lower index: a heavily-relaxed neuron has an
-        // artificially small distance to everything, so among equidistant
-        // candidates the one that actually commits to more bits is the better
-        // explanation of the input. In hardware this is a wider comparator
-        // key ({distance, #-count, address}); see DESIGN.md §"Winner
-        // selection and the WTA tie-break key".
-        let mut best_key = (usize::MAX, usize::MAX);
+        debug_assert!(
+            self.cache_matches_recount(),
+            "cached #-counts diverged from the care planes"
+        );
+        // Winner-take-all on the #-aware Hamming distance, computed by the
+        // packed word-slice kernel. Ties are broken towards the most
+        // *specific* neuron (fewest don't-cares, served from the incremental
+        // cache) and then towards the lower index: a heavily-relaxed neuron
+        // has an artificially small distance to everything, so among
+        // equidistant candidates the one that actually commits to more bits
+        // is the better explanation of the input. In hardware this is a
+        // wider comparator key ({distance, #-count, address}); see DESIGN.md
+        // §"Winner selection and the WTA tie-break key".
+        let mut best_key = (u32::MAX, u32::MAX, usize::MAX);
         let mut best = Winner::new(0, f64::INFINITY);
         for (i, neuron) in self.neurons.iter().enumerate() {
-            let d = neuron
-                .hamming(input)
-                .expect("neuron and input lengths verified");
-            let key = (d, neuron.count_dont_care());
+            let d = masked_hamming_words(
+                neuron.value_plane().as_words(),
+                neuron.care_plane().as_words(),
+                input.as_words(),
+            ) as u32;
+            let key = (d, self.dont_care_counts[i], i);
             if key < best_key {
                 best_key = key;
-                best = Winner::new(i, d as f64);
+                best = Winner::new(i, f64::from(d));
             }
         }
         Ok(best)
@@ -383,17 +570,15 @@ impl SelfOrganizingMap for BSom {
     ) -> Result<Winner, SomError> {
         let winner = self.winner(input)?;
         let radius = schedule.radius_at(t);
-        let relax = self.config.relax_probability;
-        let commit = self.config.commit_probability;
         let neighbourhood = line_neighbourhood(winner.index, radius, self.config.neurons);
         for idx in neighbourhood {
             if idx == winner.index {
-                self.update_neuron(idx, input, relax, commit);
+                self.update_neuron(idx, input, true);
                 continue;
             }
             match self.config.neighbour_rule {
-                NeighbourRule::SameAsWinner => self.update_neuron(idx, input, relax, commit),
-                NeighbourRule::RelaxOnly => self.update_neuron(idx, input, relax, 0.0),
+                NeighbourRule::SameAsWinner => self.update_neuron(idx, input, true),
+                NeighbourRule::RelaxOnly => self.update_neuron(idx, input, false),
                 NeighbourRule::WinnerOnly => {}
             }
         }
@@ -407,6 +592,90 @@ impl SelfOrganizingMap for BSom {
             .iter()
             .map(|n| n.hamming(input).expect("lengths verified") as f64)
             .collect())
+    }
+}
+
+/// The raw wire shape of a [`BSom`] — identical to what the former derive
+/// produced, so snapshots serialized before the word-parallel trainer still
+/// load. The incremental `#`-count cache and the precompiled update tables
+/// are *not* serialized: both are pure functions of the other fields, and
+/// rebuilding them on deserialization means a tampered snapshot can never
+/// smuggle in an inconsistent cache.
+#[derive(Deserialize)]
+struct RawBSom {
+    config: BSomConfig,
+    neurons: Vec<TriStateVector>,
+    rng_state: u64,
+}
+
+impl BSom {
+    /// Validates a raw snapshot and rebuilds the derived state.
+    fn from_raw(raw: RawBSom) -> Result<Self, String> {
+        if raw.config.neurons == 0 || raw.config.vector_len == 0 {
+            return Err(format!(
+                "BSom must be non-empty (neurons = {}, vector_len = {})",
+                raw.config.neurons, raw.config.vector_len
+            ));
+        }
+        if raw.neurons.len() != raw.config.neurons {
+            return Err(format!(
+                "snapshot holds {} neurons for a config of {}",
+                raw.neurons.len(),
+                raw.config.neurons
+            ));
+        }
+        if let Some(bad) = raw
+            .neurons
+            .iter()
+            .find(|n| n.len() != raw.config.vector_len)
+        {
+            return Err(format!(
+                "neuron length {} does not match vector_len {}",
+                bad.len(),
+                raw.config.vector_len
+            ));
+        }
+        for p in [raw.config.relax_probability, raw.config.commit_probability] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("update probability {p} outside [0, 1]"));
+            }
+        }
+        if raw.rng_state == 0 {
+            return Err("rng_state must be non-zero (xorshift fixed point)".to_string());
+        }
+        let dont_care_counts = raw
+            .neurons
+            .iter()
+            .map(|n| n.count_dont_care() as u32)
+            .collect();
+        let tables = UpdateTables::from_config(&raw.config);
+        Ok(BSom {
+            config: raw.config,
+            neurons: raw.neurons,
+            rng_state: raw.rng_state,
+            dont_care_counts,
+            tables,
+        })
+    }
+}
+
+impl serde::Serialize for BSom {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("neurons".to_string(), self.neurons.to_value()),
+            ("rng_state".to_string(), self.rng_state.to_value()),
+        ])
+    }
+}
+
+// Written against the vendored serde stand-in's `from_value` trait; with
+// registry serde this collapses to `#[serde(try_from = "RawBSom")]` on the
+// struct (see vendor/README.md).
+impl serde::Deserialize for BSom {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let raw = RawBSom::from_value(value)?;
+        BSom::from_raw(raw).map_err(serde::Error::custom)
     }
 }
 
@@ -510,6 +779,23 @@ mod tests {
     }
 
     #[test]
+    fn winner_tie_break_uses_the_cached_count_key() {
+        // Both neurons sit at distance 0; the concrete one must win on the
+        // cached #-count, exercising the {distance, #-count, address} key.
+        let weights = vec![
+            TriStateVector::from_str("##10").unwrap(),
+            TriStateVector::from_str("1010").unwrap(),
+        ];
+        let som = BSom::from_weights(weights).unwrap();
+        assert_eq!(som.dont_care_counts(), &[2, 0]);
+        let w = som
+            .winner(&BinaryVector::from_bit_str("1010").unwrap())
+            .unwrap();
+        assert_eq!(w.index, 1);
+        assert_eq!(w.distance, 0.0);
+    }
+
+    #[test]
     fn winner_rejects_wrong_length_input() {
         let som = BSom::new(BSomConfig::new(4, 16), &mut rng());
         assert!(matches!(
@@ -537,6 +823,25 @@ mod tests {
         // position 1: weight 1, input 0 -> relax to #
         // position 2: weight #, input 1 -> commit to 1
         assert_eq!(w.to_trit_string(), "0#1");
+    }
+
+    #[test]
+    fn bit_serial_and_word_parallel_agree_exactly_for_undamped_probabilities() {
+        // With p = 1 neither path consumes randomness, so the two datapaths
+        // must produce bit-identical maps (the proptest suite broadens this).
+        let mut r = rng();
+        let config = BSomConfig::new(6, 70).with_update_probabilities(1.0, 1.0);
+        let word = BSom::new(config, &mut r);
+        let mut serial = word.clone();
+        let mut word = word;
+        let schedule = TrainSchedule::new(8);
+        for t in 0..8 {
+            let input = BinaryVector::random(70, &mut r);
+            let ww = word.train_step(&input, t, &schedule).unwrap();
+            let ws = serial.train_step_bit_serial(&input, t, &schedule).unwrap();
+            assert_eq!(ww.index, ws.index);
+        }
+        assert_eq!(word, serial);
     }
 
     #[test]
@@ -604,12 +909,59 @@ mod tests {
         let config = BSomConfig::new(6, 32).with_neighbour_rule(NeighbourRule::RelaxOnly);
         let mut som = BSom::new(config, &mut r);
         // Pre-relax neuron 1 fully so we can observe that it never re-commits.
-        som.neurons[1] = TriStateVector::all_dont_care(32);
+        som.set_neuron(1, TriStateVector::all_dont_care(32))
+            .unwrap();
         let input = BinaryVector::random(32, &mut r);
         // Force neuron 0 to be the winner by making it an exact match.
-        som.neurons[0] = TriStateVector::from_binary(&input);
+        som.set_neuron(0, TriStateVector::from_binary(&input))
+            .unwrap();
         som.train_step(&input, 0, &TrainSchedule::new(1)).unwrap();
         assert_eq!(som.neuron(1).unwrap().count_dont_care(), 32);
+    }
+
+    #[test]
+    fn set_neuron_validates_and_updates_the_cache() {
+        let mut som = BSom::new(BSomConfig::new(4, 16), &mut rng());
+        assert!(matches!(
+            som.set_neuron(4, TriStateVector::all_dont_care(16)),
+            Err(SomError::NeuronOutOfRange {
+                index: 4,
+                neurons: 4
+            })
+        ));
+        assert!(matches!(
+            som.set_neuron(0, TriStateVector::all_dont_care(8)),
+            Err(SomError::InputLengthMismatch {
+                expected: 16,
+                actual: 8
+            })
+        ));
+        som.set_neuron(2, TriStateVector::all_dont_care(16))
+            .unwrap();
+        assert_eq!(som.dont_care_counts(), &[0, 0, 16, 0]);
+        assert_eq!(som.total_dont_care(), 16);
+    }
+
+    #[test]
+    fn cached_counts_stay_consistent_through_stochastic_training() {
+        let mut r = rng();
+        let mut som = BSom::new(BSomConfig::new(8, 70), &mut r);
+        let data: Vec<BinaryVector> = (0..5).map(|_| BinaryVector::random(70, &mut r)).collect();
+        som.train(&data, TrainSchedule::new(30), &mut r).unwrap();
+        for (i, neuron) in som.neurons().iter().enumerate() {
+            assert_eq!(
+                som.dont_care_counts()[i] as usize,
+                neuron.count_dont_care(),
+                "neuron {i}"
+            );
+        }
+        assert_eq!(
+            som.total_dont_care(),
+            som.neurons()
+                .iter()
+                .map(TriStateVector::count_dont_care)
+                .sum::<usize>()
+        );
     }
 
     #[test]
@@ -645,5 +997,28 @@ mod tests {
         let json = serde_json::to_string(&som).unwrap();
         let back: BSom = serde_json::from_str(&json).unwrap();
         assert_eq!(som, back);
+    }
+
+    #[test]
+    fn deserialize_rejects_inconsistent_snapshots() {
+        let mut r = rng();
+        let som = BSom::new(BSomConfig::new(4, 16), &mut r);
+        let json = serde_json::to_string(&som).unwrap();
+
+        // Neuron count disagreeing with the stored weights.
+        let bad = json.replace("\"neurons\":4", "\"neurons\":5");
+        assert_ne!(bad, json, "fixture must tamper the config");
+        assert!(serde_json::from_str::<BSom>(&bad).is_err());
+
+        // Out-of-range probability.
+        let bad = json.replace("\"relax_probability\":0.3", "\"relax_probability\":1.5");
+        assert_ne!(bad, json);
+        assert!(serde_json::from_str::<BSom>(&bad).is_err());
+
+        // The xorshift fixed point.
+        let state = som.rng_state;
+        let bad = json.replace(&format!("\"rng_state\":{state}"), "\"rng_state\":0");
+        assert_ne!(bad, json);
+        assert!(serde_json::from_str::<BSom>(&bad).is_err());
     }
 }

@@ -142,7 +142,12 @@ pub trait SelfOrganizingMap {
 }
 
 /// Fisher–Yates shuffle, used to reorder the training set every epoch.
-fn shuffle<R: Rng + ?Sized, T>(items: &mut [T], rng: &mut R) {
+///
+/// Public so that external epoch loops (e.g. `bsom-engine`'s `TrainEngine`)
+/// reorder exactly like [`SelfOrganizingMap::train`] — one `gen_range` per
+/// swap, highest index first — and stay bit-compatible with it for a given
+/// RNG stream.
+pub fn shuffle<R: Rng + ?Sized, T>(items: &mut [T], rng: &mut R) {
     for i in (1..items.len()).rev() {
         let j = rng.gen_range(0..=i);
         items.swap(i, j);
