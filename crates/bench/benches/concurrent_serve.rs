@@ -1,0 +1,88 @@
+//! Train-while-serve workload (DESIGN.md §"Train-while-serve and the shared
+//! packed layout"): classification latency through a `Recognizer`, measured
+//! once against a quiet service and once while a `Trainer` on another thread
+//! feeds, publishes and swaps snapshots continuously. The two figures must
+//! match — snapshot pickup is one atomic load per batch, and publishes are a
+//! packed-layout clone plus a pointer swap, so an in-flight training epoch
+//! must not move serving latency.
+//!
+//! Caveat on core count: the snapshot machinery adds no blocking, but on a
+//! **single-CPU host** the while-training figure still includes plain CPU
+//! time-sharing with the trainer thread (fair-share bound: 2× the quiet
+//! latency). Staying well under that bound shows readers are never stalled
+//! on a lock; flat figures need at least two cores.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bsom_bench::bench_dataset;
+use bsom_engine::{EngineConfig, SomService};
+use bsom_som::{BSom, BSomConfig, TrainSchedule};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn concurrent_serve(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let probes: Vec<_> = dataset.test.iter().map(|(s, _)| s.clone()).collect();
+    let shared = Arc::new(probes);
+    let som = BSom::new(
+        BSomConfig::paper_default(),
+        &mut StdRng::seed_from_u64(0xB50A),
+    );
+    let (service, mut trainer) = SomService::train_while_serve(
+        som,
+        TrainSchedule::new(usize::MAX),
+        &dataset.train,
+        EngineConfig::with_workers(2).with_publish_every_steps(8),
+    );
+
+    let mut group = c.benchmark_group("concurrent_serve");
+    group.throughput(Throughput::Elements(shared.len() as u64));
+
+    // Baseline: the service is quiet — no trainer thread running.
+    let mut recognizer = service.recognizer();
+    group.bench_function("classify_batch_quiet", |b| {
+        b.iter(|| black_box(recognizer.classify_batch(Arc::clone(&shared))))
+    });
+
+    // The same batches while a training epoch is in flight: the trainer
+    // feeds labelled signatures and publishes a snapshot every 8 steps on
+    // its own thread for the whole measurement.
+    let stop = Arc::new(AtomicBool::new(false));
+    let trainer_stop = Arc::clone(&stop);
+    let feed: Vec<_> = dataset.train.clone();
+    let trainer_thread = std::thread::spawn(move || {
+        let mut fed = 0u64;
+        'outer: loop {
+            for (signature, label) in &feed {
+                if trainer_stop.load(Ordering::Relaxed) {
+                    break 'outer;
+                }
+                trainer.feed(signature, *label).unwrap();
+                fed += 1;
+            }
+        }
+        fed
+    });
+
+    group.bench_function("classify_batch_while_training", |b| {
+        b.iter(|| black_box(recognizer.classify_batch(Arc::clone(&shared))))
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    let fed = trainer_thread.join().expect("trainer thread panicked");
+    println!(
+        "concurrent_serve: trainer fed {fed} steps (~{} publishes) during the measurement; \
+         final served snapshot is v{}",
+        fed / 8,
+        service.version()
+    );
+    assert!(fed > 0, "the trainer must actually have been training");
+
+    group.finish();
+}
+
+criterion_group!(benches, concurrent_serve);
+criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Batched-engine workload (DESIGN.md §"The batched engine layout"): the
-//! scalar per-neuron winner loop versus the plane-sliced `PackedLayer`
-//! search versus the sharded `RecognitionEngine`, all on the paper's
-//! 40-neuron × 768-bit configuration — the acceptance micro-benchmark for
-//! the batched layout.
+//! scalar per-signature winner loop versus the plane-sliced `PackedLayer`
+//! search versus a sharded `Recognizer` over a `SomService`, all on the
+//! paper's 40-neuron × 768-bit configuration — the acceptance
+//! micro-benchmark for the batched layout.
 
 use bsom_bench::{bench_dataset, trained_bsom};
-use bsom_engine::{EngineConfig, RecognitionEngine};
-use bsom_som::{LabelledSom, PackedLayer, SelfOrganizingMap};
+use bsom_engine::{EngineConfig, SomService};
+use bsom_som::{LabelledSom, SelfOrganizingMap};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -15,15 +15,15 @@ fn engine_batch(c: &mut Criterion) {
     let dataset = bench_dataset();
     let som = trained_bsom(&dataset, 3);
     let classifier = LabelledSom::label(som.clone(), &dataset.train);
-    let layer = PackedLayer::from_som(&som);
+    let layer = som.packed_layer();
     let signatures: Vec<_> = dataset.test.iter().map(|(s, _)| s.clone()).collect();
     let shared = Arc::new(signatures.clone());
 
     let mut group = c.benchmark_group("engine_batch");
     group.throughput(Throughput::Elements(signatures.len() as u64));
 
-    // The baseline the tentpole replaces: 40 per-neuron TriStateVector
-    // Hamming calls per signature.
+    // One winner search per call through the trait (now itself running on
+    // the shared packed layout — the pre-PR-2 per-neuron loop is gone).
     group.bench_function("scalar_per_neuron_loop", |b| {
         b.iter(|| {
             for s in &signatures {
@@ -32,7 +32,7 @@ fn engine_batch(c: &mut Criterion) {
         })
     });
 
-    // The plane-sliced batched search, single thread.
+    // The plane-sliced batched search, single thread, reused buffer.
     group.bench_function("packed_layer_batch", |b| {
         let mut distances = vec![0u32; layer.neuron_count()];
         b.iter(|| {
@@ -42,10 +42,12 @@ fn engine_batch(c: &mut Criterion) {
         })
     });
 
-    // The full engine: batched search sharded across a small fixed pool.
-    let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(4));
-    group.bench_function("recognition_engine_4_workers", |b| {
-        b.iter(|| black_box(engine.classify_batch_shared(Arc::clone(&shared))))
+    // The full service: batched search sharded across a small fixed pool,
+    // through a Recognizer handle (includes the per-batch version check).
+    let service = SomService::serve(&classifier, EngineConfig::with_workers(4));
+    let mut recognizer = service.recognizer();
+    group.bench_function("recognition_service_4_workers", |b| {
+        b.iter(|| black_box(recognizer.classify_batch(Arc::clone(&shared))))
     });
 
     group.finish();

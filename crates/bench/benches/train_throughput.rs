@@ -5,8 +5,8 @@
 //! `engine_batch.rs` is for the recognition side.
 
 use bsom_bench::bench_dataset;
-use bsom_engine::TrainEngine;
-use bsom_som::{BSom, BSomConfig, SelfOrganizingMap, TrainSchedule};
+use bsom_engine::{EngineConfig, SomService};
+use bsom_som::{BSom, BSomConfig, ObjectLabel, SelfOrganizingMap, TrainSchedule};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,13 +53,24 @@ fn train_throughput(c: &mut Criterion) {
         })
     });
 
-    // The same path through the engine's owned epoch loop (adds shuffling,
-    // bookkeeping and reporting — the production entry point).
-    group.bench_function("train_engine_epoch", |b| {
-        let mut engine = TrainEngine::new(fresh(), TrainSchedule::new(usize::MAX));
+    // The same path through the service's Trainer (adds shuffling, win-stat
+    // accumulation and one snapshot publish per epoch — the production
+    // train-while-serve entry point; publish cost must stay in the noise).
+    group.bench_function("service_trainer_epoch", |b| {
+        let labelled: Vec<(_, ObjectLabel)> = signatures
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), ObjectLabel::new(i % 9)))
+            .collect();
+        let (_service, mut trainer) = SomService::train_while_serve(
+            fresh(),
+            TrainSchedule::new(usize::MAX),
+            &[],
+            EngineConfig::with_workers(1),
+        );
         let mut rng = StdRng::seed_from_u64(0x5EED);
         b.iter(|| {
-            black_box(engine.train_epochs(&signatures, 1, &mut rng).unwrap());
+            black_box(trainer.train_epochs(&labelled, 1, &mut rng).unwrap());
         })
     });
 

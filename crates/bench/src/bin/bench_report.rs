@@ -7,30 +7,40 @@
 //! mode to keep the reporter itself from rotting; committed snapshots come
 //! from full runs.
 //!
-//! ```text
-//! bench_report [--smoke] [--out DIR]
+//! `--check` turns the reporter into a **regression gate**: instead of only
+//! writing fresh files, it also loads the committed baselines and fails when
+//! any measured throughput falls below `baseline × (1 − band)`. Improvements
+//! beyond `baseline × (1 + band)` are reported as a prompt to re-baseline
+//! (re-run without `--smoke` and commit the refreshed files) but do not
+//! fail, since a faster machine or build must never break CI.
 //!
-//!   --smoke   short measurement windows (CI liveness check, noisy numbers)
-//!   --out     directory to write the two JSON files into (default: .)
+//! ```text
+//! bench_report [--smoke] [--out DIR] [--check] [--noise-band F] [--baseline-dir DIR]
+//!
+//!   --smoke          short measurement windows (CI liveness check, noisy numbers)
+//!   --out            directory to write the two JSON files into (default: .)
+//!   --check          compare fresh numbers against the committed baselines
+//!   --noise-band     allowed relative deviation before --check fails (default: 0.25)
+//!   --baseline-dir   where the committed BENCH_*.json live (default: .)
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
 use bsom_bench::bench_dataset;
 use bsom_engine::{
-    compare_recognition_throughput, compare_training_throughput, EngineConfig, RecognitionEngine,
+    compare_recognition_throughput, compare_training_throughput, EngineConfig, SomService,
     ThroughputComparison, TrainThroughputComparison,
 };
 use bsom_fpga::FpgaConfig;
 use bsom_som::{BSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The `BENCH_train.json` document.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct TrainBenchReport {
     /// `"smoke"` or `"full"` — smoke numbers are liveness checks, not data.
     mode: String,
@@ -43,7 +53,7 @@ struct TrainBenchReport {
 }
 
 /// The `BENCH_recognition.json` document.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct RecognitionBenchReport {
     /// `"smoke"` or `"full"`.
     mode: String,
@@ -57,13 +67,93 @@ struct RecognitionBenchReport {
     speedup_engine_over_scalar: f64,
 }
 
+/// One named figure compared against its committed baseline: an absolute
+/// throughput (meaningful when the run and the baseline share a machine) or
+/// a dimensionless speedup ratio (meaningful across machines too).
+struct CheckedFigure {
+    name: &'static str,
+    baseline: f64,
+    fresh: f64,
+}
+
+/// Renders a figure compactly whether it is a big throughput or a small
+/// speedup ratio.
+fn fmt_figure(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+/// Compares every figure against its baseline within the noise band.
+/// Returns the number of regressions (each printed as it is found).
+fn check_figures(figures: &[CheckedFigure], band: f64) -> usize {
+    let mut regressions = 0usize;
+    for figure in figures {
+        let ratio = figure.fresh / figure.baseline.max(f64::MIN_POSITIVE);
+        if ratio < 1.0 - band {
+            regressions += 1;
+            eprintln!(
+                "bench_report: REGRESSION {}: {} is {:.1}% of the committed {} \
+                 (allowed floor {:.1}%)",
+                figure.name,
+                fmt_figure(figure.fresh),
+                ratio * 100.0,
+                fmt_figure(figure.baseline),
+                (1.0 - band) * 100.0
+            );
+        } else if ratio > 1.0 + band {
+            println!(
+                "bench_report: note: {} improved to {:.1}% of the committed baseline — \
+                 consider re-baselining (full run, commit the refreshed BENCH_*.json)",
+                figure.name,
+                ratio * 100.0
+            );
+        } else {
+            println!(
+                "bench_report: ok {}: {} vs committed {} ({:.1}%)",
+                figure.name,
+                fmt_figure(figure.fresh),
+                fmt_figure(figure.baseline),
+                ratio * 100.0
+            );
+        }
+    }
+    regressions
+}
+
+fn load_baseline<T: Deserialize>(path: &Path) -> Result<T, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+    serde_json::from_str(&text).map_err(|error| format!("cannot parse {}: {error}", path.display()))
+}
+
 fn main() -> ExitCode {
     let mut smoke = false;
+    let mut check = false;
+    let mut noise_band = 0.25f64;
     let mut out_dir = PathBuf::from(".");
+    let mut baseline_dir = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--noise-band" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(band) if band > 0.0 && band < 1.0 => noise_band = band,
+                _ => {
+                    eprintln!("--noise-band requires a value in (0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline-dir" => match args.next() {
+                Some(dir) => baseline_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--baseline-dir requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -72,7 +162,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("bench_report [--smoke] [--out DIR]");
+                println!(
+                    "bench_report [--smoke] [--out DIR] [--check] [--noise-band F] \
+                     [--baseline-dir DIR]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -113,16 +206,16 @@ fn main() -> ExitCode {
         comparison: train,
     };
 
-    // --- Recognition: scalar vs batched vs engine on a trained map.
+    // --- Recognition: scalar vs batched vs service on a trained map.
     println!("bench_report: measuring recognition throughput ({mode})...");
     let mut rng = StdRng::seed_from_u64(0xB50A);
     let mut som = bsom_som::BSom::new(BSomConfig::paper_default(), &mut rng);
     som.train_labelled_data(&dataset.train, TrainSchedule::new(3), &mut rng)
         .expect("fixture dataset is non-empty");
     let classifier = LabelledSom::label(som.clone(), &dataset.train);
-    let engine = RecognitionEngine::new(&classifier, EngineConfig::default());
+    let service = SomService::serve(&classifier, EngineConfig::default());
     let recognition = compare_recognition_throughput(
-        &engine,
+        &service,
         &som,
         &test_signatures,
         FpgaConfig::paper_default(),
@@ -136,6 +229,79 @@ fn main() -> ExitCode {
         speedup_engine_over_scalar: recognition.engine_speedup_over_scalar(),
         comparison: recognition,
     };
+
+    // --- Regression gate against the committed baselines.
+    if check {
+        let train_baseline: TrainBenchReport =
+            match load_baseline(&baseline_dir.join("BENCH_train.json")) {
+                Ok(report) => report,
+                Err(error) => {
+                    eprintln!("bench_report: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let recognition_baseline: RecognitionBenchReport =
+            match load_baseline(&baseline_dir.join("BENCH_recognition.json")) {
+                Ok(report) => report,
+                Err(error) => {
+                    eprintln!("bench_report: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        println!(
+            "bench_report: checking against committed baselines (noise band ±{:.0}%)...",
+            noise_band * 100.0
+        );
+        let figures = [
+            CheckedFigure {
+                name: "train.bit_serial steps/s",
+                baseline: train_baseline.comparison.bit_serial.patterns_per_second,
+                fresh: train_report.comparison.bit_serial.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "train.word_parallel steps/s",
+                baseline: train_baseline.comparison.word_parallel.patterns_per_second,
+                fresh: train_report.comparison.word_parallel.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "recognition.scalar signatures/s",
+                baseline: recognition_baseline.comparison.scalar.patterns_per_second,
+                fresh: recognition_report.comparison.scalar.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "recognition.batched signatures/s",
+                baseline: recognition_baseline.comparison.batched.patterns_per_second,
+                fresh: recognition_report.comparison.batched.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "recognition.engine signatures/s",
+                baseline: recognition_baseline.comparison.engine.patterns_per_second,
+                fresh: recognition_report.comparison.engine.patterns_per_second,
+            },
+            // Dimensionless speedups: these stay comparable even when the
+            // run and the committed baseline come from different machines,
+            // so the gate still means something on heterogeneous CI.
+            CheckedFigure {
+                name: "train.word_parallel/bit_serial speedup",
+                baseline: train_baseline.speedup_word_parallel_over_bit_serial,
+                fresh: train_report.speedup_word_parallel_over_bit_serial,
+            },
+            CheckedFigure {
+                name: "recognition.engine/scalar speedup",
+                baseline: recognition_baseline.speedup_engine_over_scalar,
+                fresh: recognition_report.speedup_engine_over_scalar,
+            },
+        ];
+        let regressions = check_figures(&figures, noise_band);
+        if regressions > 0 {
+            eprintln!(
+                "bench_report: {regressions} figure(s) regressed beyond the ±{:.0}% noise band",
+                noise_band * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("bench_report: all figures within the noise band");
+    }
 
     for (name, json) in [
         (

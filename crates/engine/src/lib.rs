@@ -1,37 +1,37 @@
 //! # bsom-engine
 //!
-//! The batched, multi-core recognition engine of the bSOM reproduction.
+//! The train-while-serve engine of the bSOM reproduction.
 //!
-//! The paper's FPGA serves recognition traffic by streaming every input
-//! pattern past one Hamming unit per neuron — the whole competitive layer
-//! consumes the input in a single pass, and patterns queue behind each other
-//! in a pipeline that never unpacks a bit. This crate is the software
-//! equivalent for serving heavy traffic (ROADMAP north star): signatures are
-//! sharded across a **fixed worker-thread pool**, and each worker runs the
-//! **batched winner search** of [`bsom_som::PackedLayer`] — the plane-sliced
-//! layout documented in DESIGN.md §"The batched engine layout" — instead of
-//! the scalar per-neuron loop.
+//! The paper's FPGA runs **one** datapath that both learns and recognizes on
+//! the same stored planes — there is no separate "training copy" of the
+//! weights. This crate is the software equivalent for serving heavy traffic
+//! (ROADMAP north star): the [`SomService`] facade owns a versioned,
+//! atomically-swappable snapshot of the plane-sliced competitive layer
+//! ([`bsom_som::PackedLayer`], maintained incrementally by the trainer), a
+//! [`Trainer`] handle feeds labelled signatures and publishes new snapshots
+//! on epoch or step-count boundaries, and any number of [`Recognizer`]
+//! handles keep classifying — sharded across a fixed worker-thread pool —
+//! against the snapshot they hold, picking up new versions with one atomic
+//! load at their next batch.
 //!
-//! * [`RecognitionEngine`] — the engine: a snapshot of a trained, labelled
-//!   bSOM plus a worker pool; [`classify_batch`](RecognitionEngine::classify_batch)
-//!   shards a batch of signatures, [`process_frames`](RecognitionEngine::process_frames)
-//!   drives a whole frame batch through `bsom_vision`'s pipeline and
-//!   classifies every tracked object it finds.
-//! * [`EngineConfig`] — worker count and unknown-rejection override.
-//! * [`TrainEngine`] — the training half: an owned, resumable epoch loop
-//!   over the word-parallel bSOM trainer that
-//!   [`finish`](TrainEngine::finish)es into a `RecognitionEngine` snapshot.
-//! * [`throughput`] — measured engine / batched / scalar throughput compared
-//!   against the `bsom_fpga` cycle model's patterns-per-second figure.
-//! * [`train`] — bit-serial vs word-parallel training throughput, the
-//!   tracked speedup number of the training datapath.
+//! * [`SomService`] — the facade: snapshot ownership, the worker pool,
+//!   [`serve`](SomService::serve) for frozen classifiers and
+//!   [`train_while_serve`](SomService::train_while_serve) for online
+//!   learning.
+//! * [`Trainer`] / [`Recognizer`] — the two handle types.
+//! * [`EngineConfig`] — worker count, unknown-rejection override, publish
+//!   cadence.
+//! * [`throughput`] / [`train`] — measured serving and training throughput
+//!   against the `bsom_fpga` cycle model, the tracked benchmark numbers.
+//! * [`RecognitionEngine`] / [`TrainEngine`] — the pre-service API, kept as
+//!   deprecated thin wrappers over the service.
 //!
 //! ## Quick example
 //!
 //! ```rust
-//! use bsom_engine::{EngineConfig, RecognitionEngine};
+//! use bsom_engine::{EngineConfig, SomService};
 //! use bsom_signature::BinaryVector;
-//! use bsom_som::{BSom, BSomConfig, LabelledSom, ObjectLabel, SelfOrganizingMap, TrainSchedule};
+//! use bsom_som::{BSom, BSomConfig, ObjectLabel, TrainSchedule};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
@@ -39,12 +39,15 @@
 //! let a = BinaryVector::from_bits((0..64).map(|i| i < 32));
 //! let b = BinaryVector::from_bits((0..64).map(|i| i >= 32));
 //! let data = vec![(a.clone(), ObjectLabel::new(0)), (b.clone(), ObjectLabel::new(1))];
-//! let mut som = BSom::new(BSomConfig::new(8, 64), &mut rng);
-//! som.train_labelled_data(&data, TrainSchedule::new(100), &mut rng).unwrap();
-//! let classifier = LabelledSom::label(som, &data);
+//! let som = BSom::new(BSomConfig::new(8, 64), &mut rng);
 //!
-//! let engine = RecognitionEngine::new(&classifier, EngineConfig::default());
-//! let predictions = engine.classify_batch(&[a, b]);
+//! // One service: train and serve over the same packed layout.
+//! let (service, mut trainer) =
+//!     SomService::train_while_serve(som, TrainSchedule::new(100), &data, EngineConfig::default());
+//! trainer.train_epochs(&data, 100, &mut rng).unwrap();
+//!
+//! let mut recognizer = service.recognizer();
+//! let predictions = recognizer.classify_batch(&[a, b][..]);
 //! assert_eq!(predictions[0].label(), Some(ObjectLabel::new(0)));
 //! assert_eq!(predictions[1].label(), Some(ObjectLabel::new(1)));
 //! ```
@@ -52,26 +55,30 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod service;
 pub mod throughput;
 pub mod train;
 
-use std::ops::Range;
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
-use bsom_signature::{BinaryVector, RgbImage};
-use bsom_som::{BSom, BatchWinner, LabelledSom, ObjectLabel, PackedLayer, Prediction};
+use bsom_signature::RgbImage;
+use bsom_som::{BSom, LabelledSom, ObjectLabel, PackedLayer, Prediction};
 use bsom_vision::pipeline::{ObjectObservation, SurveillancePipeline};
 use serde::{Deserialize, Serialize};
 
-pub use throughput::{compare_recognition_throughput, MeasuredThroughput, ThroughputComparison};
-pub use train::{compare_training_throughput, TrainEngine, TrainReport, TrainThroughputComparison};
+use crate::service::SomSnapshot;
 
-/// Configuration for a [`RecognitionEngine`].
+pub use service::{Recognizer, SignatureBatch, SomService, Trainer};
+pub use throughput::{compare_recognition_throughput, MeasuredThroughput, ThroughputComparison};
+#[allow(deprecated)]
+pub use train::TrainEngine;
+pub use train::{compare_training_throughput, TrainReport, TrainThroughputComparison};
+
+/// Configuration for a [`SomService`].
 ///
-/// The default asks the OS for the available parallelism and keeps the
-/// classifier's own unknown-rejection threshold.
+/// The default asks the OS for the available parallelism, keeps the
+/// classifier's own unknown-rejection threshold, and publishes on epoch
+/// boundaries only.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct EngineConfig {
     /// Number of worker threads. `0` asks the OS for the available
@@ -80,6 +87,11 @@ pub struct EngineConfig {
     /// Overrides the classifier's unknown-rejection distance threshold.
     /// `None` keeps whatever the labelled map was calibrated with.
     pub unknown_threshold: Option<f64>,
+    /// Publish a snapshot automatically every this many
+    /// [`Trainer::feed`] steps, in addition to the epoch-boundary publishes.
+    /// `None` (the default) publishes on epoch boundaries and explicit
+    /// [`Trainer::publish`] calls only.
+    pub publish_every_steps: Option<u64>,
 }
 
 impl EngineConfig {
@@ -96,6 +108,17 @@ impl EngineConfig {
         self.unknown_threshold = Some(threshold);
         self
     }
+
+    /// Publishes a snapshot every `steps` [`Trainer::feed`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn with_publish_every_steps(mut self, steps: u64) -> Self {
+        assert!(steps > 0, "publish cadence must be at least one step");
+        self.publish_every_steps = Some(steps);
+        self
+    }
 }
 
 /// One classified tracked-object observation from a frame batch.
@@ -103,136 +126,47 @@ impl EngineConfig {
 pub struct RecognizedObject {
     /// The pipeline's observation (track, bbox, histogram, signature).
     pub observation: ObjectObservation,
-    /// The engine's identity verdict for the observation's signature.
+    /// The identity verdict for the observation's signature.
     pub prediction: Prediction,
 }
 
-/// A shard of winner-search work sent to the pool.
-struct Job {
-    signatures: Arc<Vec<BinaryVector>>,
-    range: Range<usize>,
-    reply: Sender<Shard>,
-}
-
-/// A completed shard: winners for `signatures[start..start + winners.len()]`.
-struct Shard {
-    start: usize,
-    winners: Vec<Option<BatchWinner>>,
-}
-
-/// The fixed worker pool. Workers pull jobs off a shared queue; dropping the
-/// pool closes the queue and joins every thread.
-struct WorkerPool {
-    job_tx: Option<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    fn spawn(workers: usize, layer: Arc<PackedLayer>) -> Self {
-        let (job_tx, job_rx) = mpsc::channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let handles = (0..workers)
-            .map(|worker_index| {
-                let job_rx = Arc::clone(&job_rx);
-                let layer = Arc::clone(&layer);
-                std::thread::Builder::new()
-                    .name(format!("bsom-engine-{worker_index}"))
-                    .spawn(move || worker_loop(&job_rx, &layer))
-                    .expect("spawning an engine worker thread")
-            })
-            .collect();
-        WorkerPool {
-            job_tx: Some(job_tx),
-            handles,
-        }
-    }
-
-    fn submit(&self, job: Job) {
-        self.job_tx
-            .as_ref()
-            .expect("pool is alive while the engine exists")
-            .send(job)
-            .expect("workers outlive the engine");
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        // Closing the channel ends every worker's receive loop.
-        self.job_tx.take();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// Worker body: drain the shared job queue, running the batched winner
-/// search over each shard with a reusable distance buffer.
-fn worker_loop(job_rx: &Mutex<Receiver<Job>>, layer: &PackedLayer) {
-    let mut distances = vec![0u32; layer.neuron_count()];
-    loop {
-        // Hold the lock only while receiving so shards drain in parallel.
-        let job = match job_rx.lock() {
-            Ok(rx) => rx.recv(),
-            Err(_) => return, // a sibling worker panicked; shut down
-        };
-        let Ok(job) = job else {
-            return; // queue closed: the engine was dropped
-        };
-        let winners = job.range.clone().map(|i| {
-            layer
-                .winner_with_buffer(&job.signatures[i], &mut distances)
-                .ok()
-        });
-        let shard = Shard {
-            start: job.range.start,
-            winners: winners.collect(),
-        };
-        // The collector may have been dropped (e.g. a panicking caller);
-        // losing the reply is then harmless.
-        let _ = job.reply.send(shard);
-    }
-}
-
-/// A batched, sharded recognition engine over a trained, labelled bSOM.
+/// A frozen serving view: classification against one pinned snapshot of a
+/// trained, labelled bSOM.
 ///
-/// The engine snapshots the classifier at construction time: the competitive
-/// layer is re-laid out plane-sliced ([`PackedLayer`]) and shared read-only
-/// across a fixed worker-thread pool. Batches submitted through
-/// [`classify_batch`](Self::classify_batch) are split into one contiguous
-/// shard per worker, each shard runs the batched winner search, and results
-/// are reassembled in input order.
+/// This is the pre-`SomService` API, kept as a thin wrapper: construction
+/// publishes snapshot v1 of a private serve-only service and pins it
+/// forever. New code should use [`SomService::serve`] and
+/// [`SomService::recognizer`], which additionally pick up snapshots
+/// published by a live [`Trainer`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use SomService::serve (or train_while_serve) and Recognizer handles"
+)]
 pub struct RecognitionEngine {
-    layer: Arc<PackedLayer>,
-    labels: Vec<Option<ObjectLabel>>,
-    unknown_threshold: Option<f64>,
-    workers: usize,
-    pool: WorkerPool,
+    service: SomService,
+    snapshot: Arc<SomSnapshot>,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for RecognitionEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RecognitionEngine")
-            .field("neurons", &self.layer.neuron_count())
-            .field("vector_len", &self.layer.vector_len())
-            .field("workers", &self.workers)
-            .field("unknown_threshold", &self.unknown_threshold)
+            .field("neurons", &self.snapshot.layer().neuron_count())
+            .field("vector_len", &self.snapshot.layer().vector_len())
+            .field("workers", &self.service.worker_count())
+            .field("unknown_threshold", &self.snapshot.unknown_threshold())
             .finish()
     }
 }
 
+#[allow(deprecated)]
 impl RecognitionEngine {
     /// Builds an engine from a trained, labelled classifier.
     ///
     /// The classifier is snapshotted (weights, labels, threshold); later
     /// training on the original map does not affect the engine.
     pub fn new(classifier: &LabelledSom<BSom>, config: EngineConfig) -> Self {
-        Self::from_parts(
-            PackedLayer::from_som(classifier.map()),
-            classifier.neuron_labels().to_vec(),
-            config.unknown_threshold.or(classifier.unknown_threshold()),
-            config.workers,
-        )
+        Self::from_service(SomService::serve(classifier, config))
     }
 
     /// Builds an engine from an already-packed layer plus per-neuron labels,
@@ -248,119 +182,42 @@ impl RecognitionEngine {
         unknown_threshold: Option<f64>,
         workers: usize,
     ) -> Self {
-        assert_eq!(
-            labels.len(),
-            layer.neuron_count(),
-            "one label slot per neuron"
-        );
-        let workers = if workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            workers
-        };
-        let layer = Arc::new(layer);
-        let pool = WorkerPool::spawn(workers, Arc::clone(&layer));
-        RecognitionEngine {
+        Self::from_service(SomService::from_parts(
             layer,
             labels,
             unknown_threshold,
             workers,
-            pool,
-        }
+        ))
+    }
+
+    fn from_service(service: SomService) -> Self {
+        let snapshot = service.snapshot();
+        RecognitionEngine { service, snapshot }
     }
 
     /// Number of worker threads in the pool.
     pub fn worker_count(&self) -> usize {
-        self.workers
+        self.service.worker_count()
     }
 
     /// The plane-sliced competitive layer the workers search.
     pub fn layer(&self) -> &PackedLayer {
-        &self.layer
+        self.snapshot.layer()
     }
 
     /// The unknown-rejection distance threshold, if any.
     pub fn unknown_threshold(&self) -> Option<f64> {
-        self.unknown_threshold
-    }
-
-    /// Converts a raw winner into the engine's verdict, applying the label
-    /// table and the unknown threshold exactly like
-    /// [`LabelledSom::classify`].
-    fn verdict(&self, winner: Option<BatchWinner>) -> Prediction {
-        let Some(winner) = winner else {
-            return Prediction::Unknown; // wrong-length signature
-        };
-        let distance = winner.distance as f64;
-        if let Some(threshold) = self.unknown_threshold {
-            if distance > threshold {
-                return Prediction::Unknown;
-            }
-        }
-        match self.labels[winner.index] {
-            Some(label) => Prediction::Known {
-                label,
-                neuron: winner.index,
-                distance,
-            },
-            None => Prediction::Unknown,
-        }
-    }
-
-    /// Raw batched winner search sharded across the pool; `None` entries are
-    /// wrong-length signatures.
-    fn batch_winners(&self, signatures: Arc<Vec<BinaryVector>>) -> Vec<Option<BatchWinner>> {
-        let total = signatures.len();
-        if total == 0 {
-            return Vec::new();
-        }
-        let shard_len = total.div_ceil(self.workers);
-        let (reply_tx, reply_rx) = mpsc::channel::<Shard>();
-        let mut shards_sent = 0usize;
-        let mut start = 0usize;
-        while start < total {
-            let end = (start + shard_len).min(total);
-            self.pool.submit(Job {
-                signatures: Arc::clone(&signatures),
-                range: start..end,
-                reply: reply_tx.clone(),
-            });
-            shards_sent += 1;
-            start = end;
-        }
-        drop(reply_tx);
-
-        let mut winners: Vec<Option<BatchWinner>> = vec![None; total];
-        for _ in 0..shards_sent {
-            let shard = reply_rx
-                .recv()
-                .expect("every submitted shard sends exactly one reply");
-            for (offset, winner) in shard.winners.into_iter().enumerate() {
-                winners[shard.start + offset] = winner;
-            }
-        }
-        winners
+        self.snapshot.unknown_threshold()
     }
 
     /// Classifies a batch of signatures, sharding the winner search across
     /// the worker pool. Results are in input order; wrong-length signatures
     /// yield [`Prediction::Unknown`], mirroring [`LabelledSom::classify`].
     ///
-    /// The batch is copied once into shared ownership for the pool; callers
-    /// that already hold an `Arc` can use
-    /// [`classify_batch_shared`](Self::classify_batch_shared).
-    pub fn classify_batch(&self, signatures: &[BinaryVector]) -> Vec<Prediction> {
-        self.classify_batch_shared(Arc::new(signatures.to_vec()))
-    }
-
-    /// [`classify_batch`](Self::classify_batch) without the defensive copy.
-    pub fn classify_batch_shared(&self, signatures: Arc<Vec<BinaryVector>>) -> Vec<Prediction> {
-        self.batch_winners(signatures)
-            .into_iter()
-            .map(|w| self.verdict(w))
-            .collect()
+    /// Accepts anything convertible into a [`SignatureBatch`]: a slice (one
+    /// defensive copy) or an `Arc<Vec<BinaryVector>>` (zero-copy).
+    pub fn classify_batch(&self, signatures: impl Into<SignatureBatch>) -> Vec<Prediction> {
+        self.service.classify_pinned(&self.snapshot, signatures)
     }
 
     /// Runs a batch of frames through a [`SurveillancePipeline`] and
@@ -376,34 +233,18 @@ impl RecognitionEngine {
         pipeline: &mut SurveillancePipeline,
         frames: &[RgbImage],
     ) -> Vec<Vec<RecognizedObject>> {
-        let per_frame = pipeline.process_frames(frames);
-        let signatures: Vec<BinaryVector> = per_frame
-            .iter()
-            .flatten()
-            .map(|obs| obs.signature.clone())
-            .collect();
-        let mut predictions = self.classify_batch_shared(Arc::new(signatures)).into_iter();
-        per_frame
-            .into_iter()
-            .map(|observations| {
-                observations
-                    .into_iter()
-                    .map(|observation| RecognizedObject {
-                        observation,
-                        prediction: predictions
-                            .next()
-                            .expect("one prediction per flattened observation"),
-                    })
-                    .collect()
-            })
-            .collect()
+        service::recognize_frames(pipeline, frames, |signatures| {
+            self.service.classify_pinned(&self.snapshot, signatures)
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use bsom_som::{BSomConfig, SelfOrganizingMap, TrainSchedule};
+    use bsom_signature::BinaryVector;
+    use bsom_som::{BSomConfig, ObjectLabel, Prediction, SelfOrganizingMap, TrainSchedule};
     use bsom_vision::pipeline::PipelineConfig;
     use bsom_vision::scene::{SceneConfig, SceneSimulator};
     use rand::rngs::StdRng;
@@ -470,7 +311,7 @@ mod tests {
         let mut r = rng();
         let (classifier, _) = trained_classifier(&mut r);
         let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
-        assert!(engine.classify_batch(&[]).is_empty());
+        assert!(engine.classify_batch(&[][..]).is_empty());
     }
 
     #[test]
@@ -569,5 +410,16 @@ mod tests {
                 (0..7).map(|_| BinaryVector::random(96, &mut r)).collect();
             assert_eq!(engine.classify_batch(&batch).len(), 7);
         }
+    }
+
+    #[test]
+    fn zero_copy_batches_are_accepted() {
+        let mut r = rng();
+        let (classifier, patterns) = trained_classifier(&mut r);
+        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+        let shared = Arc::new(patterns.clone());
+        let from_arc = engine.classify_batch(Arc::clone(&shared));
+        let from_slice = engine.classify_batch(&patterns[..]);
+        assert_eq!(from_arc, from_slice);
     }
 }

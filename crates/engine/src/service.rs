@@ -1,0 +1,967 @@
+//! The train-while-serve service: one API over the shared packed layout.
+//!
+//! The paper's FPGA runs a single datapath that both learns and recognizes
+//! on the same stored planes — there is no "training copy" of the weights to
+//! export. [`SomService`] is the software equivalent (DESIGN.md
+//! §"Train-while-serve and the shared packed layout"): it owns a versioned,
+//! atomically-swappable [`SomSnapshot`] and hands out two kinds of handles
+//! over it.
+//!
+//! * A [`Trainer`] feeds labelled signatures through the word-parallel bSOM
+//!   trainer. Because [`BSom`] maintains its plane-sliced [`PackedLayer`]
+//!   incrementally on every weight write, publishing a new serving snapshot
+//!   is a plain clone of that layout plus an atomic pointer swap — no
+//!   re-pack, no pause. Publication happens on epoch boundaries
+//!   ([`Trainer::train_epochs`], [`Trainer::advance_epoch`]), on a step-count
+//!   cadence ([`EngineConfig::publish_every_steps`]), or explicitly
+//!   ([`Trainer::publish`]).
+//! * Any number of [`Recognizer`]s classify against the snapshot they hold.
+//!   A recognizer picks up a newly published snapshot at the start of its
+//!   next batch with one atomic version check (the lock is touched only when
+//!   the version actually moved), so classification latency is unaffected by
+//!   an in-flight training epoch — the `concurrent_serve` bench measures
+//!   exactly this.
+//!
+//! Snapshots are immutable once published (`Arc<SomSnapshot>`), so a batch
+//! in flight can never observe a torn layer: it either runs entirely on
+//! version `N` or entirely on version `N+1`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use bsom_signature::{BinaryVector, RgbImage};
+use bsom_som::labeling::NeuronLabelStats;
+use bsom_som::{
+    BSom, BatchWinner, LabelledSom, ObjectLabel, PackedLayer, Prediction, SelfOrganizingMap,
+    SomError, TrainSchedule, Winner,
+};
+use bsom_vision::pipeline::SurveillancePipeline;
+
+use crate::{EngineConfig, RecognizedObject, TrainReport};
+
+/// A batch of signatures in shared ownership for the worker pool.
+///
+/// Callers never build this directly: every classify entry point takes
+/// `impl Into<SignatureBatch>`, so a `&[BinaryVector]`, a `Vec`, or an
+/// already-shared `Arc<Vec<BinaryVector>>` (the zero-copy path) all work.
+pub struct SignatureBatch(Arc<Vec<BinaryVector>>);
+
+impl SignatureBatch {
+    /// Number of signatures in the batch.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<BinaryVector>> for SignatureBatch {
+    fn from(signatures: Vec<BinaryVector>) -> Self {
+        SignatureBatch(Arc::new(signatures))
+    }
+}
+
+impl From<&[BinaryVector]> for SignatureBatch {
+    fn from(signatures: &[BinaryVector]) -> Self {
+        SignatureBatch(Arc::new(signatures.to_vec()))
+    }
+}
+
+impl From<&Vec<BinaryVector>> for SignatureBatch {
+    fn from(signatures: &Vec<BinaryVector>) -> Self {
+        SignatureBatch(Arc::new(signatures.clone()))
+    }
+}
+
+impl From<Arc<Vec<BinaryVector>>> for SignatureBatch {
+    fn from(signatures: Arc<Vec<BinaryVector>>) -> Self {
+        SignatureBatch(signatures)
+    }
+}
+
+impl From<&Arc<Vec<BinaryVector>>> for SignatureBatch {
+    fn from(signatures: &Arc<Vec<BinaryVector>>) -> Self {
+        SignatureBatch(Arc::clone(signatures))
+    }
+}
+
+/// One immutable, versioned serving snapshot: the packed competitive layer
+/// plus the neuron labelling and rejection threshold in effect when it was
+/// published.
+#[derive(Debug)]
+pub struct SomSnapshot {
+    version: u64,
+    layer: Arc<PackedLayer>,
+    labels: Vec<Option<ObjectLabel>>,
+    unknown_threshold: Option<f64>,
+}
+
+impl SomSnapshot {
+    /// The snapshot's monotonically increasing version (the initial snapshot
+    /// a service is constructed with is version 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The plane-sliced competitive layer this snapshot serves from.
+    pub fn layer(&self) -> &PackedLayer {
+        &self.layer
+    }
+
+    /// The label assigned to each neuron at publish time.
+    pub fn neuron_labels(&self) -> &[Option<ObjectLabel>] {
+        &self.labels
+    }
+
+    /// The unknown-rejection distance threshold, if any.
+    pub fn unknown_threshold(&self) -> Option<f64> {
+        self.unknown_threshold
+    }
+
+    /// Converts a raw winner into a verdict, applying the label table and
+    /// the unknown threshold exactly like [`LabelledSom::classify`].
+    pub(crate) fn verdict(&self, winner: Option<BatchWinner>) -> Prediction {
+        let Some(winner) = winner else {
+            return Prediction::Unknown; // wrong-length signature
+        };
+        let distance = winner.distance as f64;
+        if let Some(threshold) = self.unknown_threshold {
+            if distance > threshold {
+                return Prediction::Unknown;
+            }
+        }
+        match self.labels[winner.index] {
+            Some(label) => Prediction::Known {
+                label,
+                neuron: winner.index,
+                distance,
+            },
+            None => Prediction::Unknown,
+        }
+    }
+}
+
+/// A shard of winner-search work sent to the pool. The job carries the layer
+/// it must search, so one pool serves every snapshot version concurrently.
+struct Job {
+    layer: Arc<PackedLayer>,
+    signatures: Arc<Vec<BinaryVector>>,
+    range: Range<usize>,
+    reply: Sender<Shard>,
+}
+
+/// A completed shard: winners for `signatures[start..start + winners.len()]`.
+struct Shard {
+    start: usize,
+    winners: Vec<Option<BatchWinner>>,
+}
+
+/// The fixed worker pool. Workers pull jobs off a shared queue; dropping the
+/// pool closes the queue and joins every thread.
+struct WorkerPool {
+    job_tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handles = (0..workers)
+            .map(|worker_index| {
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::Builder::new()
+                    .name(format!("bsom-service-{worker_index}"))
+                    .spawn(move || worker_loop(&job_rx))
+                    .expect("spawning a service worker thread")
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.job_tx
+            .as_ref()
+            .expect("pool is alive while the service exists")
+            .send(job)
+            .expect("workers outlive the service");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's receive loop.
+        self.job_tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: drain the shared job queue, running the batched winner
+/// search over each shard with a reusable distance buffer.
+fn worker_loop(job_rx: &Mutex<Receiver<Job>>) {
+    let mut distances: Vec<u32> = Vec::new();
+    loop {
+        // Hold the lock only while receiving so shards drain in parallel.
+        let job = match job_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // a sibling worker panicked; shut down
+        };
+        let Ok(job) = job else {
+            return; // queue closed: the service was dropped
+        };
+        distances.resize(job.layer.neuron_count(), 0);
+        let winners = job.range.clone().map(|i| {
+            job.layer
+                .winner_with_buffer(&job.signatures[i], &mut distances)
+                .ok()
+        });
+        let shard = Shard {
+            start: job.range.start,
+            winners: winners.collect(),
+        };
+        // The collector may have been dropped (e.g. a panicking caller);
+        // losing the reply is then harmless.
+        let _ = job.reply.send(shard);
+    }
+}
+
+/// The state every handle shares: the latest published snapshot behind a
+/// mutex, its version mirrored in an atomic so readers can detect "nothing
+/// changed" without touching the lock, and the worker pool.
+struct ServiceCore {
+    latest: Mutex<Arc<SomSnapshot>>,
+    version: AtomicU64,
+    pool: WorkerPool,
+    workers: usize,
+}
+
+impl ServiceCore {
+    /// The latest published snapshot.
+    fn snapshot(&self) -> Arc<SomSnapshot> {
+        Arc::clone(&self.latest.lock().expect("snapshot lock poisoned"))
+    }
+
+    /// Swaps in a new snapshot and returns its version. The version counter
+    /// is released only after the pointer swap, so a reader that observes
+    /// the new version is guaranteed to read the new snapshot.
+    fn publish(
+        &self,
+        layer: Arc<PackedLayer>,
+        labels: Vec<Option<ObjectLabel>>,
+        unknown_threshold: Option<f64>,
+    ) -> u64 {
+        let mut guard = self.latest.lock().expect("snapshot lock poisoned");
+        let version = guard.version() + 1;
+        *guard = Arc::new(SomSnapshot {
+            version,
+            layer,
+            labels,
+            unknown_threshold,
+        });
+        self.version.store(version, Ordering::Release);
+        version
+    }
+
+    /// Sharded winner search + verdicts against one pinned snapshot.
+    fn classify_on(&self, snapshot: &SomSnapshot, batch: &SignatureBatch) -> Vec<Prediction> {
+        let total = batch.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let shard_len = total.div_ceil(self.workers);
+        let (reply_tx, reply_rx) = mpsc::channel::<Shard>();
+        let mut shards_sent = 0usize;
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + shard_len).min(total);
+            self.pool.submit(Job {
+                layer: Arc::clone(&snapshot.layer),
+                signatures: Arc::clone(&batch.0),
+                range: start..end,
+                reply: reply_tx.clone(),
+            });
+            shards_sent += 1;
+            start = end;
+        }
+        drop(reply_tx);
+
+        let mut predictions: Vec<Prediction> = vec![Prediction::Unknown; total];
+        for _ in 0..shards_sent {
+            let shard = reply_rx
+                .recv()
+                .expect("every submitted shard sends exactly one reply");
+            for (offset, winner) in shard.winners.into_iter().enumerate() {
+                predictions[shard.start + offset] = snapshot.verdict(winner);
+            }
+        }
+        predictions
+    }
+}
+
+/// Runs a frame batch through the pipeline, classifies every observation's
+/// signature in one call to `classify`, and reassembles per-frame results.
+pub(crate) fn recognize_frames(
+    pipeline: &mut SurveillancePipeline,
+    frames: &[RgbImage],
+    classify: impl FnOnce(Vec<BinaryVector>) -> Vec<Prediction>,
+) -> Vec<Vec<RecognizedObject>> {
+    let per_frame = pipeline.process_frames(frames);
+    let signatures: Vec<BinaryVector> = per_frame
+        .iter()
+        .flatten()
+        .map(|obs| obs.signature.clone())
+        .collect();
+    let mut predictions = classify(signatures).into_iter();
+    per_frame
+        .into_iter()
+        .map(|observations| {
+            observations
+                .into_iter()
+                .map(|observation| RecognizedObject {
+                    observation,
+                    prediction: predictions
+                        .next()
+                        .expect("one prediction per flattened observation"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The train-while-serve facade: a versioned, atomically-swappable serving
+/// snapshot plus the worker pool that searches it.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsom_engine::{EngineConfig, SomService};
+/// use bsom_signature::BinaryVector;
+/// use bsom_som::{BSom, BSomConfig, ObjectLabel, TrainSchedule};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bsom_som::SomError> {
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let a = BinaryVector::from_bits((0..64).map(|i| i < 32));
+/// let b = BinaryVector::from_bits((0..64).map(|i| i >= 32));
+/// let data = vec![(a.clone(), ObjectLabel::new(0)), (b.clone(), ObjectLabel::new(1))];
+///
+/// let som = BSom::new(BSomConfig::new(8, 64), &mut rng);
+/// let (service, mut trainer) =
+///     SomService::train_while_serve(som, TrainSchedule::new(100), &data, EngineConfig::default());
+/// let mut recognizer = service.recognizer();
+///
+/// // The recognizer serves from snapshot v1 while training proceeds...
+/// trainer.train_epochs(&data, 100, &mut rng)?; // publishes on each epoch boundary
+///
+/// // ...and picks up the newest published snapshot on its next batch.
+/// let predictions = recognizer.classify_batch(&[a, b][..]);
+/// assert_eq!(predictions[0].label(), Some(ObjectLabel::new(0)));
+/// assert_eq!(predictions[1].label(), Some(ObjectLabel::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+pub struct SomService {
+    core: Arc<ServiceCore>,
+}
+
+impl std::fmt::Debug for SomService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.core.snapshot();
+        f.debug_struct("SomService")
+            .field("version", &snapshot.version())
+            .field("neurons", &snapshot.layer().neuron_count())
+            .field("vector_len", &snapshot.layer().vector_len())
+            .field("workers", &self.core.workers)
+            .finish()
+    }
+}
+
+impl SomService {
+    /// Serves a frozen, already-trained classifier: snapshot v1 is published
+    /// at construction and never replaced (nothing holds a [`Trainer`]).
+    pub fn serve(classifier: &LabelledSom<BSom>, config: EngineConfig) -> Self {
+        Self::from_parts(
+            classifier.map().packed_layer().clone(),
+            classifier.neuron_labels().to_vec(),
+            config.unknown_threshold.or(classifier.unknown_threshold()),
+            config.workers,
+        )
+    }
+
+    /// Builds a serve-only service from an already-packed layer plus
+    /// per-neuron labels, e.g. weights exported from the FPGA BlockRAM after
+    /// off-line training (paper §V-F).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the layer's neuron count.
+    pub fn from_parts(
+        layer: PackedLayer,
+        labels: Vec<Option<ObjectLabel>>,
+        unknown_threshold: Option<f64>,
+        workers: usize,
+    ) -> Self {
+        assert_eq!(
+            labels.len(),
+            layer.neuron_count(),
+            "one label slot per neuron"
+        );
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let snapshot = Arc::new(SomSnapshot {
+            version: 1,
+            layer: Arc::new(layer),
+            labels,
+            unknown_threshold,
+        });
+        let core = Arc::new(ServiceCore {
+            latest: Mutex::new(snapshot),
+            version: AtomicU64::new(1),
+            pool: WorkerPool::spawn(workers),
+            workers,
+        });
+        SomService { core }
+    }
+
+    /// Opens the service for **online learning**: publishes snapshot v1 from
+    /// the map as given (labelled by a win pass over `seed_data`, which may
+    /// be empty for a cold start) and returns the [`Trainer`] that owns the
+    /// map from here on.
+    ///
+    /// Recognizers created before or after training starts are equivalent:
+    /// each serves whatever snapshot is newest at its next batch.
+    pub fn train_while_serve(
+        som: BSom,
+        schedule: TrainSchedule,
+        seed_data: &[(BinaryVector, ObjectLabel)],
+        config: EngineConfig,
+    ) -> (Self, Trainer) {
+        let mut stats = vec![NeuronLabelStats::default(); som.neuron_count()];
+        for (signature, label) in seed_data {
+            if let Ok(winner) = som.winner(signature) {
+                stats[winner.index].record_win(*label);
+            }
+        }
+        let labels = stats.iter().map(NeuronLabelStats::majority_label).collect();
+        let service = Self::from_parts(
+            som.packed_layer().clone(),
+            labels,
+            config.unknown_threshold,
+            config.workers,
+        );
+        let trainer = Trainer {
+            core: Arc::clone(&service.core),
+            som,
+            schedule,
+            epochs_run: 0,
+            steps_run: 0,
+            steps_since_publish: 0,
+            publish_every_steps: config.publish_every_steps,
+            stats,
+            unknown_threshold: config.unknown_threshold,
+        };
+        (service, trainer)
+    }
+
+    /// A new recognizer handle, pinned to the latest snapshot until its next
+    /// refresh. Handles are independent: create one per serving thread.
+    pub fn recognizer(&self) -> Recognizer {
+        Recognizer {
+            current: self.core.snapshot(),
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The latest published snapshot.
+    pub fn snapshot(&self) -> Arc<SomSnapshot> {
+        self.core.snapshot()
+    }
+
+    /// Version of the latest published snapshot.
+    pub fn version(&self) -> u64 {
+        self.core.version.load(Ordering::Acquire)
+    }
+
+    /// Number of worker threads in the shared pool.
+    pub fn worker_count(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Classifies a batch against one **pinned** snapshot (no refresh) —
+    /// the frozen-serving path used by the legacy `RecognitionEngine`
+    /// wrapper and by A/B comparisons across versions.
+    pub fn classify_pinned(
+        &self,
+        snapshot: &SomSnapshot,
+        signatures: impl Into<SignatureBatch>,
+    ) -> Vec<Prediction> {
+        self.core.classify_on(snapshot, &signatures.into())
+    }
+}
+
+/// The training handle: owns the [`BSom`], feeds it labelled signatures, and
+/// publishes serving snapshots. Exactly one trainer exists per
+/// train-while-serve service.
+///
+/// Neuron labels are maintained **online**: every fed signature adds a win
+/// for its label to the winning neuron's statistics (the same win-frequency
+/// rule as [`LabelledSom::label`], accumulated as data streams instead of in
+/// a separate pass), and each publish assigns every neuron its current
+/// majority label.
+pub struct Trainer {
+    core: Arc<ServiceCore>,
+    som: BSom,
+    schedule: TrainSchedule,
+    epochs_run: usize,
+    steps_run: u64,
+    steps_since_publish: u64,
+    publish_every_steps: Option<u64>,
+    stats: Vec<NeuronLabelStats>,
+    unknown_threshold: Option<f64>,
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("epochs_run", &self.epochs_run)
+            .field("steps_run", &self.steps_run)
+            .field(
+                "published_version",
+                &self.core.version.load(Ordering::Acquire),
+            )
+            .finish()
+    }
+}
+
+impl Trainer {
+    /// The map in its current training state.
+    pub fn som(&self) -> &BSom {
+        &self.som
+    }
+
+    /// The schedule the training time follows.
+    pub fn schedule(&self) -> &TrainSchedule {
+        &self.schedule
+    }
+
+    /// Epochs of the schedule completed so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// Training steps (pattern presentations) completed so far.
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// One labelled training step at the schedule's current epoch: winner
+    /// search on the shared packed layout, neighbourhood update, win-stat
+    /// accumulation. Publishes automatically when the configured step-count
+    /// cadence ([`EngineConfig::publish_every_steps`]) is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::InputLengthMismatch`] for a wrong-length
+    /// signature.
+    pub fn feed(
+        &mut self,
+        signature: &BinaryVector,
+        label: ObjectLabel,
+    ) -> Result<Winner, SomError> {
+        let winner = self
+            .som
+            .train_step(signature, self.epochs_run, &self.schedule)?;
+        self.stats[winner.index].record_win(label);
+        self.steps_run += 1;
+        self.steps_since_publish += 1;
+        if let Some(every) = self.publish_every_steps {
+            if self.steps_since_publish >= every {
+                self.publish();
+            }
+        }
+        Ok(winner)
+    }
+
+    /// Advances the schedule to the next epoch and publishes — the epoch
+    /// boundary for callers that stream through [`feed`](Self::feed) rather
+    /// than training from a fixed dataset.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epochs_run += 1;
+        self.publish()
+    }
+
+    /// Runs `epochs` full shuffled passes over labelled `data`, publishing a
+    /// snapshot at every epoch boundary (each step also honours the
+    /// configured step-count cadence, exactly like [`feed`](Self::feed)).
+    /// The shuffle reorders from the identity each epoch, so a run split
+    /// across calls is bit-identical to a one-shot run with the same RNG
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::EmptyTrainingSet`] for empty `data` and
+    /// propagates [`SomError::InputLengthMismatch`] from mismatched
+    /// signatures.
+    pub fn train_epochs<R: rand::Rng + ?Sized>(
+        &mut self,
+        data: &[(BinaryVector, ObjectLabel)],
+        epochs: usize,
+        rng: &mut R,
+    ) -> Result<TrainReport, SomError> {
+        if data.is_empty() {
+            return Err(SomError::EmptyTrainingSet);
+        }
+        let start = std::time::Instant::now();
+        let steps_before = self.steps_run;
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..epochs {
+            crate::train::fresh_shuffled_order(&mut order, rng);
+            for &idx in &order {
+                let (signature, label) = &data[idx];
+                self.feed(signature, *label)?;
+            }
+            self.epochs_run += 1;
+            self.publish();
+        }
+        let steps = self.steps_run - steps_before;
+        let seconds = start.elapsed().as_secs_f64();
+        Ok(TrainReport {
+            epochs,
+            steps,
+            seconds,
+            steps_per_second: steps as f64 / seconds.max(f64::MIN_POSITIVE),
+        })
+    }
+
+    /// Publishes the current weights and labelling as a new serving
+    /// snapshot and returns its version. Cheap: one clone of the
+    /// incrementally-maintained packed layout plus an atomic pointer swap —
+    /// recognizers mid-batch are untouched and pick the new version up on
+    /// their next batch.
+    pub fn publish(&mut self) -> u64 {
+        self.steps_since_publish = 0;
+        let labels = self
+            .stats
+            .iter()
+            .map(NeuronLabelStats::majority_label)
+            .collect();
+        self.core.publish(
+            Arc::new(self.som.packed_layer().clone()),
+            labels,
+            self.unknown_threshold,
+        )
+    }
+
+    /// Clears the accumulated win statistics. Useful for windowed labelling
+    /// under drift: reset, replay a recent window through
+    /// [`feed`](Self::feed), publish.
+    pub fn reset_label_stats(&mut self) {
+        for stat in &mut self.stats {
+            stat.wins.clear();
+        }
+    }
+
+    /// Gives the trained map back, consuming the trainer. The service keeps
+    /// serving its last published snapshot.
+    pub fn into_som(self) -> BSom {
+        self.som
+    }
+}
+
+/// A serving handle: classifies batches against the snapshot it holds and
+/// picks up newly published snapshots lock-free (one atomic load) at the
+/// start of each batch.
+pub struct Recognizer {
+    core: Arc<ServiceCore>,
+    current: Arc<SomSnapshot>,
+}
+
+impl std::fmt::Debug for Recognizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recognizer")
+            .field("version", &self.current.version())
+            .field("neurons", &self.current.layer().neuron_count())
+            .finish()
+    }
+}
+
+impl Recognizer {
+    /// The snapshot this recognizer currently serves from.
+    pub fn snapshot(&self) -> &SomSnapshot {
+        &self.current
+    }
+
+    /// Version of the snapshot this recognizer currently serves from.
+    pub fn version(&self) -> u64 {
+        self.current.version()
+    }
+
+    /// Picks up the latest published snapshot if it is newer than the held
+    /// one. Returns `true` if the snapshot changed. The fast path (nothing
+    /// published) is a single atomic load; the lock is taken only to clone
+    /// the new `Arc`.
+    pub fn refresh(&mut self) -> bool {
+        if self.core.version.load(Ordering::Acquire) == self.current.version() {
+            return false;
+        }
+        self.current = self.core.snapshot();
+        true
+    }
+
+    /// Classifies a batch of signatures, sharding the winner search across
+    /// the service's worker pool. Refreshes to the newest snapshot first;
+    /// the whole batch then runs against that one snapshot. Results are in
+    /// input order; wrong-length signatures yield [`Prediction::Unknown`].
+    pub fn classify_batch(&mut self, signatures: impl Into<SignatureBatch>) -> Vec<Prediction> {
+        self.refresh();
+        self.core.classify_on(&self.current, &signatures.into())
+    }
+
+    /// Classifies one signature on the calling thread (no pool round-trip) —
+    /// the low-latency single-query path. Refreshes first.
+    pub fn classify(&mut self, signature: &BinaryVector) -> Prediction {
+        self.refresh();
+        let winner = self.current.layer().winner(signature).ok();
+        self.current.verdict(winner)
+    }
+
+    /// Runs a batch of frames through a [`SurveillancePipeline`] and
+    /// classifies every surviving tracked object in one sharded winner
+    /// search against the (refreshed) current snapshot.
+    pub fn process_frames(
+        &mut self,
+        pipeline: &mut SurveillancePipeline,
+        frames: &[RgbImage],
+    ) -> Vec<Vec<RecognizedObject>> {
+        self.refresh();
+        let core = Arc::clone(&self.core);
+        let snapshot = Arc::clone(&self.current);
+        recognize_frames(pipeline, frames, move |signatures| {
+            core.classify_on(&snapshot, &SignatureBatch::from(signatures))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsom_som::BSomConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5E121CE)
+    }
+
+    fn labelled_patterns(r: &mut StdRng, n: usize, len: usize) -> Vec<(BinaryVector, ObjectLabel)> {
+        (0..n)
+            .map(|i| (BinaryVector::random(len, r), ObjectLabel::new(i % 3)))
+            .collect()
+    }
+
+    #[test]
+    fn serve_only_service_matches_the_scalar_classifier() {
+        let mut r = rng();
+        let data = labelled_patterns(&mut r, 6, 96);
+        let mut som = BSom::new(BSomConfig::new(12, 96), &mut r);
+        som.train_labelled_data(&data, TrainSchedule::new(40), &mut r)
+            .unwrap();
+        let classifier = LabelledSom::label(som, &data);
+        let service = SomService::serve(&classifier, EngineConfig::with_workers(3));
+        assert_eq!(service.version(), 1);
+        let mut recognizer = service.recognizer();
+        let batch: Vec<BinaryVector> = (0..40).map(|_| BinaryVector::random(96, &mut r)).collect();
+        let out = recognizer.classify_batch(&batch);
+        for (s, p) in batch.iter().zip(&out) {
+            assert_eq!(*p, classifier.classify(s));
+        }
+        // Nothing publishes into a serve-only service.
+        assert!(!recognizer.refresh());
+    }
+
+    #[test]
+    fn train_epochs_publishes_on_every_epoch_boundary() {
+        let mut r = rng();
+        let data = labelled_patterns(&mut r, 5, 64);
+        let som = BSom::new(BSomConfig::new(8, 64), &mut r);
+        let (service, mut trainer) = SomService::train_while_serve(
+            som,
+            TrainSchedule::new(10),
+            &data,
+            EngineConfig::with_workers(2),
+        );
+        assert_eq!(service.version(), 1);
+        let report = trainer.train_epochs(&data, 4, &mut r).unwrap();
+        assert_eq!(report.epochs, 4);
+        assert_eq!(report.steps, 20);
+        assert_eq!(trainer.epochs_run(), 4);
+        assert_eq!(service.version(), 5, "v1 + one publish per epoch");
+    }
+
+    #[test]
+    fn recognizer_picks_up_published_snapshots_and_pinned_one_does_not() {
+        let mut r = rng();
+        // Distinct labels per pattern: online win-frequency labelling then
+        // converges to one dedicated neuron per identity.
+        let data: Vec<(BinaryVector, ObjectLabel)> = (0..6)
+            .map(|i| (BinaryVector::random(64, &mut r), ObjectLabel::new(i)))
+            .collect();
+        let som = BSom::new(BSomConfig::new(8, 64), &mut r);
+        let (service, mut trainer) = SomService::train_while_serve(
+            som,
+            TrainSchedule::new(50),
+            &data,
+            EngineConfig::with_workers(2),
+        );
+        let mut live = service.recognizer();
+        let pinned = service.snapshot();
+        assert_eq!(live.version(), 1);
+
+        trainer.train_epochs(&data, 50, &mut r).unwrap();
+        assert!(live.refresh());
+        assert_eq!(live.version(), 51);
+        assert_eq!(pinned.version(), 1, "held snapshots are immutable");
+
+        // The refreshed recognizer serves the trained weights: every
+        // training pattern is now an exact match of some neuron, and the
+        // live path is bit-identical to a frozen classify on that snapshot.
+        let signatures: Vec<BinaryVector> = data.iter().map(|(s, _)| s.clone()).collect();
+        let out = live.classify_batch(&signatures);
+        let frozen = service.classify_pinned(&service.snapshot(), &signatures);
+        assert_eq!(out, frozen);
+        // Training moved the weights: the served layer differs from v1's,
+        // and training patterns are now strictly closer to the map.
+        assert_ne!(live.snapshot().layer(), pinned.layer());
+        for signature in &signatures {
+            let before = pinned.layer().winner(signature).unwrap().distance;
+            let after = live.snapshot().layer().winner(signature).unwrap().distance;
+            assert!(after <= before, "training must not push a pattern away");
+        }
+    }
+
+    #[test]
+    fn feed_publishes_on_the_step_cadence() {
+        let mut r = rng();
+        let data = labelled_patterns(&mut r, 4, 64);
+        let som = BSom::new(BSomConfig::new(8, 64), &mut r);
+        let (service, mut trainer) = SomService::train_while_serve(
+            som,
+            TrainSchedule::new(10),
+            &[],
+            EngineConfig::with_workers(1).with_publish_every_steps(3),
+        );
+        for (signature, label) in data.iter().cycle().take(7) {
+            trainer.feed(signature, *label).unwrap();
+        }
+        // Publishes after steps 3 and 6 (7 steps total).
+        assert_eq!(service.version(), 3);
+        assert_eq!(trainer.steps_run(), 7);
+    }
+
+    #[test]
+    fn advance_epoch_publishes_and_moves_the_schedule() {
+        let mut r = rng();
+        let data = labelled_patterns(&mut r, 4, 64);
+        let som = BSom::new(BSomConfig::new(8, 64), &mut r);
+        let (service, mut trainer) = SomService::train_while_serve(
+            som,
+            TrainSchedule::new(10),
+            &[],
+            EngineConfig::with_workers(1),
+        );
+        for (signature, label) in &data {
+            trainer.feed(signature, *label).unwrap();
+        }
+        assert_eq!(
+            service.version(),
+            1,
+            "no cadence configured: no auto-publish"
+        );
+        let version = trainer.advance_epoch();
+        assert_eq!(version, 2);
+        assert_eq!(trainer.epochs_run(), 1);
+        assert_eq!(service.version(), 2);
+    }
+
+    #[test]
+    fn published_snapshot_layer_equals_a_fresh_pack() {
+        let mut r = rng();
+        let data = labelled_patterns(&mut r, 5, 70);
+        let som = BSom::new(BSomConfig::new(6, 70), &mut r);
+        let (service, mut trainer) = SomService::train_while_serve(
+            som,
+            TrainSchedule::new(8),
+            &data,
+            EngineConfig::with_workers(1),
+        );
+        trainer.train_epochs(&data, 8, &mut r).unwrap();
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.layer(), &PackedLayer::pack(trainer.som()));
+    }
+
+    #[test]
+    fn single_classify_agrees_with_the_batch_path() {
+        let mut r = rng();
+        let data = labelled_patterns(&mut r, 6, 96);
+        let mut som = BSom::new(BSomConfig::new(10, 96), &mut r);
+        som.train_labelled_data(&data, TrainSchedule::new(30), &mut r)
+            .unwrap();
+        let classifier = LabelledSom::label(som, &data);
+        let service = SomService::serve(&classifier, EngineConfig::with_workers(2));
+        let mut recognizer = service.recognizer();
+        let probes: Vec<BinaryVector> = (0..10).map(|_| BinaryVector::random(96, &mut r)).collect();
+        let batched = recognizer.classify_batch(&probes);
+        for (probe, expected) in probes.iter().zip(&batched) {
+            assert_eq!(recognizer.classify(probe), *expected);
+        }
+        // Wrong-length single queries degrade to Unknown like the batch path.
+        assert_eq!(
+            recognizer.classify(&BinaryVector::zeros(8)),
+            Prediction::Unknown
+        );
+    }
+
+    #[test]
+    fn reset_label_stats_relabels_from_scratch() {
+        let mut r = rng();
+        let som = BSom::new(BSomConfig::new(4, 64), &mut r);
+        let a = BinaryVector::random(64, &mut r);
+        let (service, mut trainer) = SomService::train_while_serve(
+            som,
+            TrainSchedule::new(4),
+            &[],
+            EngineConfig::with_workers(1),
+        );
+        trainer.feed(&a, ObjectLabel::new(0)).unwrap();
+        trainer.publish();
+        assert!(service
+            .snapshot()
+            .neuron_labels()
+            .iter()
+            .any(|l| l.is_some()));
+        trainer.reset_label_stats();
+        trainer.publish();
+        assert!(service
+            .snapshot()
+            .neuron_labels()
+            .iter()
+            .all(|l| l.is_none()));
+    }
+}

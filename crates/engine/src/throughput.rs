@@ -2,9 +2,9 @@
 //!
 //! The paper's §V-F claim is 25,000 recognitions per second at 40 MHz. This
 //! module measures the software side of the same question three ways —
-//! the scalar per-neuron loop ([`bsom_som::SelfOrganizingMap::winner`]), the
-//! single-threaded batched winner search ([`bsom_som::PackedLayer`]), and the
-//! sharded [`RecognitionEngine`] — and places the
+//! the single-signature loop ([`bsom_som::SelfOrganizingMap::winner`]), the
+//! single-threaded batched winner search ([`bsom_som::PackedLayer`]), and a
+//! sharded [`crate::Recognizer`] over a [`SomService`] — and places the
 //! results next to the patterns-per-second figure that
 //! [`bsom_fpga::throughput`] derives from simulated cycle counts, so the
 //! "faster than the hardware allows?" question has one mechanical answer.
@@ -17,7 +17,7 @@ use bsom_signature::BinaryVector;
 use bsom_som::{BSom, SelfOrganizingMap};
 use serde::{Deserialize, Serialize};
 
-use crate::RecognitionEngine;
+use crate::SomService;
 
 /// One wall-clock throughput measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -133,7 +133,7 @@ pub(crate) fn measure<F: FnMut()>(
 /// Measures scalar / batched / engine recognition throughput on `signatures`
 /// and derives the FPGA figure from `fpga_config`'s cycle model.
 ///
-/// `som` must be the same trained map the engine snapshotted, so the three
+/// `som` must be the same trained map the service snapshotted, so the three
 /// software paths do identical work. `min_duration` is spent on **each** of
 /// the three measurements; a few tens of milliseconds already gives stable
 /// relative numbers with the vendored timer.
@@ -142,7 +142,7 @@ pub(crate) fn measure<F: FnMut()>(
 ///
 /// Panics if `signatures` is empty.
 pub fn compare_recognition_throughput(
-    engine: &RecognitionEngine,
+    service: &SomService,
     som: &BSom,
     signatures: &[BinaryVector],
     fpga_config: FpgaConfig,
@@ -157,7 +157,8 @@ pub fn compare_recognition_throughput(
         }
     });
 
-    let layer = engine.layer();
+    let snapshot = service.snapshot();
+    let layer = snapshot.layer();
     let mut distances = vec![0u32; layer.neuron_count()];
     let batched = measure(batch_size, min_duration, || {
         for s in signatures {
@@ -169,9 +170,10 @@ pub fn compare_recognition_throughput(
         }
     });
 
+    let mut recognizer = service.recognizer();
     let shared = std::sync::Arc::new(signatures.to_vec());
     let engine_measured = measure(batch_size, min_duration, || {
-        std::hint::black_box(engine.classify_batch_shared(std::sync::Arc::clone(&shared)));
+        std::hint::black_box(recognizer.classify_batch(&shared));
     });
 
     ThroughputComparison {
@@ -201,11 +203,11 @@ mod tests {
         som.train_labelled_data(&data, TrainSchedule::new(2), &mut r)
             .unwrap();
         let classifier = LabelledSom::label(som.clone(), &data);
-        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+        let service = SomService::serve(&classifier, EngineConfig::with_workers(2));
         let batch: Vec<BinaryVector> = (0..64).map(|_| BinaryVector::random(768, &mut r)).collect();
 
         let comparison = compare_recognition_throughput(
-            &engine,
+            &service,
             &som,
             &batch,
             FpgaConfig::paper_default(),
@@ -242,12 +244,12 @@ mod tests {
         som.train_labelled_data(&data, TrainSchedule::new(2), &mut r)
             .unwrap();
         let classifier = LabelledSom::label(som.clone(), &data);
-        let engine = RecognitionEngine::new(&classifier, EngineConfig::with_workers(2));
+        let service = SomService::serve(&classifier, EngineConfig::with_workers(2));
         let batch: Vec<BinaryVector> = (0..256)
             .map(|_| BinaryVector::random(768, &mut r))
             .collect();
         let comparison = compare_recognition_throughput(
-            &engine,
+            &service,
             &som,
             &batch,
             FpgaConfig::paper_default(),

@@ -1,17 +1,17 @@
-//! The training half of the engine: an owned epoch loop over the
-//! word-parallel bSOM trainer, plus the bit-serial-vs-word-parallel
-//! throughput comparison that tracks the speedup of the training datapath.
+//! The pre-service training loop ([`TrainEngine`], deprecated) and the
+//! bit-serial-vs-word-parallel throughput comparison that tracks the
+//! speedup of the training datapath.
 //!
-//! PR 2 batched the *recognition* datapath; this module is the same move for
-//! *training* (DESIGN.md §"The word-parallel trainer"). [`TrainEngine`]
-//! owns a [`BSom`] and its [`TrainSchedule`] and advances them epoch by
-//! epoch — resumable, so callers can interleave training with evaluation or
-//! serving — and [`TrainEngine::finish`] hands the trained map straight to a
-//! [`RecognitionEngine`] snapshot. [`compare_training_throughput`] measures
-//! the word-parallel [`SelfOrganizingMap::train_step`] against the
-//! bit-serial reference path ([`BSom::train_step_bit_serial`]) under
-//! identical seeds and data, which is the number `BENCH_train.json` and the
-//! `train_throughput` bench track across PRs.
+//! New code should hold a [`crate::Trainer`] from
+//! [`crate::SomService::train_while_serve`]: it runs the same word-parallel
+//! epoch loop *and* publishes serving snapshots as it goes. [`TrainEngine`]
+//! remains as a thin offline wrapper — an owned, resumable epoch loop whose
+//! [`finish`](TrainEngine::finish) hands the trained map to a frozen
+//! serving view. [`compare_training_throughput`] measures the word-parallel
+//! [`SelfOrganizingMap::train_step`] against the bit-serial reference path
+//! ([`BSom::train_step_bit_serial`]) under identical seeds and data, which
+//! is the number `BENCH_train.json` and the `train_throughput` bench track
+//! across PRs.
 
 use std::time::Duration;
 
@@ -24,7 +24,21 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::throughput::{measure, MeasuredThroughput};
-use crate::{EngineConfig, RecognitionEngine};
+use crate::EngineConfig;
+#[allow(deprecated)]
+use crate::RecognitionEngine;
+
+/// Rebuilds `order` as the identity permutation and shuffles it — one
+/// epoch's presentation order. Re-initializing from the identity (rather
+/// than shuffling the previous permutation in place) keeps a training run
+/// split across calls bit-identical to a one-shot run with the same RNG
+/// stream. Shared by [`TrainEngine`] and [`crate::Trainer`].
+pub(crate) fn fresh_shuffled_order<R: Rng + ?Sized>(order: &mut [usize], rng: &mut R) {
+    for (i, slot) in order.iter_mut().enumerate() {
+        *slot = i;
+    }
+    shuffle(order, rng);
+}
 
 /// One completed [`TrainEngine::train_epochs`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,6 +70,7 @@ pub struct TrainReport {
 /// use rand::SeedableRng;
 ///
 /// # fn main() -> Result<(), bsom_som::SomError> {
+/// # #![allow(deprecated)]
 /// let mut rng = StdRng::seed_from_u64(7);
 /// let som = BSom::new(BSomConfig::new(8, 64), &mut rng);
 /// let data: Vec<BinaryVector> = (0..4).map(|_| BinaryVector::random(64, &mut rng)).collect();
@@ -66,6 +81,11 @@ pub struct TrainReport {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use SomService::train_while_serve and the Trainer handle, which \
+            additionally publishes serving snapshots as training proceeds"
+)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainEngine {
     som: BSom,
@@ -74,6 +94,7 @@ pub struct TrainEngine {
     steps_run: u64,
 }
 
+#[allow(deprecated)]
 impl TrainEngine {
     /// Wraps a map and the schedule its training will follow.
     pub fn new(som: BSom, schedule: TrainSchedule) -> Self {
@@ -129,22 +150,18 @@ impl TrainEngine {
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut steps = 0u64;
         for _ in 0..epochs {
-            // Re-shuffle from the identity each epoch (rather than shuffling
-            // the previous permutation in place) so that a training run
-            // split across calls is bit-identical to a one-shot run with the
-            // same RNG stream.
-            for (i, slot) in order.iter_mut().enumerate() {
-                *slot = i;
-            }
-            shuffle(&mut order, rng);
+            crate::train::fresh_shuffled_order(&mut order, rng);
             let t = self.epochs_run;
             for &idx in &order {
                 self.som.train_step(&data[idx], t, &self.schedule)?;
                 steps += 1;
+                // Counted per step, not per call, so a mid-run error (e.g.
+                // one wrong-length pattern) leaves the counter covering the
+                // updates that really happened.
+                self.steps_run += 1;
             }
             self.epochs_run += 1;
         }
-        self.steps_run += steps;
         let seconds = start.elapsed().as_secs_f64();
         Ok(TrainReport {
             epochs,
@@ -292,6 +309,7 @@ pub fn compare_training_throughput(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use bsom_som::Prediction;

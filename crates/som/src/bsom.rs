@@ -55,11 +55,12 @@
 //! bit-identical.
 
 use bsom_signature::bernoulli::{CoinThreshold, MaskPlan};
-use bsom_signature::{masked_hamming_words, BinaryVector, TriStateVector, Trit};
+use bsom_signature::{BinaryVector, TriStateVector, Trit};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SomError;
+use crate::packed::PackedLayer;
 use crate::schedule::TrainSchedule;
 use crate::som_trait::{line_neighbourhood, SelfOrganizingMap, Winner};
 
@@ -208,7 +209,7 @@ impl UpdateTables {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct BSom {
     config: BSomConfig,
     neurons: Vec<TriStateVector>,
@@ -227,6 +228,26 @@ pub struct BSom {
     /// Precompiled mask plans / coin thresholds for the configured update
     /// probabilities.
     tables: UpdateTables,
+    /// The plane-sliced layout of the same weights, maintained incrementally
+    /// on every weight write ([`PackedLayer::apply_neuron_update`]). This is
+    /// the **only** winner-search path: training-time and serve-time search
+    /// run the same word-sliced batch kernels, and publishing a serving
+    /// snapshot is a plain clone of this field instead of a re-pack.
+    /// Invariant: `packed == PackedLayer::pack(self)` word for word,
+    /// debug-asserted per touched neuron after every update.
+    packed: PackedLayer,
+}
+
+/// Equality is over the map's intrinsic state — configuration, weights and
+/// RNG state. The `#`-count cache, the update tables and the packed layer are
+/// pure functions of those fields (and are debug-asserted in sync), so
+/// comparing them would be redundant.
+impl PartialEq for BSom {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.neurons == other.neurons
+            && self.rng_state == other.rng_state
+    }
 }
 
 impl BSom {
@@ -261,12 +282,14 @@ impl BSom {
         // Fresh random weights are fully concrete: every cached count is 0.
         let dont_care_counts = vec![0u32; neurons.len()];
         let tables = UpdateTables::from_config(&config);
+        let packed = PackedLayer::from_neurons(&neurons).expect("shape checked above");
         Ok(BSom {
             config,
             neurons,
             rng_state,
             dont_care_counts,
             tables,
+            packed,
         })
     }
 
@@ -295,12 +318,14 @@ impl BSom {
         let config = BSomConfig::new(weights.len(), vector_len);
         let dont_care_counts = weights.iter().map(|w| w.count_dont_care() as u32).collect();
         let tables = UpdateTables::from_config(&config);
+        let packed = PackedLayer::from_neurons(&weights).expect("shape checked above");
         Ok(BSom {
             config,
             neurons: weights,
             rng_state: 0x9E37_79B9_7F4A_7C15,
             dont_care_counts,
             tables,
+            packed,
         })
     }
 
@@ -367,9 +392,19 @@ impl BSom {
                 actual: weight.len(),
             });
         }
-        self.dont_care_counts[index] = weight.count_dont_care() as u32;
+        let count = weight.count_dont_care() as u32;
+        self.dont_care_counts[index] = count;
+        self.packed.apply_neuron_update(index, &weight, count);
         self.neurons[index] = weight;
         Ok(())
+    }
+
+    /// The plane-sliced layout of the current weights, maintained
+    /// incrementally on every update — the layout both training-time winner
+    /// search and serving snapshots run on. Cloning it is how a serving
+    /// snapshot is published (no re-pack).
+    pub fn packed_layer(&self) -> &PackedLayer {
+        &self.packed
     }
 
     /// The cached per-neuron `#`-counts in address order — the secondary
@@ -407,6 +442,7 @@ impl BSom {
             rng_state,
             dont_care_counts,
             tables,
+            packed,
             ..
         } = self;
         let commit_plan = if commit {
@@ -426,6 +462,11 @@ impl BSom {
             *count as usize,
             neurons[neuron_index].count_dont_care(),
             "incremental #-count cache out of sync for neuron {neuron_index}"
+        );
+        packed.apply_neuron_update(neuron_index, &neurons[neuron_index], *count);
+        debug_assert!(
+            packed.neuron_matches(neuron_index, &neurons[neuron_index]),
+            "packed layer out of sync for neuron {neuron_index}"
         );
     }
 
@@ -461,6 +502,13 @@ impl BSom {
             self.dont_care_counts[neuron_index] as usize,
             self.neurons[neuron_index].count_dont_care(),
             "incremental #-count cache out of sync for neuron {neuron_index}"
+        );
+        // The bit-serial reference must keep the shared layout current too:
+        // its winner search runs on the packed kernels like everyone else's.
+        self.packed.apply_neuron_update(
+            neuron_index,
+            &self.neurons[neuron_index],
+            self.dont_care_counts[neuron_index],
         );
     }
 
@@ -509,16 +557,6 @@ impl BSom {
         }
         Ok(winner)
     }
-
-    fn check_input(&self, input: &BinaryVector) -> Result<(), SomError> {
-        if input.len() != self.config.vector_len {
-            return Err(SomError::InputLengthMismatch {
-                expected: self.config.vector_len,
-                actual: input.len(),
-            });
-        }
-        Ok(())
-    }
 }
 
 impl SelfOrganizingMap for BSom {
@@ -531,35 +569,23 @@ impl SelfOrganizingMap for BSom {
     }
 
     fn winner(&self, input: &BinaryVector) -> Result<Winner, SomError> {
-        self.check_input(input)?;
         debug_assert!(
             self.cache_matches_recount(),
             "cached #-counts diverged from the care planes"
         );
         // Winner-take-all on the #-aware Hamming distance, computed by the
-        // packed word-slice kernel. Ties are broken towards the most
-        // *specific* neuron (fewest don't-cares, served from the incremental
-        // cache) and then towards the lower index: a heavily-relaxed neuron
-        // has an artificially small distance to everything, so among
-        // equidistant candidates the one that actually commits to more bits
-        // is the better explanation of the input. In hardware this is a
-        // wider comparator key ({distance, #-count, address}); see DESIGN.md
-        // §"Winner selection and the WTA tie-break key".
-        let mut best_key = (u32::MAX, u32::MAX, usize::MAX);
-        let mut best = Winner::new(0, f64::INFINITY);
-        for (i, neuron) in self.neurons.iter().enumerate() {
-            let d = masked_hamming_words(
-                neuron.value_plane().as_words(),
-                neuron.care_plane().as_words(),
-                input.as_words(),
-            ) as u32;
-            let key = (d, self.dont_care_counts[i], i);
-            if key < best_key {
-                best_key = key;
-                best = Winner::new(i, f64::from(d));
-            }
-        }
-        Ok(best)
+        // same plane-sliced word-slice kernels serve-time search runs on —
+        // there is exactly one distance path in the system. Ties are broken
+        // towards the most *specific* neuron (fewest don't-cares, served
+        // from the incremental cache) and then towards the lower index: a
+        // heavily-relaxed neuron has an artificially small distance to
+        // everything, so among equidistant candidates the one that actually
+        // commits to more bits is the better explanation of the input. In
+        // hardware this is a wider comparator key ({distance, #-count,
+        // address}); see DESIGN.md §"Winner selection and the WTA tie-break
+        // key".
+        let w = self.packed.winner(input)?;
+        Ok(Winner::new(w.index, f64::from(w.distance)))
     }
 
     fn train_step(
@@ -586,11 +612,11 @@ impl SelfOrganizingMap for BSom {
     }
 
     fn distances(&self, input: &BinaryVector) -> Result<Vec<f64>, SomError> {
-        self.check_input(input)?;
         Ok(self
-            .neurons
-            .iter()
-            .map(|n| n.hamming(input).expect("lengths verified") as f64)
+            .packed
+            .distances(input)?
+            .into_iter()
+            .map(f64::from)
             .collect())
     }
 }
@@ -649,12 +675,14 @@ impl BSom {
             .map(|n| n.count_dont_care() as u32)
             .collect();
         let tables = UpdateTables::from_config(&raw.config);
+        let packed = PackedLayer::from_neurons(&raw.neurons).expect("shape checked above");
         Ok(BSom {
             config: raw.config,
             neurons: raw.neurons,
             rng_state: raw.rng_state,
             dont_care_counts,
             tables,
+            packed,
         })
     }
 }

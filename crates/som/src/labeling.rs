@@ -56,6 +56,13 @@ pub struct NeuronLabelStats {
 }
 
 impl NeuronLabelStats {
+    /// Records one win of `label` on this neuron — the single accumulation
+    /// rule behind both the batch labelling pass ([`LabelledSom::label`])
+    /// and the engine's online labelling.
+    pub fn record_win(&mut self, label: ObjectLabel) {
+        *self.wins.entry(label).or_insert(0) += 1;
+    }
+
     /// Total number of wins across all labels.
     pub fn total_wins(&self) -> usize {
         self.wins.values().sum()
@@ -110,7 +117,7 @@ impl<M: SelfOrganizingMap> LabelledSom<M> {
         let mut stats = vec![NeuronLabelStats::default(); map.neuron_count()];
         for (signature, label) in training_data {
             if let Ok(winner) = map.winner(signature) {
-                *stats[winner.index].wins.entry(*label).or_insert(0) += 1;
+                stats[winner.index].record_win(*label);
             }
         }
         let labels = stats.iter().map(NeuronLabelStats::majority_label).collect();

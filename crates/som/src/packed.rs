@@ -111,9 +111,82 @@ impl PackedLayer {
         })
     }
 
-    /// Snapshots a trained [`BSom`]'s competitive layer.
-    pub fn from_som(som: &BSom) -> Self {
+    /// Packs a [`BSom`]'s competitive layer from scratch — the reference
+    /// layout that [`apply_neuron_update`](Self::apply_neuron_update)
+    /// maintains incrementally (the `incremental_packed` test pins down that
+    /// the two routes agree word for word).
+    pub fn pack(som: &BSom) -> Self {
         Self::from_neurons(som.neurons()).expect("a constructed BSom is never empty")
+    }
+
+    /// Snapshots a trained [`BSom`]'s competitive layer. Alias of
+    /// [`pack`](Self::pack), kept for existing call sites.
+    pub fn from_som(som: &BSom) -> Self {
+        Self::pack(som)
+    }
+
+    /// Rewrites the words of neuron `index` in place from its new weight
+    /// vector — the incremental-maintenance hook that lets a training loop
+    /// keep one packed layout current instead of re-packing the whole layer
+    /// per publish. Only the `words_per_vector` value/care words belonging to
+    /// this neuron are touched; every other neuron's words are untouched, so
+    /// concurrent readers of a *cloned* layer are unaffected.
+    ///
+    /// `dont_care_count` is the neuron's new `#`-count (callers maintain it
+    /// incrementally from update deltas; debug-asserted against a recount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `weight` has the wrong length.
+    pub fn apply_neuron_update(
+        &mut self,
+        index: usize,
+        weight: &TriStateVector,
+        dont_care_count: u32,
+    ) {
+        assert!(
+            index < self.neurons,
+            "neuron {index} out of range for a {}-neuron layer",
+            self.neurons
+        );
+        assert_eq!(
+            weight.len(),
+            self.vector_len,
+            "weight length must match the layer's vector length"
+        );
+        debug_assert_eq!(
+            weight.count_dont_care(),
+            dont_care_count as usize,
+            "stale #-count handed to apply_neuron_update for neuron {index}"
+        );
+        for (w, &v) in weight.value_plane().as_words().iter().enumerate() {
+            self.values[w * self.neurons + index] = v;
+        }
+        for (w, &c) in weight.care_plane().as_words().iter().enumerate() {
+            self.cares[w * self.neurons + index] = c;
+        }
+        self.dont_care_counts[index] = dont_care_count;
+    }
+
+    /// `true` iff neuron `index`'s packed words and `#`-count equal `weight`'s
+    /// planes — the per-neuron sync check the [`BSom`] update paths
+    /// debug-assert after every incremental write.
+    pub fn neuron_matches(&self, index: usize, weight: &TriStateVector) -> bool {
+        index < self.neurons
+            && weight.len() == self.vector_len
+            && weight
+                .value_plane()
+                .as_words()
+                .iter()
+                .enumerate()
+                .all(|(w, &v)| self.values[w * self.neurons + index] == v)
+            && weight
+                .care_plane()
+                .as_words()
+                .iter()
+                .enumerate()
+                .all(|(w, &c)| self.cares[w * self.neurons + index] == c)
+            && self.dont_care_counts[index] as usize == weight.count_dont_care()
     }
 
     /// Number of neurons in the layer.

@@ -61,8 +61,19 @@ fn main() {
     let evaluation = evaluate(&classifier, &dataset.test);
     println!("recognition accuracy: {evaluation}");
 
-    // 5. Identify a single fresh observation.
-    let (probe, actual) = &dataset.test[0];
-    let prediction = classifier.classify(probe);
-    println!("probe of {actual} identified as {prediction}");
+    // 5. Serve the classifier: `SomService` snapshots it into the packed
+    //    layout and shards batches across a worker pool. (For *online*
+    //    learning — training while serving — see examples/online_learning.rs.)
+    let service = SomService::serve(&classifier, EngineConfig::default());
+    let mut recognizer = service.recognizer();
+    let probes: Vec<_> = dataset
+        .test
+        .iter()
+        .take(5)
+        .map(|(s, _)| s.clone())
+        .collect();
+    let predictions = recognizer.classify_batch(&probes);
+    for ((_, actual), prediction) in dataset.test.iter().zip(&predictions) {
+        println!("probe of {actual} identified as {prediction}");
+    }
 }

@@ -1,6 +1,6 @@
 //! The batched multi-core serving path: synthetic video frames -> vision
-//! pipeline -> `RecognitionEngine` sharded winner search -> identities, plus
-//! the engine-vs-scalar-vs-FPGA throughput comparison.
+//! pipeline -> a `SomService` `Recognizer`'s sharded winner search ->
+//! identities, plus the engine-vs-scalar-vs-FPGA throughput comparison.
 //!
 //! This is `surveillance_pipeline` upgraded to the engine: instead of
 //! classifying each observation with the scalar per-neuron loop as it
@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use bsom_repro::engine::{compare_recognition_throughput, EngineConfig, RecognitionEngine};
+use bsom_repro::engine::{compare_recognition_throughput, EngineConfig, SomService};
 use bsom_repro::prelude::*;
 use bsom_repro::vision::pipeline::PipelineConfig;
 use rand::rngs::StdRng;
@@ -36,13 +36,15 @@ fn main() {
         .expect("enrolment data present");
     let classifier = LabelledSom::label(som.clone(), &enrolment.train);
 
-    // --- Snapshot the trained map into the engine. ---
-    let engine = RecognitionEngine::new(&classifier, EngineConfig::default());
+    // --- Snapshot the trained map into a serving service. ---
+    let service = SomService::serve(&classifier, EngineConfig::default());
+    let mut recognizer = service.recognizer();
     println!(
-        "engine: {} neurons x {} bits, {} workers",
-        engine.layer().neuron_count(),
-        engine.layer().vector_len(),
-        engine.worker_count()
+        "service: {} neurons x {} bits, {} workers, serving snapshot v{}",
+        recognizer.snapshot().layer().neuron_count(),
+        recognizer.snapshot().layer().vector_len(),
+        service.worker_count(),
+        recognizer.version()
     );
 
     // --- Live phase: batches of frames through the pipeline + engine. ---
@@ -72,7 +74,7 @@ fn main() {
         let frames: Vec<_> = (0..25)
             .map(|_| scene.render_frame(&mut rng).image)
             .collect();
-        let results = engine.process_frames(&mut pipeline, &frames);
+        let results = recognizer.process_frames(&mut pipeline, &frames);
         let batch_objects: usize = results.iter().map(Vec::len).sum();
         detections += batch_objects;
         for recognized in results.iter().flatten() {
@@ -97,7 +99,7 @@ fn main() {
     //     paths compare with the FPGA cycle model's signatures/s figure? ---
     let probe: Vec<BinaryVector> = enrolment.test.iter().map(|(s, _)| s.clone()).collect();
     let comparison = compare_recognition_throughput(
-        &engine,
+        &service,
         &som,
         &probe,
         FpgaConfig::paper_default(),

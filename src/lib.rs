@@ -16,8 +16,10 @@
 //!   XC4VLX160 resource model.
 //! * [`stats`] — the Wilcoxon rank-sum machinery behind Table II.
 //! * [`eval`] — the experiment harness regenerating every table and figure.
-//! * [`engine`] — the batched, multi-core recognition engine serving
-//!   signature traffic through a sharded plane-sliced winner search.
+//! * [`engine`] — the train-while-serve engine: `SomService` owns a
+//!   versioned, atomically-swappable snapshot of the plane-sliced layer; a
+//!   `Trainer` publishes while `Recognizer`s classify batches sharded across
+//!   a worker pool.
 //!
 //! ## Quickstart
 //!
@@ -56,7 +58,7 @@ pub use bsom_vision as vision;
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
     pub use bsom_dataset::{AppearanceModel, CorruptionConfig, DatasetConfig, SurveillanceDataset};
-    pub use bsom_engine::{EngineConfig, RecognitionEngine};
+    pub use bsom_engine::{EngineConfig, Recognizer, SomService, Trainer};
     pub use bsom_fpga::{FpgaBSom, FpgaConfig, ResourceReport};
     pub use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector, Trit};
     pub use bsom_som::{
