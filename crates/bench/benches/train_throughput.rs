@@ -39,9 +39,11 @@ fn train_throughput(c: &mut Criterion) {
         })
     });
 
-    // The word-parallel path: Bernoulli mask words + the three-bitwise-op
-    // update kernel, with incrementally maintained #-counts in the winner
-    // search.
+    // The production path: Bernoulli mask words + the three-bitwise-op
+    // update kernel, applied to the whole neighbourhood window on the
+    // packed columns under one broadcast mask stream (see
+    // `neighbourhood_update.rs` for the window-vs-per-neuron comparison),
+    // with incrementally maintained #-counts in the winner search.
     group.bench_function("word_parallel_epoch", |b| {
         let mut som = fresh();
         let mut t = 0usize;

@@ -1,27 +1,38 @@
 //! Machine-readable performance tracking for the hot paths.
 //!
-//! Writes `BENCH_train.json` (training steps/s, bit-serial vs word-parallel,
-//! speedup) and `BENCH_recognition.json` (signatures/s, scalar vs batched vs
-//! engine, speedups, FPGA cycle-model comparison) so the perf trajectory of
-//! the repo is tracked by numbers rather than prose. CI runs it in `--smoke`
-//! mode to keep the reporter itself from rotting; committed snapshots come
-//! from full runs.
+//! Writes `BENCH_train.json` (training steps/s across the three datapaths —
+//! bit-serial, per-neuron word-parallel, plane-sliced window — plus the
+//! speedup ratios) and `BENCH_recognition.json` (signatures/s, scalar vs
+//! batched vs engine, speedups, FPGA cycle-model comparison) so the perf
+//! trajectory of the repo is tracked by numbers rather than prose. CI runs
+//! it in `--smoke` mode to keep the reporter itself from rotting; committed
+//! snapshots come from full runs.
 //!
 //! `--check` turns the reporter into a **regression gate**: instead of only
 //! writing fresh files, it also loads the committed baselines and fails when
-//! any measured throughput falls below `baseline × (1 − band)`. Improvements
+//! any measured figure falls below `baseline × (1 − band)`. Improvements
 //! beyond `baseline × (1 + band)` are reported as a prompt to re-baseline
 //! (re-run without `--smoke` and commit the refreshed files) but do not
-//! fail, since a faster machine or build must never break CI.
+//! fail, since a faster machine or build must never break CI. Absolute
+//! throughputs only guard same-machine runs; the dimensionless speedup
+//! ratios stay meaningful across machines, which is what heterogeneous CI
+//! leans on (see README §"Benchmarks" for the band semantics and the
+//! per-runner baseline workflow).
 //!
 //! ```text
-//! bench_report [--smoke] [--out DIR] [--check] [--noise-band F] [--baseline-dir DIR]
+//! bench_report [--smoke] [--out DIR] [--check] [--noise-band F]
+//!              [--baseline-dir DIR] [--baseline FILE]...
 //!
 //!   --smoke          short measurement windows (CI liveness check, noisy numbers)
 //!   --out            directory to write the two JSON files into (default: .)
 //!   --check          compare fresh numbers against the committed baselines
 //!   --noise-band     allowed relative deviation before --check fails (default: 0.25)
 //!   --baseline-dir   where the committed BENCH_*.json live (default: .)
+//!   --baseline       per-runner baseline file override, repeatable; the file
+//!                    name decides which report it replaces (a name containing
+//!                    "train" overrides BENCH_train.json, "recognition" the
+//!                    other) — point this at e.g. baselines/ci-runner/BENCH_train.json
+//!                    to gate a specific runner against its own committed numbers
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -46,10 +57,14 @@ struct TrainBenchReport {
     mode: String,
     /// Seconds of wall clock spent per measured path.
     min_duration_seconds: f64,
-    /// The raw two-path comparison (steps/s each way).
+    /// The raw three-path comparison (steps/s each way) at the paper's
+    /// maximum neighbourhood radius.
     comparison: TrainThroughputComparison,
-    /// Word-parallel steps/s over bit-serial steps/s.
-    speedup_word_parallel_over_bit_serial: f64,
+    /// Production (window) steps/s over bit-serial steps/s.
+    speedup_window_over_bit_serial: f64,
+    /// Window steps/s over the per-neuron word-parallel path — the
+    /// neighbourhood-broadcast acceptance ratio (floor 2x at radius ≥ 2).
+    speedup_window_over_per_neuron: f64,
 }
 
 /// The `BENCH_recognition.json` document.
@@ -129,12 +144,34 @@ fn load_baseline<T: Deserialize>(path: &Path) -> Result<T, String> {
     serde_json::from_str(&text).map_err(|error| format!("cannot parse {}: {error}", path.display()))
 }
 
+/// Picks the baseline path for one report: the last `--baseline` override
+/// whose file name contains `key` wins, falling back to
+/// `<baseline_dir>/<default_name>`.
+fn resolve_baseline(
+    baseline_dir: &Path,
+    overrides: &[PathBuf],
+    key: &str,
+    default_name: &str,
+) -> PathBuf {
+    overrides
+        .iter()
+        .rev()
+        .find(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.to_ascii_lowercase().contains(key))
+        })
+        .cloned()
+        .unwrap_or_else(|| baseline_dir.join(default_name))
+}
+
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut check = false;
     let mut noise_band = 0.25f64;
     let mut out_dir = PathBuf::from(".");
     let mut baseline_dir = PathBuf::from(".");
+    let mut baseline_overrides: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -154,6 +191,31 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--baseline" => match args.next() {
+                Some(file) => {
+                    let lower = Path::new(&file)
+                        .file_name()
+                        .and_then(|name| name.to_str())
+                        .map(str::to_ascii_lowercase)
+                        .unwrap_or_default();
+                    // Exactly one key, so one file can never override both
+                    // reports (gating a report against the other's document
+                    // would only surface as a confusing parse error).
+                    if lower.contains("train") == lower.contains("recognition") {
+                        eprintln!(
+                            "--baseline file name must contain exactly one of \"train\" or \
+                             \"recognition\" so the reporter knows which report it overrides: \
+                             {file}"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    baseline_overrides.push(PathBuf::from(file));
+                }
+                None => {
+                    eprintln!("--baseline requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -164,7 +226,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "bench_report [--smoke] [--out DIR] [--check] [--noise-band F] \
-                     [--baseline-dir DIR]"
+                     [--baseline-dir DIR] [--baseline FILE]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -202,7 +264,8 @@ fn main() -> ExitCode {
     let train_report = TrainBenchReport {
         mode: mode.to_string(),
         min_duration_seconds: min_duration.as_secs_f64(),
-        speedup_word_parallel_over_bit_serial: train.speedup(),
+        speedup_window_over_bit_serial: train.speedup(),
+        speedup_window_over_per_neuron: train.window_speedup(),
         comparison: train,
     };
 
@@ -232,24 +295,36 @@ fn main() -> ExitCode {
 
     // --- Regression gate against the committed baselines.
     if check {
-        let train_baseline: TrainBenchReport =
-            match load_baseline(&baseline_dir.join("BENCH_train.json")) {
-                Ok(report) => report,
-                Err(error) => {
-                    eprintln!("bench_report: {error}");
-                    return ExitCode::FAILURE;
-                }
-            };
-        let recognition_baseline: RecognitionBenchReport =
-            match load_baseline(&baseline_dir.join("BENCH_recognition.json")) {
-                Ok(report) => report,
-                Err(error) => {
-                    eprintln!("bench_report: {error}");
-                    return ExitCode::FAILURE;
-                }
-            };
+        let train_path = resolve_baseline(
+            &baseline_dir,
+            &baseline_overrides,
+            "train",
+            "BENCH_train.json",
+        );
+        let recognition_path = resolve_baseline(
+            &baseline_dir,
+            &baseline_overrides,
+            "recognition",
+            "BENCH_recognition.json",
+        );
+        let train_baseline: TrainBenchReport = match load_baseline(&train_path) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("bench_report: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let recognition_baseline: RecognitionBenchReport = match load_baseline(&recognition_path) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("bench_report: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
         println!(
-            "bench_report: checking against committed baselines (noise band ±{:.0}%)...",
+            "bench_report: checking against {} and {} (noise band ±{:.0}%)...",
+            train_path.display(),
+            recognition_path.display(),
             noise_band * 100.0
         );
         let figures = [
@@ -259,9 +334,14 @@ fn main() -> ExitCode {
                 fresh: train_report.comparison.bit_serial.patterns_per_second,
             },
             CheckedFigure {
-                name: "train.word_parallel steps/s",
-                baseline: train_baseline.comparison.word_parallel.patterns_per_second,
-                fresh: train_report.comparison.word_parallel.patterns_per_second,
+                name: "train.per_neuron steps/s",
+                baseline: train_baseline.comparison.per_neuron.patterns_per_second,
+                fresh: train_report.comparison.per_neuron.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "train.window steps/s",
+                baseline: train_baseline.comparison.window.patterns_per_second,
+                fresh: train_report.comparison.window.patterns_per_second,
             },
             CheckedFigure {
                 name: "recognition.scalar signatures/s",
@@ -282,9 +362,14 @@ fn main() -> ExitCode {
             // run and the committed baseline come from different machines,
             // so the gate still means something on heterogeneous CI.
             CheckedFigure {
-                name: "train.word_parallel/bit_serial speedup",
-                baseline: train_baseline.speedup_word_parallel_over_bit_serial,
-                fresh: train_report.speedup_word_parallel_over_bit_serial,
+                name: "train.window/bit_serial speedup",
+                baseline: train_baseline.speedup_window_over_bit_serial,
+                fresh: train_report.speedup_window_over_bit_serial,
+            },
+            CheckedFigure {
+                name: "train.window/per_neuron speedup",
+                baseline: train_baseline.speedup_window_over_per_neuron,
+                fresh: train_report.speedup_window_over_per_neuron,
             },
             CheckedFigure {
                 name: "recognition.engine/scalar speedup",

@@ -72,7 +72,10 @@ pub use service::{Recognizer, SignatureBatch, SomService, Trainer};
 pub use throughput::{compare_recognition_throughput, MeasuredThroughput, ThroughputComparison};
 #[allow(deprecated)]
 pub use train::TrainEngine;
-pub use train::{compare_training_throughput, TrainReport, TrainThroughputComparison};
+pub use train::{
+    compare_training_throughput, compare_training_throughput_at_radius, TrainReport,
+    TrainThroughputComparison,
+};
 
 /// Configuration for a [`SomService`].
 ///
@@ -92,6 +95,14 @@ pub struct EngineConfig {
     /// `None` (the default) publishes on epoch boundaries and explicit
     /// [`Trainer::publish`] calls only.
     pub publish_every_steps: Option<u64>,
+    /// Per-step retention factor for the [`Trainer`]'s online win
+    /// statistics, in `(0, 1)`. With decay `d`, a win recorded `n` feed
+    /// steps ago weighs `dⁿ` at labelling time, so neuron labels track
+    /// appearance drift automatically instead of needing a manual
+    /// [`Trainer::reset_label_stats`] between drift phases. `None` (the
+    /// default) keeps every win at full weight forever — the cumulative
+    /// behaviour of [`bsom_som::LabelledSom::label`].
+    pub label_decay: Option<f64>,
 }
 
 impl EngineConfig {
@@ -118,6 +129,32 @@ impl EngineConfig {
         assert!(steps > 0, "publish cadence must be at least one step");
         self.publish_every_steps = Some(steps);
         self
+    }
+
+    /// Decays the online win statistics by `decay` per feed step (see
+    /// [`EngineConfig::label_decay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not strictly inside `(0, 1)`.
+    pub fn with_label_decay(mut self, decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "label decay must lie strictly inside (0, 1), got {decay}"
+        );
+        self.label_decay = Some(decay);
+        self
+    }
+
+    /// Configures [`EngineConfig::label_decay`] by half-life: a win's weight
+    /// halves every `steps` feed steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn with_label_half_life_steps(self, steps: u64) -> Self {
+        assert!(steps > 0, "label half-life must be at least one step");
+        self.with_label_decay(0.5f64.powf(1.0 / steps as f64))
     }
 }
 

@@ -26,6 +26,7 @@
 //! in flight can never observe a torn layer: it either runs entirely on
 //! version `N` or entirely on version `N+1`.
 
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -33,7 +34,6 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use bsom_signature::{BinaryVector, RgbImage};
-use bsom_som::labeling::NeuronLabelStats;
 use bsom_som::{
     BSom, BatchWinner, LabelledSom, ObjectLabel, PackedLayer, Prediction, SelfOrganizingMap,
     SomError, TrainSchedule, Winner,
@@ -41,6 +41,66 @@ use bsom_som::{
 use bsom_vision::pipeline::SurveillancePipeline;
 
 use crate::{EngineConfig, RecognizedObject, TrainReport};
+
+/// Weights below this threshold are dropped from a neuron's decayed win
+/// statistics — a win this faded can never influence a majority that any
+/// fresh win participates in, and pruning keeps the per-neuron maps from
+/// accumulating long-dead labels.
+const DECAYED_WIN_FLOOR: f64 = 1e-9;
+
+/// One neuron's online win statistics with optional exponential decay —
+/// the [`Trainer`]'s generalisation of
+/// [`NeuronLabelStats`](bsom_som::labeling::NeuronLabelStats).
+///
+/// Decay is applied lazily: each neuron remembers the feed step of its last
+/// recorded win and scales its whole table by `decay^age` when the next win
+/// arrives. Labels are compared only *within* a neuron, so the per-neuron
+/// clocks need not line up across neurons.
+#[derive(Debug, Clone, Default)]
+struct DecayedLabelStats {
+    /// Decayed win weight per label (a fresh win weighs 1.0).
+    wins: BTreeMap<ObjectLabel, f64>,
+    /// Feed-step clock of the most recent recorded win.
+    last_step: u64,
+}
+
+impl DecayedLabelStats {
+    /// Records one win of `label` at feed step `step`, first fading every
+    /// stored win by `decay^(step - last_step)` when decay is configured.
+    fn record_win(&mut self, label: ObjectLabel, step: u64, decay: Option<f64>) {
+        if let Some(decay) = decay {
+            let age = step.saturating_sub(self.last_step);
+            if age > 0 {
+                let scale = decay.powf(age as f64);
+                self.wins.retain(|_, weight| {
+                    *weight *= scale;
+                    *weight > DECAYED_WIN_FLOOR
+                });
+            }
+        }
+        self.last_step = step;
+        *self.wins.entry(label).or_insert(0.0) += 1.0;
+    }
+
+    /// The label with the greatest decayed weight, ties broken towards the
+    /// smaller label id — the same rule as
+    /// [`NeuronLabelStats::majority_label`](bsom_som::labeling::NeuronLabelStats::majority_label).
+    fn majority_label(&self) -> Option<ObjectLabel> {
+        self.wins
+            .iter()
+            .max_by(|(la, wa), (lb, wb)| {
+                wa.partial_cmp(wb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(lb.cmp(la))
+            })
+            .map(|(label, _)| *label)
+    }
+
+    /// Forgets every recorded win (the manual windowed-relabelling hook).
+    fn clear(&mut self) {
+        self.wins.clear();
+    }
+}
 
 /// A batch of signatures in shared ownership for the worker pool.
 ///
@@ -453,13 +513,17 @@ impl SomService {
         seed_data: &[(BinaryVector, ObjectLabel)],
         config: EngineConfig,
     ) -> (Self, Trainer) {
-        let mut stats = vec![NeuronLabelStats::default(); som.neuron_count()];
+        let mut stats = vec![DecayedLabelStats::default(); som.neuron_count()];
         for (signature, label) in seed_data {
             if let Ok(winner) = som.winner(signature) {
-                stats[winner.index].record_win(*label);
+                // Seed wins share feed-step 0: no decay separates them.
+                stats[winner.index].record_win(*label, 0, config.label_decay);
             }
         }
-        let labels = stats.iter().map(NeuronLabelStats::majority_label).collect();
+        let labels = stats
+            .iter()
+            .map(DecayedLabelStats::majority_label)
+            .collect();
         let service = Self::from_parts(
             som.packed_layer().clone(),
             labels,
@@ -475,6 +539,7 @@ impl SomService {
             steps_since_publish: 0,
             publish_every_steps: config.publish_every_steps,
             stats,
+            label_decay: config.label_decay,
             unknown_threshold: config.unknown_threshold,
         };
         (service, trainer)
@@ -524,7 +589,11 @@ impl SomService {
 /// for its label to the winning neuron's statistics (the same win-frequency
 /// rule as [`LabelledSom::label`], accumulated as data streams instead of in
 /// a separate pass), and each publish assigns every neuron its current
-/// majority label.
+/// majority label. With [`EngineConfig::label_decay`] configured, each win's
+/// weight fades exponentially with its age in feed steps, so under
+/// appearance drift a neuron whose cluster changes identity relabels itself
+/// as soon as fresh wins outweigh the faded history — no manual
+/// [`reset_label_stats`](Trainer::reset_label_stats) required.
 pub struct Trainer {
     core: Arc<ServiceCore>,
     som: BSom,
@@ -533,7 +602,8 @@ pub struct Trainer {
     steps_run: u64,
     steps_since_publish: u64,
     publish_every_steps: Option<u64>,
-    stats: Vec<NeuronLabelStats>,
+    stats: Vec<DecayedLabelStats>,
+    label_decay: Option<f64>,
     unknown_threshold: Option<f64>,
 }
 
@@ -588,7 +658,7 @@ impl Trainer {
         let winner = self
             .som
             .train_step(signature, self.epochs_run, &self.schedule)?;
-        self.stats[winner.index].record_win(label);
+        self.stats[winner.index].record_win(label, self.steps_run, self.label_decay);
         self.steps_run += 1;
         self.steps_since_publish += 1;
         if let Some(every) = self.publish_every_steps {
@@ -660,7 +730,7 @@ impl Trainer {
         let labels = self
             .stats
             .iter()
-            .map(NeuronLabelStats::majority_label)
+            .map(DecayedLabelStats::majority_label)
             .collect();
         self.core.publish(
             Arc::new(self.som.packed_layer().clone()),
@@ -670,11 +740,12 @@ impl Trainer {
     }
 
     /// Clears the accumulated win statistics. Useful for windowed labelling
-    /// under drift: reset, replay a recent window through
-    /// [`feed`](Self::feed), publish.
+    /// under drift when no [`EngineConfig::label_decay`] is configured:
+    /// reset, replay a recent window through [`feed`](Self::feed), publish.
+    /// (With decay configured the statistics fade on their own.)
     pub fn reset_label_stats(&mut self) {
         for stat in &mut self.stats {
-            stat.wins.clear();
+            stat.clear();
         }
     }
 
@@ -936,6 +1007,66 @@ mod tests {
             recognizer.classify(&BinaryVector::zeros(8)),
             Prediction::Unknown
         );
+    }
+
+    #[test]
+    fn decayed_stats_relabel_under_drift_without_reset() {
+        // One neuron, one signature, two "identities": the early phase wins
+        // as label 0, then — much later on the step clock — a handful of
+        // label-1 wins arrive. With a short half-life the faded label-0
+        // weight loses the majority; without decay it never does.
+        let mut r = rng();
+        let signature = BinaryVector::random(64, &mut r);
+        let run = |config: EngineConfig, r: &mut StdRng| {
+            let som = BSom::new(BSomConfig::new(1, 64), r);
+            let (service, mut trainer) =
+                SomService::train_while_serve(som, TrainSchedule::new(1000), &[], config);
+            for _ in 0..100 {
+                trainer.feed(&signature, ObjectLabel::new(0)).unwrap();
+            }
+            for _ in 0..20 {
+                trainer.feed(&signature, ObjectLabel::new(1)).unwrap();
+            }
+            trainer.publish();
+            service.snapshot().neuron_labels()[0]
+        };
+        let decayed = run(
+            EngineConfig::with_workers(1).with_label_half_life_steps(10),
+            &mut r,
+        );
+        assert_eq!(
+            decayed,
+            Some(ObjectLabel::new(1)),
+            "a 10-step half-life must fade the 100 stale label-0 wins"
+        );
+        let cumulative = run(EngineConfig::with_workers(1), &mut r);
+        assert_eq!(
+            cumulative,
+            Some(ObjectLabel::new(0)),
+            "without decay the cumulative majority stays with the old label"
+        );
+    }
+
+    #[test]
+    fn decayed_stats_tie_break_and_interleaving_match_the_cumulative_rule() {
+        // Same-step wins never decay relative to each other, so equal counts
+        // tie-break towards the smaller label id, like NeuronLabelStats.
+        let mut stats = DecayedLabelStats::default();
+        stats.record_win(ObjectLabel::new(3), 0, Some(0.5));
+        stats.record_win(ObjectLabel::new(1), 0, Some(0.5));
+        assert_eq!(stats.majority_label(), Some(ObjectLabel::new(1)));
+        // A fresh win at a much later step dominates both faded entries.
+        stats.record_win(ObjectLabel::new(7), 40, Some(0.5));
+        assert_eq!(stats.majority_label(), Some(ObjectLabel::new(7)));
+        // Long-dead entries are pruned, not kept at denormal weight.
+        stats.record_win(ObjectLabel::new(7), 1000, Some(0.5));
+        assert_eq!(stats.wins.len(), 1);
+        // Without decay the weights are plain counts.
+        let mut plain = DecayedLabelStats::default();
+        plain.record_win(ObjectLabel::new(2), 0, None);
+        plain.record_win(ObjectLabel::new(2), 900, None);
+        plain.record_win(ObjectLabel::new(5), 901, None);
+        assert_eq!(plain.majority_label(), Some(ObjectLabel::new(2)));
     }
 
     #[test]

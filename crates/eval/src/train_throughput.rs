@@ -1,5 +1,6 @@
-//! Training-datapath throughput: the word-parallel trainer versus the
-//! bit-serial reference, next to the FPGA cycle model's training figure.
+//! Training-datapath throughput: the plane-sliced window trainer versus the
+//! per-neuron word-parallel and bit-serial references, next to the FPGA
+//! cycle model's training figure.
 //!
 //! The recognition side of this comparison lives in `bsom-engine`'s
 //! [`throughput`](bsom_engine::throughput) module and the `fig5` experiment;
@@ -63,18 +64,22 @@ impl TrainThroughputConfig {
 pub struct TrainThroughputResult {
     /// The configuration that was measured.
     pub config: TrainThroughputConfig,
-    /// Software bit-serial vs word-parallel steps per second.
+    /// Software bit-serial vs per-neuron vs plane-sliced-window steps per
+    /// second.
     pub comparison: TrainThroughputComparison,
     /// The FPGA cycle model's training throughput at the paper's clock.
     pub fpga: ThroughputReport,
-    /// Word-parallel steps/s over bit-serial steps/s.
-    pub speedup_word_parallel: f64,
-    /// Word-parallel steps/s over the FPGA cycle-model figure.
-    pub word_parallel_vs_fpga: f64,
+    /// Production (window) steps/s over bit-serial steps/s.
+    pub speedup_window_over_bit_serial: f64,
+    /// Window steps/s over the per-neuron word-parallel path — the
+    /// neighbourhood-broadcast acceptance figure.
+    pub speedup_window_over_per_neuron: f64,
+    /// Window steps/s over the FPGA cycle-model figure.
+    pub window_vs_fpga: f64,
 }
 
 impl TrainThroughputResult {
-    /// Renders the three training datapaths side by side.
+    /// Renders the four training datapaths side by side.
     pub fn render(&self) -> TextTable {
         let mut table = TextTable::new(["Trainer", "Steps/s", "vs bit-serial"]);
         table.push_row([
@@ -83,9 +88,18 @@ impl TrainThroughputResult {
             "1.00x".to_owned(),
         ]);
         table.push_row([
-            "word-parallel".to_owned(),
-            format!("{:.0}", self.comparison.word_parallel.patterns_per_second),
-            format!("{:.2}x", self.speedup_word_parallel),
+            "word-parallel (per-neuron)".to_owned(),
+            format!("{:.0}", self.comparison.per_neuron.patterns_per_second),
+            format!(
+                "{:.2}x",
+                self.comparison.per_neuron.patterns_per_second
+                    / self.comparison.bit_serial.patterns_per_second
+            ),
+        ]);
+        table.push_row([
+            "window (plane-sliced)".to_owned(),
+            format!("{:.0}", self.comparison.window.patterns_per_second),
+            format!("{:.2}x", self.speedup_window_over_bit_serial),
         ]);
         table.push_row([
             "FPGA cycle model (40 MHz)".to_owned(),
@@ -125,9 +139,9 @@ pub fn run(config: &TrainThroughputConfig) -> TrainThroughputResult {
     });
     TrainThroughputResult {
         config: *config,
-        speedup_word_parallel: comparison.speedup(),
-        word_parallel_vs_fpga: comparison.word_parallel.patterns_per_second
-            / fpga.patterns_per_second,
+        speedup_window_over_bit_serial: comparison.speedup(),
+        speedup_window_over_per_neuron: comparison.window_speedup(),
+        window_vs_fpga: comparison.window.patterns_per_second / fpga.patterns_per_second,
         comparison,
         fpga,
     }
@@ -144,14 +158,17 @@ mod tests {
         config.patterns = 8;
         let result = run(&config);
         assert!(result.comparison.bit_serial.patterns_per_second > 0.0);
-        assert!(result.comparison.word_parallel.patterns_per_second > 0.0);
-        assert!(result.speedup_word_parallel > 0.0);
+        assert!(result.comparison.per_neuron.patterns_per_second > 0.0);
+        assert!(result.comparison.window.patterns_per_second > 0.0);
+        assert!(result.speedup_window_over_bit_serial > 0.0);
+        assert!(result.speedup_window_over_per_neuron > 0.0);
         assert!(result.fpga.patterns_per_second > 0.0);
         let text = result.render().to_string();
         assert!(text.contains("word-parallel"));
+        assert!(text.contains("window"));
         assert!(text.contains("FPGA cycle model"));
         let json = serde_json::to_string(&result).unwrap();
-        assert!(json.contains("speedup_word_parallel"));
+        assert!(json.contains("speedup_window_over_bit_serial"));
     }
 
     #[test]

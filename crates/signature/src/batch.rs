@@ -12,6 +12,15 @@
 //! `TriStateVector` bookkeeping: they operate on raw `&[u64]` slices so the
 //! SOM layer can own the layout and the engine can shard work across threads
 //! without cloning vectors.
+//!
+//! The same plane-sliced layout serves the *training* side: because the
+//! neighbourhood of a winner is a contiguous run of neuron addresses, the
+//! `w`-th value/care words of the whole neighbourhood are a contiguous run
+//! inside row `w` of the packed planes. [`update_window_word`] applies one
+//! broadcast Bernoulli mask pair (see
+//! [`bernoulli::draw_broadcast_masks`](crate::bernoulli::draw_broadcast_masks))
+//! to such a run — the software shape of the FPGA's single update circuit
+//! writing every neuron in the address window in one pass.
 
 /// #-aware Hamming distance between one weight vector and one input, all as
 /// packed word slices: `popcount((value ^ input) & care)` summed over words
@@ -101,6 +110,90 @@ pub fn select_winner(distances: &[u32], dont_care_counts: &[u32]) -> Option<(usi
     best.map(|(d, _, i)| (i, d))
 }
 
+/// Scans one plane-sliced row run for work the broadcast masks could do:
+/// returns `(needs_relax, needs_commit)` where *relax* means some neuron in
+/// the run has a concrete bit disagreeing with `input`, and *commit* means
+/// some neuron whose gate is open still has a `#` in a valid lane
+/// (`care != lane_mask`).
+///
+/// The window update uses this to skip ladder draws for words where a
+/// transition is impossible — the window-level analogue of the per-neuron
+/// skip in `TriStateVector::stochastic_update`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn window_word_needs(
+    values: &[u64],
+    cares: &[u64],
+    gates: &[u64],
+    input: u64,
+    lane_mask: u64,
+) -> (bool, bool) {
+    assert_eq!(values.len(), cares.len(), "value/care run length mismatch");
+    assert_eq!(values.len(), gates.len(), "one gate word per neuron");
+    let mut needs_relax = false;
+    let mut needs_commit = false;
+    for ((&v, &c), &g) in values.iter().zip(cares).zip(gates) {
+        needs_relax |= (v ^ input) & c != 0;
+        needs_commit |= g != 0 && c != lane_mask;
+        if needs_relax && needs_commit {
+            break;
+        }
+    }
+    (needs_relax, needs_commit)
+}
+
+/// One word index of the plane-sliced neighbourhood update: applies the
+/// **shared** broadcast mask pair to a contiguous run of packed column words
+/// (the neighbourhood's slice of one value/care row), accumulating per-neuron
+/// relax/commit popcounts into `relaxed` / `committed`.
+///
+/// Per neuron `i` of the run this is exactly
+/// [`update_word`](crate::update_word) with `relax_mask` and
+/// `commit_mask & gates[i]` — the FPGA's broadcast stream plus per-neuron
+/// gate. `commit_mask` must already carry the valid-lane mask of the final
+/// partial word (`relax_mask` needs none: mismatches are a subset of the
+/// care plane, whose tail bits are zero by the plane invariant).
+///
+/// # Panics
+///
+/// Panics if the run slices and delta slices do not all share one length.
+// A raw kernel over parallel slices, like `batch_masked_hamming`: bundling
+// the operands into a struct would only move the field list.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn update_window_word(
+    values: &mut [u64],
+    cares: &mut [u64],
+    input: u64,
+    relax_mask: u64,
+    commit_mask: u64,
+    gates: &[u64],
+    relaxed: &mut [u32],
+    committed: &mut [u32],
+) {
+    let width = values.len();
+    assert_eq!(cares.len(), width, "value/care run length mismatch");
+    assert_eq!(gates.len(), width, "one gate word per neuron");
+    assert_eq!(relaxed.len(), width, "one relax counter per neuron");
+    assert_eq!(committed.len(), width, "one commit counter per neuron");
+    for i in 0..width {
+        let updated = crate::update_word(
+            values[i],
+            cares[i],
+            input,
+            relax_mask,
+            commit_mask & gates[i],
+        );
+        values[i] = updated.value;
+        cares[i] = updated.care;
+        relaxed[i] += updated.relaxed.count_ones();
+        committed[i] += updated.committed.count_ones();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +271,80 @@ mod tests {
     #[should_panic(expected = "one distance slot per neuron")]
     fn batch_kernel_rejects_wrong_distance_len() {
         batch_masked_hamming(&[0], &[0], &[0], 1, &mut [0, 0]);
+    }
+
+    #[test]
+    fn window_word_needs_reports_both_transitions() {
+        let lane_mask = u64::MAX;
+        // Fully concrete, agreeing run: nothing to do.
+        let (r, c) = window_word_needs(&[0b1010], &[lane_mask], &[u64::MAX], 0b1010, lane_mask);
+        assert!(!r && !c);
+        // A disagreeing concrete bit needs relax.
+        let (r, c) = window_word_needs(&[0b1011], &[lane_mask], &[u64::MAX], 0b1010, lane_mask);
+        assert!(r && !c);
+        // A # lane needs commit — but only behind an open gate.
+        let (r, c) = window_word_needs(&[0], &[!1u64], &[u64::MAX], 0, lane_mask);
+        assert!(!r && c);
+        let (r, c) = window_word_needs(&[0], &[!1u64], &[0], 0, lane_mask);
+        assert!(!r && !c);
+        // Tail lanes beyond the lane mask never count as undecided.
+        let tail = (1u64 << 6) - 1;
+        let (r, c) = window_word_needs(&[0], &[tail], &[u64::MAX], 0, tail);
+        assert!(!r && !c);
+    }
+
+    #[test]
+    fn update_window_word_matches_per_neuron_update_word() {
+        let mut rng = StdRng::seed_from_u64(0x77D0);
+        use rand::Rng;
+        for _ in 0..50 {
+            let width = 1 + (rng.gen::<usize>() % 9);
+            let values: Vec<u64> = (0..width).map(|_| rng.gen()).collect();
+            let raw_cares: Vec<u64> = (0..width).map(|_| rng.gen()).collect();
+            // Keep the value-zero-where-care-zero invariant of real planes.
+            let cares = raw_cares;
+            let values: Vec<u64> = values.iter().zip(&cares).map(|(v, c)| v & c).collect();
+            let gates: Vec<u64> = (0..width)
+                .map(|_| if rng.gen() { u64::MAX } else { 0 })
+                .collect();
+            let input: u64 = rng.gen();
+            let relax_mask: u64 = rng.gen();
+            let commit_mask: u64 = rng.gen();
+
+            let mut win_values = values.clone();
+            let mut win_cares = cares.clone();
+            let mut relaxed = vec![0u32; width];
+            let mut committed = vec![0u32; width];
+            update_window_word(
+                &mut win_values,
+                &mut win_cares,
+                input,
+                relax_mask,
+                commit_mask,
+                &gates,
+                &mut relaxed,
+                &mut committed,
+            );
+            for i in 0..width {
+                let expected = crate::update_word(
+                    values[i],
+                    cares[i],
+                    input,
+                    relax_mask,
+                    commit_mask & gates[i],
+                );
+                assert_eq!(win_values[i], expected.value, "neuron {i}");
+                assert_eq!(win_cares[i], expected.care, "neuron {i}");
+                assert_eq!(relaxed[i], expected.relaxed.count_ones());
+                assert_eq!(committed[i], expected.committed.count_ones());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one gate word per neuron")]
+    fn update_window_word_rejects_mismatched_gates() {
+        update_window_word(&mut [0], &mut [0], 0, 0, 0, &[0, 0], &mut [0], &mut [0]);
     }
 
     #[test]

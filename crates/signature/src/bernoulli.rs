@@ -35,10 +35,42 @@
 //! they would AND against a probability-0 mask — so short expansions cost
 //! few draws: `p = 0.5` costs exactly one.
 //!
+//! ## One stream, many neurons: the neighbourhood broadcast
+//!
+//! The paper's FPGA has a *single* update circuit; its Bernoulli bit stream
+//! is broadcast to every neuron in the winner's neighbourhood address window
+//! and each neuron merely gates the stream on or off. The software analogue
+//! is [`draw_broadcast_masks`]: **one** ladder draw sequence per 64-bit word
+//! index yields the relax/commit mask pair shared by the whole window, and
+//! [`gate_word`] supplies the per-neuron enable line — an AND against the
+//! all-ones or all-zero word, which is exactly the degenerate rung of the
+//! bit-slicing ladder (scaling the per-bit probability by 1 or 0; ANDing a
+//! fresh uniform word instead would halve it, the hook for fractional
+//! per-neuron rates). The RNG cost of an update is therefore per *window*,
+//! not per neuron — `bsom_som`'s plane-sliced neighbourhood update applies
+//! the shared pair to a run of packed column words in one pass.
+//!
 //! All functions here advance an explicit `&mut u64` xorshift64* state (the
 //! software analogue of the FPGA's LFSR) rather than owning the generator,
 //! so callers like `bsom_som::BSom` can keep the state serialized alongside
 //! the weights and stay deterministic per construction seed.
+//!
+//! ```rust
+//! use bsom_signature::bernoulli::{draw_broadcast_masks, gate_word, MaskPlan};
+//!
+//! // The 0.3/0.3 paper default: relax and commit share one compiled plan,
+//! // so the broadcast pair costs a single ladder sequence per word index —
+//! // regardless of how many neurons sit in the neighbourhood window.
+//! let plan = MaskPlan::from_probability(0.3);
+//! let mut state = 0xB50A_u64;
+//! let masks = draw_broadcast_masks(&plan, &plan, true, true, &mut state);
+//! assert_eq!(masks.relax, masks.commit, "equal plans share one draw");
+//!
+//! // Per-neuron gating: an enabled neuron sees the stream, a disabled one
+//! // sees probability zero.
+//! assert_eq!(masks.commit & gate_word(true), masks.commit);
+//! assert_eq!(masks.commit & gate_word(false), 0);
+//! ```
 
 /// Number of binary digits of `p` a [`MaskPlan`] keeps.
 ///
@@ -256,6 +288,75 @@ impl MaskPlan {
     }
 }
 
+/// The shared Bernoulli mask pair for one 64-bit word index of a
+/// neighbourhood-broadcast update: the same two words are applied to every
+/// neuron in the address window (each neuron additionally ANDs its own
+/// [`gate_word`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastMasks {
+    /// Mask gating concrete-mismatch → `#` relaxations.
+    pub relax: u64,
+    /// Mask gating `#` → input commits. **Not** lane-masked: callers AND the
+    /// valid-lane mask of the final partial word themselves.
+    pub commit: u64,
+}
+
+/// Draws the broadcast (relax, commit) mask pair for one word index,
+/// advancing `state` only for the draws that are actually needed.
+///
+/// This is the single-update-circuit discipline of the FPGA made explicit:
+///
+/// * `needs_relax` / `needs_commit` report whether *any* neuron in the
+///   window has a concrete mismatch / an undecided `#` lane in this word;
+///   a transition nobody can take skips its ladder draws entirely, so the
+///   RNG consumption is data-dependent but deterministic per state.
+/// * When both transitions are needed and the two plans realise the same
+///   probability (the 0.3/0.3 paper default), **one** draw serves both:
+///   relax only ever reads lanes where the care bit is set and commit only
+///   lanes where it is clear, so the applied decisions come from disjoint —
+///   hence still independent — bits of the shared word.
+///
+/// The per-neuron word-parallel path (`TriStateVector::stochastic_update`)
+/// and the plane-sliced window path draw through this same function, which
+/// is what keeps them bit-identical whenever neither consumes randomness
+/// (both probabilities 0 or 1).
+#[inline]
+pub fn draw_broadcast_masks(
+    relax: &MaskPlan,
+    commit: &MaskPlan,
+    needs_relax: bool,
+    needs_commit: bool,
+    state: &mut u64,
+) -> BroadcastMasks {
+    if relax == commit && needs_relax && needs_commit {
+        let shared = relax.draw(state);
+        return BroadcastMasks {
+            relax: shared,
+            commit: shared,
+        };
+    }
+    BroadcastMasks {
+        relax: if needs_relax { relax.draw(state) } else { 0 },
+        commit: if needs_commit { commit.draw(state) } else { 0 },
+    }
+}
+
+/// The per-neuron gate of the broadcast update: all-ones for a neuron that
+/// takes the shared stream, all-zero for one that ignores it.
+///
+/// ANDing a mask with a gate is the degenerate rung of the bit-slicing
+/// ladder — it scales the per-bit probability by exactly 1 or 0 (an AND
+/// against a fresh *uniform* word would scale it by ½ instead, which is how
+/// fractional per-neuron rates would fold into the same datapath).
+#[inline]
+pub fn gate_word(enabled: bool) -> u64 {
+    if enabled {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +489,64 @@ mod tests {
         let mut b = 99u64;
         assert_eq!(plan.draw(&mut a), plan.draw(&mut b));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn broadcast_masks_share_one_draw_for_equal_plans() {
+        let plan = MaskPlan::from_probability(0.3);
+        let mut shared_state = 0xB50A_u64;
+        let masks = draw_broadcast_masks(&plan, &plan, true, true, &mut shared_state);
+        assert_eq!(masks.relax, masks.commit);
+        // Exactly one ladder sequence was consumed: replaying a single draw
+        // from the same seed lands on the same state.
+        let mut replay = 0xB50A_u64;
+        assert_eq!(plan.draw(&mut replay), masks.relax);
+        assert_eq!(replay, shared_state);
+    }
+
+    #[test]
+    fn broadcast_masks_draw_separately_for_distinct_plans() {
+        let relax = MaskPlan::from_probability(0.3);
+        let commit = MaskPlan::from_probability(0.7);
+        let mut state = 0x5EED_u64;
+        let masks = draw_broadcast_masks(&relax, &commit, true, true, &mut state);
+        // Replaying the documented order (relax first, then commit) matches.
+        let mut replay = 0x5EED_u64;
+        assert_eq!(relax.draw(&mut replay), masks.relax);
+        assert_eq!(commit.draw(&mut replay), masks.commit);
+        assert_eq!(replay, state);
+    }
+
+    #[test]
+    fn broadcast_masks_skip_unneeded_draws() {
+        let plan = MaskPlan::from_probability(0.3);
+        let mut state = 7u64;
+        let masks = draw_broadcast_masks(&plan, &plan, false, false, &mut state);
+        assert_eq!(masks.relax, 0);
+        assert_eq!(masks.commit, 0);
+        assert_eq!(state, 7, "nothing needed => nothing drawn");
+        // One-sided need draws exactly one sequence.
+        let masks = draw_broadcast_masks(&plan, &plan, true, false, &mut state);
+        assert_eq!(masks.commit, 0);
+        let mut replay = 7u64;
+        assert_eq!(plan.draw(&mut replay), masks.relax);
+        assert_eq!(replay, state);
+    }
+
+    #[test]
+    fn broadcast_masks_degenerate_plans_never_touch_state() {
+        let never = MaskPlan::never();
+        let always = MaskPlan::from_probability(1.0);
+        let mut state = 42u64;
+        let masks = draw_broadcast_masks(&always, &never, true, true, &mut state);
+        assert_eq!(masks.relax, u64::MAX);
+        assert_eq!(masks.commit, 0);
+        assert_eq!(state, 42);
+    }
+
+    #[test]
+    fn gate_word_is_the_degenerate_probability_scale() {
+        assert_eq!(gate_word(true), u64::MAX);
+        assert_eq!(gate_word(false), 0);
     }
 }

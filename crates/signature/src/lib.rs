@@ -42,8 +42,11 @@ pub mod histogram;
 pub mod image;
 pub mod tristate;
 
-pub use batch::{batch_masked_hamming, masked_hamming_words, select_winner};
-pub use bernoulli::{CoinThreshold, MaskPlan};
+pub use batch::{
+    batch_masked_hamming, masked_hamming_words, select_winner, update_window_word,
+    window_word_needs,
+};
+pub use bernoulli::{draw_broadcast_masks, gate_word, BroadcastMasks, CoinThreshold, MaskPlan};
 pub use bitvec::BinaryVector;
 pub use error::SignatureError;
 pub use histogram::{ColorHistogram, BINS_PER_CHANNEL, HISTOGRAM_BINS};

@@ -475,11 +475,6 @@ impl TriStateVector {
         let mut delta = UpdateDelta::default();
         let values = self.value.as_mut_words();
         let cares = self.care.as_mut_words();
-        // When both transitions use the same probability (the 0.3/0.3 paper
-        // default), one mask word can serve both: relax only ever reads the
-        // `care` lanes and commit only the `!care` lanes, so the applied
-        // decisions come from disjoint — hence still independent — bits.
-        let shared_plan = relax == commit;
         for (w, &x) in input.as_words().iter().enumerate() {
             // Valid-lane mask: all ones except in the final partial word.
             let lane_mask = if (w + 1) * 64 <= len {
@@ -490,28 +485,50 @@ impl TriStateVector {
             let value = values[w];
             let care = cares[w];
             // Skip draws that cannot change anything; the plane invariants
-            // (tail care/value bits zero) make these checks exact.
+            // (tail care/value bits zero) make these checks exact. The
+            // shared-draw case (relax == commit, both needed) is handled by
+            // the broadcast drawing rule — see
+            // [`crate::bernoulli::draw_broadcast_masks`].
             let needs_relax = (value ^ x) & care != 0;
             let needs_commit = care != lane_mask;
-            let (relax_mask, commit_mask) = if shared_plan && needs_relax && needs_commit {
-                let mask = relax.draw(state);
-                (mask, mask & lane_mask)
-            } else {
-                let relax_mask = if needs_relax { relax.draw(state) } else { 0 };
-                let commit_mask = if needs_commit {
-                    commit.draw(state) & lane_mask
-                } else {
-                    0
-                };
-                (relax_mask, commit_mask)
-            };
-            let updated = update_word(value, care, x, relax_mask, commit_mask);
+            let masks = crate::bernoulli::draw_broadcast_masks(
+                relax,
+                commit,
+                needs_relax,
+                needs_commit,
+                state,
+            );
+            let updated = update_word(value, care, x, masks.relax, masks.commit & lane_mask);
             values[w] = updated.value;
             cares[w] = updated.care;
             delta.relaxed += updated.relaxed.count_ones() as usize;
             delta.committed += updated.committed.count_ones() as usize;
         }
         delta
+    }
+
+    /// Overwrites plane word `w` with an updated (value, care) pair — the
+    /// write-back half of the plane-sliced neighbourhood update, which runs
+    /// on packed column words and then mirrors them into the per-neuron
+    /// planes.
+    ///
+    /// The caller is responsible for the plane invariants the update kernels
+    /// preserve by construction (both debug-asserted here): the value plane
+    /// is zero wherever the care plane is, and lanes beyond the vector
+    /// length are zero in both planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a valid word index.
+    pub fn set_plane_word(&mut self, w: usize, value: u64, care: u64) {
+        debug_assert_eq!(value & !care, 0, "value bits outside the care plane");
+        let rem = self.len() % 64;
+        if rem != 0 && (w + 1) * 64 > self.len() {
+            let tail_mask = !((1u64 << rem) - 1);
+            debug_assert_eq!(care & tail_mask, 0, "care tail bits beyond the length");
+        }
+        self.value.as_mut_words()[w] = value;
+        self.care.as_mut_words()[w] = care;
     }
 
     /// The care bit-plane (set ⇒ concrete trit).

@@ -36,25 +36,38 @@
 //! cluster of inputs a neuron wins converge to concrete values; bits that
 //! vary spend time in `#`, harmlessly excluded from the distance.
 //!
-//! ## The word-parallel training datapath
+//! ## The plane-sliced training datapath
 //!
-//! [`BSom::train_step`] applies the table above **64 trits at a time** on the
-//! packed (value, care) plane words (DESIGN.md §"The word-parallel trainer"):
-//! the stochastic damping comes from whole-word Bernoulli masks
-//! ([`bsom_signature::bernoulli::MaskPlan`]) instead of one coin per bit, the
-//! update itself is [`bsom_signature::update_word`]'s three bitwise
-//! operations, and the per-neuron `#`-counts the WTA key needs are maintained
-//! incrementally from the popcount deltas of each masked write — `winner`
-//! never re-popcounts a care plane. The pre-word-parallel implementation is
-//! kept verbatim as [`BSom::train_step_bit_serial`]: it is the reference the
-//! `word_update_equivalence` proptests compare against and the baseline the
-//! `train_throughput` bench measures the speedup from. The two paths draw
-//! from the same xorshift64* state but consume it differently, so for
+//! [`BSom::train_step`] applies the table above **64 trits × the whole
+//! neighbourhood at a time** (DESIGN.md §"The neighbourhood broadcast
+//! update"): because the neighbourhood is a contiguous run of neuron
+//! addresses, its update runs directly on the shared
+//! [`PackedLayer`] — per 64-bit word index **one** broadcast Bernoulli mask
+//! pair ([`bsom_signature::draw_broadcast_masks`]) is drawn and applied to
+//! the window's run of packed column words
+//! ([`bsom_signature::update_window_word`]), with a per-neuron gate word
+//! carrying the [`NeighbourRule`], mirroring the FPGA's single update
+//! circuit broadcast to the address window. The per-neuron `#`-counts the
+//! WTA key needs are maintained incrementally from the popcount deltas of
+//! each masked write — `winner` never re-popcounts a care plane.
+//!
+//! Two slower datapaths are retained on purpose:
+//!
+//! * [`BSom::train_step_per_neuron`] — the PR 3/4 word-parallel path that
+//!   visits neighbourhood neurons one at a time, re-drawing masks per
+//!   neuron. It is the baseline the `neighbourhood_update` bench measures
+//!   the window speedup from and one reference of the
+//!   `window_update_equivalence` proptests.
+//! * [`BSom::train_step_bit_serial`] — the original per-trit loop with one
+//!   scalar coin per bit, reference for the `word_update_equivalence`
+//!   proptests and baseline of the `train_throughput` bench.
+//!
+//! The three paths consume the shared xorshift64* state differently, so for
 //! interior probabilities they agree *in distribution*, not bit for bit;
-//! for probabilities 0 and 1 neither consumes randomness and they are
-//! bit-identical.
+//! for probabilities 0 and 1 none of them consumes randomness and all three
+//! are bit-identical.
 
-use bsom_signature::bernoulli::{CoinThreshold, MaskPlan};
+use bsom_signature::bernoulli::{gate_word, CoinThreshold, MaskPlan};
 use bsom_signature::{BinaryVector, TriStateVector, Trit};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -188,6 +201,20 @@ impl UpdateTables {
     }
 }
 
+/// Reusable scratch for the plane-sliced window update: the per-neuron
+/// commit gates and flip counters of one neighbourhood. Owned by the map so
+/// the training hot path performs no per-step allocation; never serialized
+/// or compared (its contents are meaningless between steps).
+#[derive(Debug, Clone, Default)]
+struct WindowScratch {
+    /// One [`gate_word`] per neuron in the window.
+    gates: Vec<u64>,
+    /// Per-neuron relaxed-bit counts, filled by the window update.
+    relaxed: Vec<u32>,
+    /// Per-neuron committed-bit counts, filled by the window update.
+    committed: Vec<u32>,
+}
+
 /// The tri-state binary Self-Organizing Map.
 ///
 /// # Examples
@@ -236,6 +263,8 @@ pub struct BSom {
     /// Invariant: `packed == PackedLayer::pack(self)` word for word,
     /// debug-asserted per touched neuron after every update.
     packed: PackedLayer,
+    /// Reusable window-update scratch (see [`WindowScratch`]).
+    scratch: WindowScratch,
 }
 
 /// Equality is over the map's intrinsic state — configuration, weights and
@@ -290,6 +319,7 @@ impl BSom {
             dont_care_counts,
             tables,
             packed,
+            scratch: WindowScratch::default(),
         })
     }
 
@@ -326,6 +356,7 @@ impl BSom {
             dont_care_counts,
             tables,
             packed,
+            scratch: WindowScratch::default(),
         })
     }
 
@@ -470,6 +501,103 @@ impl BSom {
         );
     }
 
+    /// The plane-sliced neighbourhood update: one broadcast mask stream
+    /// applied to the contiguous window `[lo, hi]` of packed neuron columns
+    /// in a single pass ([`PackedLayer::apply_window_update`]), with the
+    /// commit transition gated per neuron by the [`NeighbourRule`] (only the
+    /// winner commits under [`NeighbourRule::RelaxOnly`]). The updated
+    /// column words are mirrored back into the per-neuron planes and both
+    /// `#`-count caches are maintained from the popcount deltas.
+    fn update_window(&mut self, lo: usize, hi: usize, winner: usize, input: &BinaryVector) {
+        let BSom {
+            config,
+            neurons,
+            rng_state,
+            dont_care_counts,
+            tables,
+            packed,
+            scratch,
+        } = self;
+        let window = lo..hi + 1;
+        let width = window.len();
+        scratch.gates.clear();
+        scratch.gates.extend(window.clone().map(|idx| {
+            gate_word(match config.neighbour_rule {
+                NeighbourRule::RelaxOnly => idx == winner,
+                _ => true,
+            })
+        }));
+        scratch.relaxed.resize(width, 0);
+        scratch.committed.resize(width, 0);
+        packed.apply_window_update(
+            window.clone(),
+            input,
+            &tables.relax_plan,
+            &tables.commit_plan,
+            &scratch.gates,
+            rng_state,
+            &mut scratch.relaxed,
+            &mut scratch.committed,
+        );
+        for (offset, idx) in window.enumerate() {
+            packed.copy_neuron_into(idx, &mut neurons[idx]);
+            let count = &mut dont_care_counts[idx];
+            *count = (i64::from(*count) + i64::from(scratch.relaxed[offset])
+                - i64::from(scratch.committed[offset])) as u32;
+            debug_assert_eq!(
+                *count as usize,
+                neurons[idx].count_dont_care(),
+                "incremental #-count cache out of sync for neuron {idx}"
+            );
+            debug_assert!(
+                packed.neuron_matches(idx, &neurons[idx]),
+                "packed layer out of sync for neuron {idx}"
+            );
+        }
+    }
+
+    /// One training step through the **per-neuron word-parallel datapath**:
+    /// the same winner search, neighbourhood policy and word-parallel update
+    /// kernel as [`SelfOrganizingMap::train_step`], but the neighbourhood
+    /// neurons are visited one at a time, each drawing its own Bernoulli
+    /// mask words — the PR 3/4 trainer, retained as the baseline the
+    /// `neighbourhood_update` bench measures the plane-sliced window path
+    /// against and as one reference of the `window_update_equivalence`
+    /// proptests.
+    ///
+    /// The window path draws one broadcast mask stream for the whole
+    /// neighbourhood, so the two paths consume the shared RNG state
+    /// differently: for interior probabilities they agree *in distribution*
+    /// (and flip-count statistics), and for probabilities 0 and 1 — where
+    /// neither consumes randomness — they are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SomError::InputLengthMismatch`] if the input length differs
+    /// from the configured vector length.
+    pub fn train_step_per_neuron(
+        &mut self,
+        input: &BinaryVector,
+        t: usize,
+        schedule: &TrainSchedule,
+    ) -> Result<Winner, SomError> {
+        let winner = self.winner(input)?;
+        let radius = schedule.radius_at(t);
+        let neighbourhood = line_neighbourhood(winner.index, radius, self.config.neurons);
+        for idx in neighbourhood {
+            if idx == winner.index {
+                self.update_neuron(idx, input, true);
+                continue;
+            }
+            match self.config.neighbour_rule {
+                NeighbourRule::SameAsWinner => self.update_neuron(idx, input, true),
+                NeighbourRule::RelaxOnly => self.update_neuron(idx, input, false),
+                NeighbourRule::WinnerOnly => {}
+            }
+        }
+        Ok(winner)
+    }
+
     /// The pre-word-parallel update: walk all bits of the neuron with one
     /// integer-threshold coin per stochastic decision. Kept as the reference
     /// implementation for the equivalence proptests and as the baseline the
@@ -588,6 +716,11 @@ impl SelfOrganizingMap for BSom {
         Ok(Winner::new(w.index, f64::from(w.distance)))
     }
 
+    /// One training step through the plane-sliced window datapath: winner
+    /// search on the shared packed layout, then **one** broadcast mask
+    /// stream applied to the whole neighbourhood address window directly on
+    /// the packed columns (see the module docs and DESIGN.md §"The
+    /// neighbourhood broadcast update").
     fn train_step(
         &mut self,
         input: &BinaryVector,
@@ -596,18 +729,17 @@ impl SelfOrganizingMap for BSom {
     ) -> Result<Winner, SomError> {
         let winner = self.winner(input)?;
         let radius = schedule.radius_at(t);
-        let neighbourhood = line_neighbourhood(winner.index, radius, self.config.neurons);
-        for idx in neighbourhood {
-            if idx == winner.index {
-                self.update_neuron(idx, input, true);
-                continue;
-            }
-            match self.config.neighbour_rule {
-                NeighbourRule::SameAsWinner => self.update_neuron(idx, input, true),
-                NeighbourRule::RelaxOnly => self.update_neuron(idx, input, false),
-                NeighbourRule::WinnerOnly => {}
-            }
-        }
+        // The address window [lo, hi], clamped at the line's ends exactly
+        // like `line_neighbourhood` (winner-take-all learning collapses the
+        // window to the winner itself).
+        let (lo, hi) = match self.config.neighbour_rule {
+            NeighbourRule::WinnerOnly => (winner.index, winner.index),
+            NeighbourRule::SameAsWinner | NeighbourRule::RelaxOnly => (
+                winner.index.saturating_sub(radius),
+                (winner.index + radius).min(self.config.neurons - 1),
+            ),
+        };
+        self.update_window(lo, hi, winner.index, input);
         Ok(winner)
     }
 
@@ -683,6 +815,7 @@ impl BSom {
             dont_care_counts,
             tables,
             packed,
+            scratch: WindowScratch::default(),
         })
     }
 }
@@ -870,6 +1003,50 @@ mod tests {
             assert_eq!(ww.index, ws.index);
         }
         assert_eq!(word, serial);
+    }
+
+    #[test]
+    fn window_and_per_neuron_paths_agree_exactly_for_undamped_probabilities() {
+        // With p = 1 neither the broadcast window path nor the per-neuron
+        // word-parallel path consumes randomness, so the two must produce
+        // bit-identical maps under every neighbour rule (the
+        // `window_update_equivalence` proptest suite broadens this).
+        for rule in [
+            NeighbourRule::SameAsWinner,
+            NeighbourRule::RelaxOnly,
+            NeighbourRule::WinnerOnly,
+        ] {
+            let mut r = rng();
+            let config = BSomConfig::new(6, 70)
+                .with_update_probabilities(1.0, 1.0)
+                .with_neighbour_rule(rule);
+            let reference = BSom::new(config, &mut r);
+            let mut per_neuron = reference.clone();
+            let mut window = reference;
+            let schedule = TrainSchedule::new(8);
+            for t in 0..8 {
+                let input = BinaryVector::random(70, &mut r);
+                let ww = window.train_step(&input, t, &schedule).unwrap();
+                let wp = per_neuron
+                    .train_step_per_neuron(&input, t, &schedule)
+                    .unwrap();
+                assert_eq!(ww.index, wp.index, "rule {rule:?}");
+            }
+            assert_eq!(window, per_neuron, "rule {rule:?}");
+            assert_eq!(window.dont_care_counts(), per_neuron.dont_care_counts());
+        }
+    }
+
+    #[test]
+    fn window_update_keeps_the_packed_layout_in_lockstep() {
+        let mut r = rng();
+        let mut som = BSom::new(BSomConfig::new(9, 130), &mut r);
+        let schedule = TrainSchedule::new(6);
+        for t in 0..6 {
+            let input = BinaryVector::random(130, &mut r);
+            som.train_step(&input, t, &schedule).unwrap();
+        }
+        assert_eq!(som.packed_layer(), &PackedLayer::pack(&som));
     }
 
     #[test]

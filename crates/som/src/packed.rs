@@ -1,22 +1,55 @@
-//! The plane-sliced competitive layer for batched winner search.
+//! The plane-sliced competitive layer: one layout for search **and** update.
 //!
-//! [`BSom`] stores each neuron as its own pair of bit-planes,
-//! which is the right shape for training (weights mutate neuron by neuron)
-//! but the wrong shape for recognition traffic: the scalar winner search
-//! walks 40 separate heap allocations per input. [`PackedLayer`] is the
-//! recognition-side snapshot of the same weights in the layout the FPGA
-//! datapath implies (DESIGN.md §"The batched engine layout"): for each 64-bit
-//! word index, the corresponding value/care word of **every** neuron is
-//! stored contiguously, so one sequential pass over the input words computes
-//! the #-aware Hamming distance to all neurons at once and the whole layer
-//! fits the cache line by line.
+//! [`PackedLayer`] stores the competitive layer in the layout the FPGA
+//! datapath implies (DESIGN.md §"The batched engine layout"): for each
+//! 64-bit word index `w`, the `w`-th value/care word of **every** neuron is
+//! stored contiguously (`values[w * neurons + i]` is neuron `i`'s word `w`).
+//! One sequential pass over the input words then computes the #-aware
+//! Hamming distance to all neurons at once, the whole layer fits the cache
+//! line by line — and, because a neighbourhood is a contiguous run of
+//! neuron addresses, the `w`-th words of a whole neighbourhood are a
+//! contiguous run inside row `w`, which is what
+//! [`PackedLayer::apply_window_update`] exploits to train every neuron in
+//! the winner's address window in a single pass under one broadcast
+//! Bernoulli mask stream (DESIGN.md §"The neighbourhood broadcast update").
 //!
-//! The winner returned by [`PackedLayer::winner`] is bit-identical to
+//! ## The incremental-layout invariant
+//!
+//! [`BSom`] *owns* a `PackedLayer` and maintains it incrementally on every
+//! weight write — per-neuron column rewrites through
+//! [`apply_neuron_update`](PackedLayer::apply_neuron_update), whole-window
+//! writes through [`apply_window_update`](PackedLayer::apply_window_update).
+//! The invariant, debug-asserted after every update and pinned down by the
+//! `incremental_packed` proptest suite, is that the maintained layout always
+//! equals a from-scratch [`PackedLayer::pack`] of the same map, **word for
+//! word** (planes, `#`-counts and shape). Publishing a serving snapshot is
+//! therefore a plain clone of this field, never a re-pack, and the winner
+//! returned by [`PackedLayer::winner`] is bit-identical to
 //! [`BSom::winner`](crate::SelfOrganizingMap::winner) — including the
-//! `{distance, #-count, address}` tie-break — a property pinned down by the
-//! `packed_equivalence` proptest suite.
+//! `{distance, #-count, address}` tie-break (`packed_equivalence` suite).
+//!
+//! ```rust
+//! use bsom_signature::BinaryVector;
+//! use bsom_som::{BSom, BSomConfig, PackedLayer, SelfOrganizingMap, TrainSchedule};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), bsom_som::SomError> {
+//! let mut rng = StdRng::seed_from_u64(9);
+//! let mut som = BSom::new(BSomConfig::new(8, 70), &mut rng);
+//! let input = BinaryVector::random(70, &mut rng);
+//! som.train_step(&input, 0, &TrainSchedule::new(1))?;
+//! // The incrementally maintained layout equals a fresh pack word for word.
+//! assert_eq!(som.packed_layer(), &PackedLayer::pack(&som));
+//! # Ok(())
+//! # }
+//! ```
 
-use bsom_signature::{batch_masked_hamming, select_winner, BinaryVector, TriStateVector};
+use bsom_signature::bernoulli::{draw_broadcast_masks, MaskPlan};
+use bsom_signature::{
+    batch_masked_hamming, select_winner, update_window_word, window_word_needs, BinaryVector,
+    TriStateVector,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::bsom::BSom;
@@ -166,6 +199,119 @@ impl PackedLayer {
             self.cares[w * self.neurons + index] = c;
         }
         self.dont_care_counts[index] = dont_care_count;
+    }
+
+    /// Applies one stochastically damped tri-state update to **every neuron
+    /// in the contiguous address window** `window`, directly on the packed
+    /// column words — the software shape of the FPGA's single update circuit
+    /// broadcast to the neighbourhood (DESIGN.md §"The neighbourhood
+    /// broadcast update").
+    ///
+    /// Per 64-bit word index one broadcast (relax, commit) mask pair is
+    /// drawn from the plans ([`draw_broadcast_masks`], skipping draws for
+    /// words where no neuron in the window can take the transition) and
+    /// applied to the window's run of row `w` with [`update_window_word`];
+    /// `commit_gates[i]` (all-ones or zero) is neuron `window.start + i`'s
+    /// update-enable line for the commit transition. The per-neuron
+    /// `#`-counts of the layer are updated from the popcount deltas, and the
+    /// same deltas are written into the caller's `relaxed` / `committed`
+    /// counters so callers can maintain their own caches — scratch slices
+    /// rather than returned vectors, so a training loop performs no per-step
+    /// allocation (the counters are zeroed here, not accumulated).
+    ///
+    /// RNG cost is per *window word*, not per neuron — updating a 9-neuron
+    /// neighbourhood draws exactly as many mask words as updating one
+    /// neuron, which is where the plane-sliced trainer's speedup over the
+    /// per-neuron path comes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or out of range, if `commit_gates`,
+    /// `relaxed` or `committed` are not exactly `window.len()` long, or if
+    /// `input` has the wrong length.
+    // A hot-path entry point over parallel per-neuron slices, like the
+    // `bsom_signature::batch` kernels it drives: bundling the operands into
+    // a struct would only move the field list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_window_update(
+        &mut self,
+        window: std::ops::Range<usize>,
+        input: &BinaryVector,
+        relax: &MaskPlan,
+        commit: &MaskPlan,
+        commit_gates: &[u64],
+        state: &mut u64,
+        relaxed: &mut [u32],
+        committed: &mut [u32],
+    ) {
+        assert!(
+            window.start < window.end && window.end <= self.neurons,
+            "window {window:?} out of range for a {}-neuron layer",
+            self.neurons
+        );
+        let width = window.end - window.start;
+        assert_eq!(width, commit_gates.len(), "one commit gate per neuron");
+        assert_eq!(width, relaxed.len(), "one relax counter per neuron");
+        assert_eq!(width, committed.len(), "one commit counter per neuron");
+        assert_eq!(
+            input.len(),
+            self.vector_len,
+            "input length must match the layer's vector length"
+        );
+        relaxed.fill(0);
+        committed.fill(0);
+        for (w, &x) in input.as_words().iter().enumerate() {
+            let lane_mask = if (w + 1) * 64 <= self.vector_len {
+                u64::MAX
+            } else {
+                (1u64 << (self.vector_len % 64)) - 1
+            };
+            let start = w * self.neurons + window.start;
+            let run_values = &mut self.values[start..start + width];
+            let run_cares = &mut self.cares[start..start + width];
+            let (needs_relax, needs_commit) =
+                window_word_needs(run_values, run_cares, commit_gates, x, lane_mask);
+            let masks = draw_broadcast_masks(relax, commit, needs_relax, needs_commit, state);
+            update_window_word(
+                run_values,
+                run_cares,
+                x,
+                masks.relax,
+                masks.commit & lane_mask,
+                commit_gates,
+                relaxed,
+                committed,
+            );
+        }
+        for (i, (&r, &c)) in relaxed.iter().zip(committed.iter()).enumerate() {
+            let count = &mut self.dont_care_counts[window.start + i];
+            *count = (i64::from(*count) + i64::from(r) - i64::from(c)) as u32;
+        }
+    }
+
+    /// Copies neuron `index`'s packed column words back into `weight`'s
+    /// per-neuron planes — the write-back half of
+    /// [`apply_window_update`](Self::apply_window_update), which keeps the
+    /// two representations of the weights in lock-step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `weight` has the wrong length.
+    pub fn copy_neuron_into(&self, index: usize, weight: &mut TriStateVector) {
+        assert!(
+            index < self.neurons,
+            "neuron {index} out of range for a {}-neuron layer",
+            self.neurons
+        );
+        assert_eq!(
+            weight.len(),
+            self.vector_len,
+            "weight length must match the layer's vector length"
+        );
+        for w in 0..self.words_per_vector {
+            let at = w * self.neurons + index;
+            weight.set_plane_word(w, self.values[at], self.cares[at]);
+        }
     }
 
     /// `true` iff neuron `index`'s packed words and `#`-count equal `weight`'s

@@ -8,6 +8,12 @@
 //! accuracy is measured **before and after** each published snapshot, so the
 //! adaptation is visible phase by phase.
 //!
+//! Neuron labels track the drift automatically: the engine is configured
+//! with `EngineConfig::with_label_half_life_steps`, so each recorded win's
+//! weight fades exponentially with its age and stale-phase evidence loses
+//! the per-neuron majority on its own — no manual
+//! `Trainer::reset_label_stats` between phases.
+//!
 //! Run with:
 //!
 //! ```text
@@ -81,11 +87,15 @@ fn main() {
     //     learning: one packed layout, trained and served simultaneously. ---
     let enrolment = sample_batch(&models, &corruption, 0, 40, &mut rng);
     let som = BSom::new(BSomConfig::paper_default(), &mut rng);
+    // A 200-step half-life: one adaptation phase below streams 400 labelled
+    // signatures, so by the end of a phase the previous phase's wins carry
+    // about a quarter of their original weight and fresh evidence rules the
+    // per-neuron majorities.
     let (service, mut trainer) = SomService::train_while_serve(
         som,
         TrainSchedule::new(60),
         &enrolment,
-        EngineConfig::default(),
+        EngineConfig::default().with_label_half_life_steps(200),
     );
     trainer
         .train_epochs(&enrolment, 12, &mut rng)
@@ -109,10 +119,9 @@ fn main() {
         let before_version = recognizer.version();
         let before = accuracy(&mut recognizer, &eval);
 
-        // Windowed labelling: under drift, old win counts describe an
-        // appearance that no longer exists, so relabel from this phase's
-        // stream only.
-        trainer.reset_label_stats();
+        // No reset_label_stats here: the configured label decay fades the
+        // previous phase's win counts on its own, so the labels follow the
+        // drifted appearances as the fresh stream accumulates.
         let adaptation = sample_batch(&models, &corruption, offset, 40, &mut rng);
         trainer
             .train_epochs(&adaptation, 2, &mut rng)
