@@ -2,11 +2,13 @@
 //!
 //! Writes `BENCH_train.json` (training steps/s across the three datapaths —
 //! bit-serial, per-neuron word-parallel, plane-sliced window — plus the
-//! speedup ratios) and `BENCH_recognition.json` (signatures/s, scalar vs
-//! batched vs engine, speedups, FPGA cycle-model comparison) so the perf
-//! trajectory of the repo is tracked by numbers rather than prose. CI runs
-//! it in `--smoke` mode to keep the reporter itself from rotting; committed
-//! snapshots come from full runs.
+//! speedup ratios), `BENCH_recognition.json` (signatures/s, scalar vs
+//! batched vs engine, speedups, FPGA cycle-model comparison) and
+//! `BENCH_large_map.json` (copy-on-write publish cadence and tournament
+//! winner-search throughput at the 1024-neuron × 768-bit scale target) so
+//! the perf trajectory of the repo is tracked by numbers rather than prose.
+//! CI runs it in `--smoke` mode to keep the reporter itself from rotting;
+//! committed snapshots come from full runs.
 //!
 //! `--check` turns the reporter into a **regression gate**: instead of only
 //! writing fresh files, it also loads the committed baselines and fails when
@@ -30,9 +32,10 @@
 //!   --baseline-dir   where the committed BENCH_*.json live (default: .)
 //!   --baseline       per-runner baseline file override, repeatable; the file
 //!                    name decides which report it replaces (a name containing
-//!                    "train" overrides BENCH_train.json, "recognition" the
-//!                    other) — point this at e.g. baselines/ci-runner/BENCH_train.json
-//!                    to gate a specific runner against its own committed numbers
+//!                    "train" overrides BENCH_train.json, "recognition" or
+//!                    "large" the others) — point this at e.g.
+//!                    baselines/ci-runner/BENCH_train.json to gate a specific
+//!                    runner against its own committed numbers
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -41,8 +44,9 @@ use std::time::Duration;
 
 use bsom_bench::bench_dataset;
 use bsom_engine::{
-    compare_recognition_throughput, compare_training_throughput, EngineConfig, SomService,
-    ThroughputComparison, TrainThroughputComparison,
+    compare_large_map_throughput, compare_recognition_throughput, compare_training_throughput,
+    EngineConfig, LargeMapThroughputComparison, SomService, ThroughputComparison,
+    TrainThroughputComparison,
 };
 use bsom_fpga::FpgaConfig;
 use bsom_som::{BSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule};
@@ -80,6 +84,25 @@ struct RecognitionBenchReport {
     speedup_batched_over_scalar: f64,
     /// Sharded engine over the scalar loop.
     speedup_engine_over_scalar: f64,
+}
+
+/// The `BENCH_large_map.json` document: the 1024-neuron × 768-bit shape the
+/// ROADMAP scales to, gating the copy-on-write publish cost and the
+/// tournament winner-search throughput.
+#[derive(Debug, Serialize, Deserialize)]
+struct LargeMapBenchReport {
+    /// `"smoke"` or `"full"`.
+    mode: String,
+    /// Seconds of wall clock spent per measured path.
+    min_duration_seconds: f64,
+    /// Publish (CoW vs deep re-pack) and search (tournament vs linear)
+    /// costs at the large-map shape.
+    comparison: LargeMapThroughputComparison,
+    /// Train-step-plus-CoW-publish cadence over a deep re-pack.
+    publish_speedup_over_repack: f64,
+    /// Tournament over linear-scan search throughput (≈ 1.0: both share the
+    /// dominating distance pass).
+    tournament_vs_linear_search: f64,
 }
 
 /// One named figure compared against its committed baseline: an absolute
@@ -198,14 +221,19 @@ fn main() -> ExitCode {
                         .and_then(|name| name.to_str())
                         .map(str::to_ascii_lowercase)
                         .unwrap_or_default();
-                    // Exactly one key, so one file can never override both
-                    // reports (gating a report against the other's document
+                    // Exactly one key, so one file can never override two
+                    // reports (gating a report against another's document
                     // would only surface as a confusing parse error).
-                    if lower.contains("train") == lower.contains("recognition") {
+                    let keys = [
+                        lower.contains("train"),
+                        lower.contains("recognition"),
+                        lower.contains("large"),
+                    ];
+                    if keys.iter().filter(|&&k| k).count() != 1 {
                         eprintln!(
-                            "--baseline file name must contain exactly one of \"train\" or \
-                             \"recognition\" so the reporter knows which report it overrides: \
-                             {file}"
+                            "--baseline file name must contain exactly one of \"train\", \
+                             \"recognition\" or \"large\" so the reporter knows which report \
+                             it overrides: {file}"
                         );
                         return ExitCode::FAILURE;
                     }
@@ -293,6 +321,24 @@ fn main() -> ExitCode {
         comparison: recognition,
     };
 
+    // --- Large map: CoW publish + tournament search at 1024 x 768.
+    println!("bench_report: measuring large-map publish/search costs ({mode})...");
+    let large_signatures: Vec<_> = train_signatures.iter().take(64).cloned().collect();
+    let large = compare_large_map_throughput(
+        BSomConfig::new(1024, 768),
+        &large_signatures,
+        min_duration,
+        0xB50A,
+    );
+    println!("{large}");
+    let large_report = LargeMapBenchReport {
+        mode: mode.to_string(),
+        min_duration_seconds: min_duration.as_secs_f64(),
+        publish_speedup_over_repack: large.publish_speedup_over_repack(),
+        tournament_vs_linear_search: large.tournament_vs_linear(),
+        comparison: large,
+    };
+
     // --- Regression gate against the committed baselines.
     if check {
         let train_path = resolve_baseline(
@@ -306,6 +352,12 @@ fn main() -> ExitCode {
             &baseline_overrides,
             "recognition",
             "BENCH_recognition.json",
+        );
+        let large_path = resolve_baseline(
+            &baseline_dir,
+            &baseline_overrides,
+            "large",
+            "BENCH_large_map.json",
         );
         let train_baseline: TrainBenchReport = match load_baseline(&train_path) {
             Ok(report) => report,
@@ -321,10 +373,18 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let large_baseline: LargeMapBenchReport = match load_baseline(&large_path) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("bench_report: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
         println!(
-            "bench_report: checking against {} and {} (noise band ±{:.0}%)...",
+            "bench_report: checking against {}, {} and {} (noise band ±{:.0}%)...",
             train_path.display(),
             recognition_path.display(),
+            large_path.display(),
             noise_band * 100.0
         );
         let figures = [
@@ -376,6 +436,40 @@ fn main() -> ExitCode {
                 baseline: recognition_baseline.speedup_engine_over_scalar,
                 fresh: recognition_report.speedup_engine_over_scalar,
             },
+            // The 1024-neuron scale gates: copy-on-write publish cadence
+            // under training and tournament winner-search throughput.
+            CheckedFigure {
+                name: "large_map.publish publishes/s",
+                baseline: large_baseline
+                    .comparison
+                    .publish_under_training
+                    .patterns_per_second,
+                fresh: large_report
+                    .comparison
+                    .publish_under_training
+                    .patterns_per_second,
+            },
+            CheckedFigure {
+                name: "large_map.tournament searches/s",
+                baseline: large_baseline
+                    .comparison
+                    .tournament_search
+                    .patterns_per_second,
+                fresh: large_report
+                    .comparison
+                    .tournament_search
+                    .patterns_per_second,
+            },
+            CheckedFigure {
+                name: "large_map.publish/repack speedup",
+                baseline: large_baseline.publish_speedup_over_repack,
+                fresh: large_report.publish_speedup_over_repack,
+            },
+            CheckedFigure {
+                name: "large_map.tournament/linear speedup",
+                baseline: large_baseline.tournament_vs_linear_search,
+                fresh: large_report.tournament_vs_linear_search,
+            },
         ];
         let regressions = check_figures(&figures, noise_band);
         if regressions > 0 {
@@ -396,6 +490,10 @@ fn main() -> ExitCode {
         (
             "BENCH_recognition.json",
             serde_json::to_string_pretty(&recognition_report),
+        ),
+        (
+            "BENCH_large_map.json",
+            serde_json::to_string_pretty(&large_report),
         ),
     ] {
         let path = out_dir.join(name);

@@ -69,7 +69,10 @@ use serde::{Deserialize, Serialize};
 use crate::service::SomSnapshot;
 
 pub use service::{Recognizer, SignatureBatch, SomService, Trainer};
-pub use throughput::{compare_recognition_throughput, MeasuredThroughput, ThroughputComparison};
+pub use throughput::{
+    compare_large_map_throughput, compare_recognition_throughput, LargeMapThroughputComparison,
+    MeasuredThroughput, ThroughputComparison,
+};
 #[allow(deprecated)]
 pub use train::TrainEngine;
 pub use train::{

@@ -10,8 +10,11 @@
 //! * A [`Trainer`] feeds labelled signatures through the word-parallel bSOM
 //!   trainer. Because [`BSom`] maintains its plane-sliced [`PackedLayer`]
 //!   incrementally on every weight write, publishing a new serving snapshot
-//!   is a plain clone of that layout plus an atomic pointer swap — no
-//!   re-pack, no pause. Publication happens on epoch boundaries
+//!   is a copy-on-write clone of that layout — word rows untouched since the
+//!   last publish are shared, not copied, so the cost is O(rows touched)
+//!   even at 1000+ neurons — plus an atomic pointer swap; no re-pack, no
+//!   pause (DESIGN.md §"Copy-on-write publication and the tournament WTA").
+//!   Publication happens on epoch boundaries
 //!   ([`Trainer::train_epochs`], [`Trainer::advance_epoch`]), on a step-count
 //!   cadence ([`EngineConfig::publish_every_steps`]), or explicitly
 //!   ([`Trainer::publish`]).
@@ -721,8 +724,9 @@ impl Trainer {
     }
 
     /// Publishes the current weights and labelling as a new serving
-    /// snapshot and returns its version. Cheap: one clone of the
-    /// incrementally-maintained packed layout plus an atomic pointer swap —
+    /// snapshot and returns its version. Cheap: one copy-on-write clone of
+    /// the incrementally-maintained packed layout (word rows untouched
+    /// since the last publish stay shared) plus an atomic pointer swap —
     /// recognizers mid-batch are untouched and pick the new version up on
     /// their next batch.
     pub fn publish(&mut self) -> u64 {

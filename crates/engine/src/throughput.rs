@@ -130,6 +130,161 @@ pub(crate) fn measure<F: FnMut()>(
     MeasuredThroughput::from_elapsed(batch_size, rounds, start.elapsed())
 }
 
+/// Large-map (1000+-neuron) cost model: the copy-on-write publish against
+/// the deep re-pack it replaced, and the tournament winner search against
+/// the linear reduction — the two scaling mechanisms of DESIGN.md
+/// §"Copy-on-write publication and the tournament WTA", measured at the
+/// ROADMAP's scale target so `bench_report --check` can gate them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LargeMapThroughputComparison {
+    /// Neurons in the measured map.
+    pub neurons: usize,
+    /// Bits per weight vector.
+    pub vector_len: usize,
+    /// Copy-on-write publishes per second, each preceded by one training
+    /// step (so every publish has freshly dirtied rows to copy) — the
+    /// serving-path publish cost under live training.
+    pub publish_under_training: MeasuredThroughput,
+    /// Deep re-packs per second ([`bsom_som::PackedLayer::pack`]) — the
+    /// O(map) publish cost the copy-on-write rows replaced, kept as the
+    /// reference denominator.
+    pub deep_repack: MeasuredThroughput,
+    /// Tournament winner searches per second (the production
+    /// [`bsom_som::PackedLayer::winner`] path: distance pass + sharded
+    /// comparator-tree reduction).
+    pub tournament_search: MeasuredThroughput,
+    /// Winner searches per second with the linear-scan reduction over the
+    /// same distance pass — the reference the tournament must not lose to.
+    pub linear_search: MeasuredThroughput,
+}
+
+impl LargeMapThroughputComparison {
+    /// Publishes-per-second advantage of train-step-plus-CoW-clone over a
+    /// deep re-pack. Dimensionless, so it stays meaningful across machines.
+    /// Note the numerator *includes* a full training step per publish, so
+    /// this understates the pure clone advantage — deliberately: it is the
+    /// end-to-end publish cadence a trainer can sustain.
+    pub fn publish_speedup_over_repack(&self) -> f64 {
+        self.publish_under_training.patterns_per_second
+            / self.deep_repack.patterns_per_second.max(f64::MIN_POSITIVE)
+    }
+
+    /// Tournament over linear-scan search throughput. Both share the
+    /// distance pass that dominates the search, so this sits near 1.0 — the
+    /// gate catches a reduction that became accidentally super-linear.
+    pub fn tournament_vs_linear(&self) -> f64 {
+        self.tournament_search.patterns_per_second
+            / self
+                .linear_search
+                .patterns_per_second
+                .max(f64::MIN_POSITIVE)
+    }
+}
+
+impl std::fmt::Display for LargeMapThroughputComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "large-map costs ({} neurons x {} bits)",
+            self.neurons, self.vector_len
+        )?;
+        writeln!(
+            f,
+            "  publish (train step + CoW clone) {:>12.0} publishes/s",
+            self.publish_under_training.patterns_per_second
+        )?;
+        writeln!(
+            f,
+            "  deep re-pack                     {:>12.0} publishes/s  (publish = {:.2}x)",
+            self.deep_repack.patterns_per_second,
+            self.publish_speedup_over_repack()
+        )?;
+        writeln!(
+            f,
+            "  tournament search                {:>12.0} searches/s",
+            self.tournament_search.patterns_per_second
+        )?;
+        write!(
+            f,
+            "  linear-scan search               {:>12.0} searches/s  (tournament = {:.2}x)",
+            self.linear_search.patterns_per_second,
+            self.tournament_vs_linear()
+        )
+    }
+}
+
+/// Measures the large-map publish and winner-search costs on a map of the
+/// given shape: copy-on-write publish cadence under training, the deep
+/// re-pack it replaced, and tournament vs linear-scan search throughput.
+/// `min_duration` is spent on **each** of the four measurements.
+///
+/// # Panics
+///
+/// Panics if `signatures` is empty or any signature length differs from
+/// `config`'s vector length.
+pub fn compare_large_map_throughput(
+    config: bsom_som::BSomConfig,
+    signatures: &[BinaryVector],
+    min_duration: Duration,
+    seed: u64,
+) -> LargeMapThroughputComparison {
+    use rand::SeedableRng;
+    assert!(!signatures.is_empty(), "cannot measure an empty batch");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let neurons = config.neurons;
+    let vector_len = config.vector_len;
+    let mut som = BSom::new(config, &mut rng);
+    // Serving-time regime: the quartered schedule has shrunk to radius 1.
+    let schedule = bsom_som::TrainSchedule::new(4);
+    let t = schedule.iterations - 1;
+
+    let mut feed = signatures.iter().cycle();
+    let publish_under_training = measure(1, min_duration, || {
+        let input = feed.next().expect("cycle over a non-empty batch");
+        som.train_step(input, t, &schedule)
+            .expect("signature lengths match the map");
+        std::hint::black_box(som.packed_layer().clone());
+    });
+
+    let deep_repack = measure(1, min_duration, || {
+        std::hint::black_box(bsom_som::PackedLayer::pack(&som));
+    });
+
+    let layer = som.packed_layer().clone();
+    let mut distances = vec![0u32; layer.neuron_count()];
+    let tournament_search = measure(signatures.len(), min_duration, || {
+        for s in signatures {
+            std::hint::black_box(
+                layer
+                    .winner_with_buffer(s, &mut distances)
+                    .expect("signature lengths match the layer"),
+            );
+        }
+    });
+
+    let linear_search = measure(signatures.len(), min_duration, || {
+        for s in signatures {
+            distances.fill(0);
+            layer
+                .distances_into(s, &mut distances)
+                .expect("signature lengths match the layer");
+            std::hint::black_box(bsom_signature::select_winner(
+                &distances,
+                layer.dont_care_counts(),
+            ));
+        }
+    });
+
+    LargeMapThroughputComparison {
+        neurons,
+        vector_len,
+        publish_under_training,
+        deep_repack,
+        tournament_search,
+        linear_search,
+    }
+}
+
 /// Measures scalar / batched / engine recognition throughput on `signatures`
 /// and derives the FPGA figure from `fpga_config`'s cycle model.
 ///
@@ -224,6 +379,33 @@ mod tests {
         assert!(text.contains("fpga model"));
         let json = serde_json::to_string(&comparison).unwrap();
         assert!(json.contains("patterns_per_second"));
+    }
+
+    #[test]
+    fn large_map_comparison_produces_positive_figures_and_renders() {
+        let mut r = StdRng::seed_from_u64(0x1024);
+        // A scaled-down shape keeps the unit test fast; the committed
+        // BENCH_large_map.json uses the full 1024 x 768.
+        let batch: Vec<BinaryVector> = (0..16).map(|_| BinaryVector::random(256, &mut r)).collect();
+        let comparison = compare_large_map_throughput(
+            BSomConfig::new(128, 256),
+            &batch,
+            Duration::from_millis(10),
+            0x1024,
+        );
+        assert_eq!(comparison.neurons, 128);
+        assert_eq!(comparison.vector_len, 256);
+        assert!(comparison.publish_under_training.patterns_per_second > 0.0);
+        assert!(comparison.deep_repack.patterns_per_second > 0.0);
+        assert!(comparison.tournament_search.patterns_per_second > 0.0);
+        assert!(comparison.linear_search.patterns_per_second > 0.0);
+        assert!(comparison.publish_speedup_over_repack() > 0.0);
+        assert!(comparison.tournament_vs_linear() > 0.0);
+        let text = comparison.to_string();
+        assert!(text.contains("tournament search"));
+        assert!(text.contains("deep re-pack"));
+        let json = serde_json::to_string(&comparison).unwrap();
+        assert!(json.contains("publish_under_training"));
     }
 
     // Wall-clock assertion: sound in release on an idle machine, but timing

@@ -42,11 +42,12 @@ fn assert_layer_consistent(layer: &PackedLayer) {
     let words = layer.vector_len().div_ceil(64);
     let rem = layer.vector_len() % 64;
     let tail_mask = if rem == 0 { 0u64 } else { !((1u64 << rem) - 1) };
+    assert_eq!(layer.word_row_count(), words);
     for i in 0..neurons {
         let mut concrete = 0usize;
         for w in 0..words {
-            let value = layer.value_words()[w * neurons + i];
-            let care = layer.care_words()[w * neurons + i];
+            let value = layer.value_row(w)[i];
+            let care = layer.care_row(w)[i];
             assert_eq!(value & !care, 0, "value bits outside the care plane");
             if w == words - 1 && rem != 0 {
                 assert_eq!(care & tail_mask, 0, "tail bits set in the care plane");
@@ -182,4 +183,128 @@ fn interleaved_train_publish_classify_never_observes_a_torn_layer() {
         // publish + initial v1).
         assert_eq!(version, 202);
     }
+}
+
+/// The large-map tier of the stress test: a 1024-neuron × 768-bit map —
+/// the ROADMAP's 1000+-neuron scale, 25× the paper's 40 neurons — under the
+/// same interleaved train/publish/classify load, plus the copy-on-write
+/// publication invariants:
+///
+/// * every snapshot a reader observes is internally consistent (no torn
+///   layers) and versions are monotone per reader;
+/// * word rows physically shared between consecutively observed snapshots
+///   are bit-identical (`Arc` sharing never aliases divergent content);
+/// * a publish with zero training steps since the previous one shares
+///   **every** row and the `#`-count table — the publish allocated nothing
+///   but the row spine.
+#[test]
+fn large_map_publishes_share_untouched_rows_under_concurrent_load() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0x1024);
+    let data: Vec<(BinaryVector, ObjectLabel)> = (0..6)
+        .map(|i| (BinaryVector::random(768, &mut rng), ObjectLabel::new(i % 3)))
+        .collect();
+    let probes: Vec<BinaryVector> = (0..8)
+        .map(|_| BinaryVector::random(768, &mut rng))
+        .collect();
+    let som = BSom::new(BSomConfig::new(1024, 768), &mut rng);
+    let (service, mut trainer) = SomService::train_while_serve(
+        som,
+        TrainSchedule::new(32),
+        &data,
+        EngineConfig::with_workers(2).with_publish_every_steps(4),
+    );
+
+    let done = Arc::new(AtomicBool::new(false));
+    let trainer_done = Arc::clone(&done);
+    let trainer_thread = std::thread::spawn(move || {
+        for (signature, label) in data.iter().cycle().take(256) {
+            trainer.feed(signature, *label).unwrap();
+        }
+        trainer_done.store(true, Ordering::Release);
+        trainer
+    });
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut recognizer = service.recognizer();
+            let done = Arc::clone(&done);
+            let probes = probes.clone();
+            std::thread::spawn(move || {
+                let mut last_version = recognizer.version();
+                let mut previous = recognizer.snapshot().layer().clone();
+                let mut version_changes = 0usize;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let predictions = recognizer.classify_batch(&probes);
+                    assert_eq!(predictions.len(), probes.len());
+                    let snapshot = recognizer.snapshot();
+                    assert!(
+                        snapshot.version() >= last_version,
+                        "snapshot versions must be monotone per reader"
+                    );
+                    if snapshot.version() != last_version {
+                        version_changes += 1;
+                        last_version = snapshot.version();
+                        assert_layer_consistent(snapshot.layer());
+                        // Physically shared rows must be bit-identical
+                        // between consecutively observed snapshots.
+                        let layer = snapshot.layer();
+                        assert!(layer.shared_row_count(&previous) <= layer.word_row_count());
+                        for w in 0..layer.word_row_count() {
+                            if std::ptr::eq(
+                                layer.value_row(w).as_ptr(),
+                                previous.value_row(w).as_ptr(),
+                            ) {
+                                assert_eq!(layer.value_row(w), previous.value_row(w));
+                                assert_eq!(layer.care_row(w), previous.care_row(w));
+                            }
+                        }
+                        previous = layer.clone();
+                    }
+                    if finished {
+                        return version_changes;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut trainer = trainer_thread.join().expect("trainer thread panicked");
+    for reader in readers {
+        reader.join().expect("reader thread panicked");
+    }
+    assert_eq!(trainer.steps_run(), 256);
+
+    // 256 steps at cadence 4 published 64 snapshots on top of v1.
+    let before = service.snapshot();
+    assert_eq!(before.version(), 65);
+    assert_layer_consistent(before.layer());
+
+    // A publish with no intervening training steps must share everything:
+    // the only fresh allocation is the spine of row pointers.
+    let version = trainer.publish();
+    let after = service.snapshot();
+    assert_eq!(after.version(), version);
+    assert_eq!(before.version() + 1, version);
+    assert_eq!(
+        after.layer().shared_row_count(before.layer()),
+        before.layer().word_row_count(),
+        "a stepless publish must share all 12 word rows"
+    );
+    assert!(after.layer().shares_counts_with(before.layer()));
+    assert_eq!(after.layer(), before.layer());
+
+    // One more training step, then a publish: rows the step left untouched
+    // stay shared, rows it dirtied do not — and the published layer still
+    // equals a from-scratch pack word for word.
+    let (signature, label) = (&probes[0], ObjectLabel::new(0));
+    trainer.feed(signature, label).unwrap();
+    trainer.publish();
+    let stepped = service.snapshot();
+    assert_layer_consistent(stepped.layer());
+    assert_eq!(stepped.layer(), &PackedLayer::pack(trainer.som()));
+    assert!(stepped.layer().shared_row_count(after.layer()) <= after.layer().word_row_count());
 }

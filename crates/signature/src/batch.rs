@@ -22,6 +22,22 @@
 //! to such a run — the software shape of the FPGA's single update circuit
 //! writing every neuron in the address window in one pass.
 
+/// The full FPGA winner-take-all comparator key (DESIGN.md §"Winner
+/// selection and the WTA tie-break key"), ordered exactly like the hardware
+/// comparator: smallest #-aware Hamming distance first, then the most
+/// specific neuron (fewest `#`s), then the lowest address. The derived
+/// lexicographic [`Ord`] over the field order **is** that comparator, so
+/// `min` over keys — in any association order — selects the FPGA's winner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WtaKey {
+    /// #-aware Hamming distance of the neuron to the input.
+    pub distance: u32,
+    /// The neuron's `#`-count (the secondary comparator key).
+    pub dont_care_count: u32,
+    /// The neuron's address (the final tie-break).
+    pub address: usize,
+}
+
 /// #-aware Hamming distance between one weight vector and one input, all as
 /// packed word slices: `popcount((value ^ input) & care)` summed over words
 /// (paper Eq. 3).
@@ -76,11 +92,41 @@ pub fn batch_masked_hamming(
     );
     for (w, &x) in input.iter().enumerate() {
         let row = w * neurons;
-        let value_row = &values[row..row + neurons];
-        let care_row = &cares[row..row + neurons];
-        for i in 0..neurons {
-            distances[i] += ((value_row[i] ^ x) & care_row[i]).count_ones();
-        }
+        accumulate_masked_hamming_row(
+            &values[row..row + neurons],
+            &cares[row..row + neurons],
+            x,
+            distances,
+        );
+    }
+}
+
+/// One word **row** of the batched winner-search kernel: accumulates the
+/// contribution of input word `input` into every neuron's distance, given
+/// the row of `w`-th value/care words (`values[i]` is neuron `i`'s word).
+///
+/// This is the kernel the copy-on-write layout calls per shared row —
+/// [`batch_masked_hamming`] is exactly a loop of these over a contiguous
+/// plane.
+///
+/// # Panics
+///
+/// Panics if the three slices do not share one length.
+#[inline]
+pub fn accumulate_masked_hamming_row(
+    values: &[u64],
+    cares: &[u64],
+    input: u64,
+    distances: &mut [u32],
+) {
+    assert_eq!(values.len(), cares.len(), "value/care row length mismatch");
+    assert_eq!(
+        values.len(),
+        distances.len(),
+        "one distance slot per neuron"
+    );
+    for i in 0..values.len() {
+        distances[i] += ((values[i] ^ input) & cares[i]).count_ones();
     }
 }
 
@@ -100,14 +146,107 @@ pub fn select_winner(distances: &[u32], dont_care_counts: &[u32]) -> Option<(usi
         dont_care_counts.len(),
         "one #-count per neuron"
     );
-    let mut best: Option<(u32, u32, usize)> = None;
-    for (i, (&d, &dc)) in distances.iter().zip(dont_care_counts).enumerate() {
-        let key = (d, dc, i);
+    shard_champion(distances, dont_care_counts, 0..distances.len())
+        .map(|key| (key.address, key.distance))
+}
+
+/// The champion of one neuron-axis shard: the linear `{distance, #-count,
+/// address}` scan restricted to `shard` — the leaf block of the tournament
+/// reduction, and (over the full range) the reference linear scan itself.
+///
+/// Returns `None` for an empty shard.
+///
+/// # Panics
+///
+/// Panics if `dont_care_counts.len() != distances.len()` or the shard is out
+/// of range.
+pub fn shard_champion(
+    distances: &[u32],
+    dont_care_counts: &[u32],
+    shard: std::ops::Range<usize>,
+) -> Option<WtaKey> {
+    assert_eq!(
+        distances.len(),
+        dont_care_counts.len(),
+        "one #-count per neuron"
+    );
+    assert!(
+        shard.end <= distances.len(),
+        "shard {shard:?} out of range for {} neurons",
+        distances.len()
+    );
+    let mut best: Option<WtaKey> = None;
+    for i in shard {
+        let key = WtaKey {
+            distance: distances[i],
+            dont_care_count: dont_care_counts[i],
+            address: i,
+        };
         if best.is_none_or(|b| key < b) {
             best = Some(key);
         }
     }
-    best.map(|(d, _, i)| (i, d))
+    best
+}
+
+/// Tournament winner-take-all: shards the neuron axis into blocks of
+/// `shard_len`, finds each shard's champion with the linear comparator scan
+/// ([`shard_champion`]), and reduces the champions **pairwise, round by
+/// round** — the software shape of the FPGA's WTA comparator tree
+/// (DESIGN.md §"Copy-on-write publication and the tournament WTA"), where
+/// each tree level halves the field in one comparator delay.
+///
+/// Because the `{distance, #-count, address}` key ([`WtaKey`]) is totally
+/// ordered and every address is distinct, `min` over keys is associative and
+/// commutative with a unique result: the tournament returns a winner
+/// **bit-identical** to the linear scan ([`select_winner`]) for every shard
+/// size — including shard counts that do not divide the neuron count — which
+/// the `tournament_wta` proptest suite pins down on adversarial tie layouts.
+///
+/// Returns `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `shard_len == 0` or `dont_care_counts.len() != distances.len()`.
+pub fn select_winner_tournament(
+    distances: &[u32],
+    dont_care_counts: &[u32],
+    shard_len: usize,
+) -> Option<WtaKey> {
+    assert!(shard_len > 0, "a shard must hold at least one neuron");
+    assert_eq!(
+        distances.len(),
+        dont_care_counts.len(),
+        "one #-count per neuron"
+    );
+    let neurons = distances.len();
+    if neurons <= shard_len {
+        // One shard: the leaf scan is the whole tournament (and the common
+        // small-map hot path stays allocation-free).
+        return shard_champion(distances, dont_care_counts, 0..neurons);
+    }
+    // Leaf round: one champion per shard of the neuron axis.
+    let mut champions: Vec<WtaKey> = (0..neurons)
+        .step_by(shard_len)
+        .map(|start| {
+            shard_champion(
+                distances,
+                dont_care_counts,
+                start..(start + shard_len).min(neurons),
+            )
+            .expect("shards of a non-empty layer are non-empty")
+        })
+        .collect();
+    // Comparator tree: each round halves the field (an odd champion gets a
+    // bye), exactly like the FPGA's log₂-depth reduction.
+    while champions.len() > 1 {
+        let mut next = Vec::with_capacity(champions.len().div_ceil(2));
+        for pair in champions.chunks(2) {
+            next.push(pair.iter().copied().min().expect("chunks are non-empty"));
+        }
+        champions = next;
+    }
+    champions.pop()
 }
 
 /// Scans one plane-sliced row run for work the broadcast masks could do:
@@ -143,6 +282,41 @@ pub fn window_word_needs(
         }
     }
     (needs_relax, needs_commit)
+}
+
+/// `true` iff applying the **drawn** broadcast mask pair to this run of
+/// packed column words would change at least one bit — i.e. some neuron of
+/// the window has a mismatching concrete bit under `relax_mask`, or a `#`
+/// lane under `commit_mask` behind an open gate. This is the exact
+/// "will [`update_window_word`] write anything?" predicate ([`update_word`]
+/// changes a word iff its `relaxed` or `committed` mask is non-zero), which
+/// the copy-on-write layout uses to leave rows shared with published
+/// snapshots untouched when a draw happens to flip nothing.
+///
+/// `commit_mask` must already carry the valid-lane mask, exactly as passed
+/// to [`update_window_word`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+///
+/// [`update_word`]: crate::update_word
+#[inline]
+pub fn window_word_would_change(
+    values: &[u64],
+    cares: &[u64],
+    gates: &[u64],
+    input: u64,
+    relax_mask: u64,
+    commit_mask: u64,
+) -> bool {
+    assert_eq!(values.len(), cares.len(), "value/care run length mismatch");
+    assert_eq!(values.len(), gates.len(), "one gate word per neuron");
+    values
+        .iter()
+        .zip(cares)
+        .zip(gates)
+        .any(|((&v, &c), &g)| ((v ^ input) & c & relax_mask) | (!c & commit_mask & g) != 0)
 }
 
 /// One word index of the plane-sliced neighbourhood update: applies the
@@ -356,5 +530,116 @@ mod tests {
         // Address breaks full ties.
         assert_eq!(select_winner(&[5, 5], &[3, 3]), Some((0, 5)));
         assert_eq!(select_winner(&[], &[]), None);
+    }
+
+    #[test]
+    fn wta_key_orders_like_the_fpga_comparator() {
+        let base = WtaKey {
+            distance: 4,
+            dont_care_count: 10,
+            address: 3,
+        };
+        assert!(
+            WtaKey {
+                distance: 3,
+                ..base
+            } < base,
+            "distance dominates"
+        );
+        assert!(
+            WtaKey {
+                dont_care_count: 9,
+                ..base
+            } < base,
+            "#-count breaks distance ties"
+        );
+        assert!(
+            WtaKey { address: 2, ..base } < base,
+            "address breaks full ties"
+        );
+    }
+
+    #[test]
+    fn tournament_matches_linear_scan_on_boundary_ties() {
+        // Nine neurons, shard length 4: shards {0..4}, {4..8}, {8..9} with a
+        // full three-way tie straddling both shard boundaries (3, 4, 8).
+        let distances = [7, 7, 9, 2, 2, 7, 9, 9, 2];
+        let counts = [1, 1, 1, 5, 5, 1, 1, 1, 5];
+        let linear = select_winner(&distances, &counts).unwrap();
+        for shard_len in 1..=distances.len() + 2 {
+            let key = select_winner_tournament(&distances, &counts, shard_len).unwrap();
+            assert_eq!((key.address, key.distance), linear, "shard_len {shard_len}");
+            assert_eq!(key.dont_care_count, counts[key.address]);
+        }
+        assert_eq!(linear.0, 3, "lowest address among the tied keys");
+    }
+
+    #[test]
+    fn tournament_handles_empty_input_and_rejects_zero_shards() {
+        assert_eq!(select_winner_tournament(&[], &[], 4), None);
+        let r = std::panic::catch_unwind(|| select_winner_tournament(&[1], &[0], 0));
+        assert!(r.is_err(), "shard_len 0 must panic");
+    }
+
+    #[test]
+    fn shard_champion_respects_the_range() {
+        let distances = [0, 5, 5, 1];
+        let counts = [0, 2, 1, 9];
+        let key = shard_champion(&distances, &counts, 1..3).unwrap();
+        // Neuron 0 (global best) is outside the shard; 2 beats 1 on #-count.
+        assert_eq!(key.address, 2);
+        assert_eq!(key.distance, 5);
+        assert_eq!(key.dont_care_count, 1);
+        assert_eq!(shard_champion(&distances, &counts, 2..2), None);
+    }
+
+    #[test]
+    fn row_kernel_agrees_with_the_plane_kernel() {
+        let values = vec![u64::MAX, 0b1010, u64::MAX, 0];
+        let cares = vec![u64::MAX, u64::MAX, 0b1111, u64::MAX];
+        let input = [0u64, u64::MAX];
+        let mut plane = vec![0u32; 2];
+        batch_masked_hamming(&values, &cares, &input, 2, &mut plane);
+        let mut rows = vec![0u32; 2];
+        accumulate_masked_hamming_row(&values[..2], &cares[..2], input[0], &mut rows);
+        accumulate_masked_hamming_row(&values[2..], &cares[2..], input[1], &mut rows);
+        assert_eq!(plane, rows);
+    }
+
+    #[test]
+    fn would_change_predicts_update_window_word_exactly() {
+        let mut rng = StdRng::seed_from_u64(0xD1E7);
+        use rand::Rng;
+        for _ in 0..200 {
+            let width = 1 + (rng.gen::<usize>() % 9);
+            let cares: Vec<u64> = (0..width).map(|_| rng.gen()).collect();
+            let values: Vec<u64> = cares.iter().map(|c| rng.gen::<u64>() & c).collect();
+            let gates: Vec<u64> = (0..width)
+                .map(|_| if rng.gen() { u64::MAX } else { 0 })
+                .collect();
+            let input: u64 = rng.gen();
+            let relax_mask: u64 = rng.gen::<u64>() & rng.gen::<u64>();
+            let commit_mask: u64 = rng.gen::<u64>() & rng.gen::<u64>();
+            let predicted =
+                window_word_would_change(&values, &cares, &gates, input, relax_mask, commit_mask);
+            let mut v = values.clone();
+            let mut c = cares.clone();
+            let mut relaxed = vec![0u32; width];
+            let mut committed = vec![0u32; width];
+            update_window_word(
+                &mut v,
+                &mut c,
+                input,
+                relax_mask,
+                commit_mask,
+                &gates,
+                &mut relaxed,
+                &mut committed,
+            );
+            let changed = v != values || c != cares;
+            assert_eq!(predicted, changed);
+            let flipped = relaxed.iter().chain(&committed).any(|&n| n != 0);
+            assert_eq!(predicted, flipped, "flip counters must agree too");
+        }
     }
 }

@@ -43,8 +43,9 @@ pub mod image;
 pub mod tristate;
 
 pub use batch::{
-    batch_masked_hamming, masked_hamming_words, select_winner, update_window_word,
-    window_word_needs,
+    accumulate_masked_hamming_row, batch_masked_hamming, masked_hamming_words, select_winner,
+    select_winner_tournament, shard_champion, update_window_word, window_word_needs,
+    window_word_would_change, WtaKey,
 };
 pub use bernoulli::{draw_broadcast_masks, gate_word, BroadcastMasks, CoinThreshold, MaskPlan};
 pub use bitvec::BinaryVector;

@@ -1,0 +1,154 @@
+//! Property suite for the **tournament winner-take-all** reduction
+//! (DESIGN.md §"Copy-on-write publication and the tournament WTA").
+//!
+//! [`select_winner_tournament`] shards the neuron axis, crowns a champion
+//! per shard with a linear scan, and folds the champions pairwise through
+//! the `{distance, #-count, address}` comparator key — the software shape of
+//! the FPGA comparator tree. The suite proves it **bit-identical** to the
+//! linear reference [`select_winner`]: same winner index *and* same full
+//! key, for arbitrary inputs, engineered ties straddling shard boundaries,
+//! and adversarial shard widths (1, non-dividing, larger than the map).
+
+use bsom_signature::{select_winner, select_winner_tournament, shard_champion, WtaKey};
+use proptest::prelude::*;
+
+/// Asserts tournament/linear agreement on the full key for one input.
+fn assert_identical(
+    distances: &[u32],
+    counts: &[u32],
+    shard_len: usize,
+) -> Result<(), TestCaseError> {
+    let tournament = select_winner_tournament(distances, counts, shard_len);
+    let linear = select_winner(distances, counts);
+    match (tournament, linear) {
+        (None, None) => {}
+        (Some(key), Some((index, distance))) => {
+            // The full key must match, not just the winner index.
+            prop_assert!(
+                key.address == index
+                    && key.distance == distance
+                    && key.dont_care_count == counts[index],
+                "tournament {key:?} != linear ({index}, {distance}) at shard_len {shard_len}"
+            );
+        }
+        (t, l) => prop_assert!(false, "tournament {t:?} vs linear {l:?}"),
+    }
+    Ok(())
+}
+
+/// Maps a seed onto a shard width from every adversarial regime for a map
+/// of `neurons` neurons: 1 (degenerate tree), arbitrary (mostly
+/// non-dividing) widths, exactly one shard, and widths larger than the
+/// whole map.
+fn shard_len_from_seed(neurons: usize, seed: usize) -> usize {
+    let neurons = neurons.max(1);
+    match seed % 4 {
+        0 => 1,
+        1 => 2 + (seed / 4) % neurons.max(2),
+        2 => neurons,
+        _ => neurons + 1 + (seed / 4) % (neurons + 2),
+    }
+}
+
+proptest! {
+    /// Arbitrary distance/#-count tables and arbitrary map sizes.
+    #[test]
+    fn tournament_matches_linear_scan_for_arbitrary_maps(
+        rows in prop::collection::vec((0u32..2000, 0u32..800), 1..200),
+        shard_seed in any::<usize>(),
+    ) {
+        let (distances, counts): (Vec<u32>, Vec<u32>) = rows.into_iter().unzip();
+        let shard_len = 1 + shard_seed % (distances.len() + 4);
+        assert_identical(&distances, &counts, shard_len)?;
+    }
+
+    /// Tie-heavy tables: distances and #-counts drawn from tiny domains so
+    /// almost every comparison is decided by a deeper key component, for
+    /// every shard width in the adversarial family.
+    #[test]
+    fn tie_breaks_survive_every_shard_width(
+        rows in prop::collection::vec((0u32..3, 0u32..3), 1..96),
+        shard_seed in any::<usize>(),
+    ) {
+        let (distances, counts): (Vec<u32>, Vec<u32>) = rows.into_iter().unzip();
+        let shard_len = shard_len_from_seed(distances.len(), shard_seed);
+        assert_identical(&distances, &counts, shard_len)?;
+    }
+
+    /// Engineered boundary straddle: a run of fully tied `{distance,
+    /// #-count}` keys is planted across a shard boundary, so the winning
+    /// address must be resolved *between* shard champions, not inside one
+    /// leaf scan. The linear reference must still be matched exactly.
+    #[test]
+    fn planted_ties_straddling_a_shard_boundary_resolve_identically(
+        neurons in 4usize..120,
+        shard_len in 2usize..16,
+        straddle in 2usize..8,
+        tie_distance in 0u32..4,
+        tie_count in 0u32..4,
+    ) {
+        // Background keys strictly worse than the planted tie.
+        let mut distances = vec![tie_distance + 1; neurons];
+        let mut counts = vec![tie_count + 5; neurons];
+        // Plant the tied run centred on the first shard boundary.
+        let boundary = shard_len.min(neurons);
+        let lo = boundary.saturating_sub(straddle / 2);
+        let hi = (boundary + straddle.div_ceil(2)).min(neurons);
+        for i in lo..hi {
+            distances[i] = tie_distance;
+            counts[i] = tie_count;
+        }
+        assert_identical(&distances, &counts, shard_len)?;
+        // The tie must resolve to the lowest planted address.
+        let key = select_winner_tournament(&distances, &counts, shard_len).unwrap();
+        prop_assert_eq!(key.address, lo);
+    }
+
+    /// Per-shard champions are themselves linear-scan minima of their range:
+    /// the leaf layer of the tree is the reference algorithm in miniature.
+    #[test]
+    fn shard_champions_are_range_restricted_linear_scans(
+        rows in prop::collection::vec((0u32..50, 0u32..50), 1..64),
+        start_seed in any::<usize>(),
+        len_seed in any::<usize>(),
+    ) {
+        let (distances, counts): (Vec<u32>, Vec<u32>) = rows.into_iter().unzip();
+        let start = start_seed % distances.len();
+        let end = start + 1 + len_seed % (distances.len() - start);
+        let champion = shard_champion(&distances, &counts, start..end).unwrap();
+        let (index, distance) =
+            select_winner(&distances[start..end], &counts[start..end]).unwrap();
+        prop_assert_eq!(champion.address, start + index);
+        prop_assert_eq!(champion.distance, distance);
+        prop_assert_eq!(champion.dont_care_count, counts[start + index]);
+    }
+}
+
+#[test]
+fn key_ordering_is_the_documented_lexicographic_comparator() {
+    let a = WtaKey {
+        distance: 1,
+        dont_care_count: 700,
+        address: 900,
+    };
+    let b = WtaKey {
+        distance: 2,
+        dont_care_count: 0,
+        address: 0,
+    };
+    assert!(a < b, "distance dominates both tie-break components");
+    let c = WtaKey {
+        distance: 1,
+        dont_care_count: 699,
+        address: 901,
+    };
+    assert!(c < a, "#-count dominates address");
+}
+
+#[test]
+fn empty_map_has_no_winner_for_any_shard_width() {
+    for shard_len in [1, 2, 64, 1000] {
+        assert_eq!(select_winner_tournament(&[], &[], shard_len), None);
+        assert_eq!(select_winner(&[], &[]), None);
+    }
+}

@@ -3,15 +3,38 @@
 //! [`PackedLayer`] stores the competitive layer in the layout the FPGA
 //! datapath implies (DESIGN.md §"The batched engine layout"): for each
 //! 64-bit word index `w`, the `w`-th value/care word of **every** neuron is
-//! stored contiguously (`values[w * neurons + i]` is neuron `i`'s word `w`).
-//! One sequential pass over the input words then computes the #-aware
-//! Hamming distance to all neurons at once, the whole layer fits the cache
-//! line by line — and, because a neighbourhood is a contiguous run of
+//! stored contiguously in a *word row* (`value_row(w)[i]` is neuron `i`'s
+//! word `w`). One sequential pass over the input words then computes the
+//! #-aware Hamming distance to all neurons at once, the whole layer fits the
+//! cache line by line — and, because a neighbourhood is a contiguous run of
 //! neuron addresses, the `w`-th words of a whole neighbourhood are a
 //! contiguous run inside row `w`, which is what
 //! [`PackedLayer::apply_window_update`] exploits to train every neuron in
 //! the winner's address window in a single pass under one broadcast
 //! Bernoulli mask stream (DESIGN.md §"The neighbourhood broadcast update").
+//!
+//! ## Copy-on-write rows
+//!
+//! Each word row lives behind its own [`Arc`], so cloning a `PackedLayer` —
+//! the serving-snapshot publish in `bsom-engine` — copies only the spine of
+//! row pointers, O(`words_per_vector`) refcount bumps instead of O(map)
+//! words. The update paths ([`apply_neuron_update`](PackedLayer::apply_neuron_update),
+//! [`apply_window_update`](PackedLayer::apply_window_update)) only
+//! [`Arc::make_mut`] a row when they are about to change at least one of its
+//! words, so rows untouched since the last publish stay physically shared
+//! between consecutive snapshots and a publish allocates O(rows touched
+//! since the last publish) (DESIGN.md §"Copy-on-write publication and the
+//! tournament WTA"). [`shared_row_count`](PackedLayer::shared_row_count)
+//! exposes the sharing for tests and diagnostics.
+//!
+//! ## The tournament winner search
+//!
+//! [`PackedLayer::winner`] reduces the distance vector with
+//! [`select_winner_tournament`]: shard champions over
+//! [`WTA_SHARD_LEN`]-neuron shards, folded pairwise through the
+//! `{distance, #-count, address}` comparator key — the software shape of the
+//! FPGA comparator tree, bit-identical to the linear scan (the
+//! `tournament_wta` suite proves it, boundary ties included).
 //!
 //! ## The incremental-layout invariant
 //!
@@ -45,15 +68,27 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
+
 use bsom_signature::bernoulli::{draw_broadcast_masks, MaskPlan};
 use bsom_signature::{
-    batch_masked_hamming, select_winner, update_window_word, window_word_needs, BinaryVector,
-    TriStateVector,
+    accumulate_masked_hamming_row, select_winner_tournament, update_window_word, window_word_needs,
+    window_word_would_change, BinaryVector, TriStateVector,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::bsom::BSom;
 use crate::error::SomError;
+
+/// Shard width of the tournament winner search, in neurons.
+///
+/// Each shard is one leaf comparator of the FPGA tree; 64 keeps a leaf scan
+/// inside one cache line of distances while giving a 1024-neuron map a
+/// 16-leaf tournament. Any positive value yields the identical winner
+/// ([`select_winner_tournament`] is proptest-proven bit-identical to the
+/// linear scan for arbitrary shard widths); this constant only picks the
+/// performance point.
+pub const WTA_SHARD_LEN: usize = 64;
 
 /// The result of a batched winner search, carrying the full FPGA comparator
 /// key so callers can audit tie-breaks.
@@ -65,6 +100,16 @@ pub struct BatchWinner {
     pub distance: u32,
     /// The winning neuron's `#`-count (the secondary comparator key).
     pub dont_care_count: u32,
+}
+
+/// One word row of the plane-sliced layout: the `w`-th value and care word
+/// of every neuron, bundled so a window update that touches both planes
+/// copies the row once. Private — rows are an ownership detail; callers see
+/// [`PackedLayer::value_row`] / [`PackedLayer::care_row`] slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlaneRow {
+    values: Vec<u64>,
+    cares: Vec<u64>,
 }
 
 /// A read-only, plane-sliced snapshot of a bSOM competitive layer.
@@ -85,19 +130,23 @@ pub struct BatchWinner {
 /// let scalar = som.winner(&input).unwrap();
 /// assert_eq!(batched.index, scalar.index);
 /// assert_eq!(batched.distance as f64, scalar.distance);
+///
+/// // Cloning is a copy-on-write publish: every row is shared, not copied.
+/// let snapshot = layer.clone();
+/// assert_eq!(snapshot.shared_row_count(&layer), layer.word_row_count());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedLayer {
     neurons: usize,
     vector_len: usize,
     words_per_vector: usize,
-    /// Value words, word-major: `values[w * neurons + i]` is neuron `i`'s
-    /// `w`-th value word.
-    values: Vec<u64>,
-    /// Care words in the same layout.
-    cares: Vec<u64>,
-    /// Per-neuron `#`-counts, precomputed for the tie-break key.
-    dont_care_counts: Vec<u32>,
+    /// One copy-on-write word row per input word index: `rows[w]` holds
+    /// neuron `i`'s `w`-th value word at `rows[w].values[i]` (cares
+    /// likewise).
+    rows: Vec<Arc<PlaneRow>>,
+    /// Per-neuron `#`-counts, precomputed for the tie-break key. Behind its
+    /// own `Arc` on the same copy-on-write discipline as the rows.
+    dont_care_counts: Arc<Vec<u32>>,
 }
 
 impl PackedLayer {
@@ -123,14 +172,18 @@ impl PackedLayer {
         }
         let neurons = weights.len();
         let words_per_vector = vector_len.div_ceil(64);
-        let mut values = vec![0u64; words_per_vector * neurons];
-        let mut cares = vec![0u64; words_per_vector * neurons];
+        let mut rows: Vec<PlaneRow> = (0..words_per_vector)
+            .map(|_| PlaneRow {
+                values: vec![0u64; neurons],
+                cares: vec![0u64; neurons],
+            })
+            .collect();
         for (i, weight) in weights.iter().enumerate() {
             for (w, &v) in weight.value_plane().as_words().iter().enumerate() {
-                values[w * neurons + i] = v;
+                rows[w].values[i] = v;
             }
             for (w, &c) in weight.care_plane().as_words().iter().enumerate() {
-                cares[w * neurons + i] = c;
+                rows[w].cares[i] = c;
             }
         }
         let dont_care_counts = weights.iter().map(|w| w.count_dont_care() as u32).collect();
@@ -138,9 +191,8 @@ impl PackedLayer {
             neurons,
             vector_len,
             words_per_vector,
-            values,
-            cares,
-            dont_care_counts,
+            rows: rows.into_iter().map(Arc::new).collect(),
+            dont_care_counts: Arc::new(dont_care_counts),
         })
     }
 
@@ -161,9 +213,10 @@ impl PackedLayer {
     /// Rewrites the words of neuron `index` in place from its new weight
     /// vector — the incremental-maintenance hook that lets a training loop
     /// keep one packed layout current instead of re-packing the whole layer
-    /// per publish. Only the `words_per_vector` value/care words belonging to
-    /// this neuron are touched; every other neuron's words are untouched, so
-    /// concurrent readers of a *cloned* layer are unaffected.
+    /// per publish. Only rows whose word for this neuron actually changes
+    /// are unshared ([`Arc::make_mut`]); every row the write leaves
+    /// bit-identical stays physically shared with previously published
+    /// snapshots.
     ///
     /// `dont_care_count` is the neuron's new `#`-count (callers maintain it
     /// incrementally from update deltas; debug-asserted against a recount).
@@ -192,13 +245,20 @@ impl PackedLayer {
             dont_care_count as usize,
             "stale #-count handed to apply_neuron_update for neuron {index}"
         );
-        for (w, &v) in weight.value_plane().as_words().iter().enumerate() {
-            self.values[w * self.neurons + index] = v;
+        let value_words = weight.value_plane().as_words();
+        let care_words = weight.care_plane().as_words();
+        for (w, row) in self.rows.iter_mut().enumerate() {
+            let (v, c) = (value_words[w], care_words[w]);
+            if row.values[index] == v && row.cares[index] == c {
+                continue; // row untouched: stays shared with live snapshots
+            }
+            let row = Arc::make_mut(row);
+            row.values[index] = v;
+            row.cares[index] = c;
         }
-        for (w, &c) in weight.care_plane().as_words().iter().enumerate() {
-            self.cares[w * self.neurons + index] = c;
+        if self.dont_care_counts[index] != dont_care_count {
+            Arc::make_mut(&mut self.dont_care_counts)[index] = dont_care_count;
         }
-        self.dont_care_counts[index] = dont_care_count;
     }
 
     /// Applies one stochastically damped tri-state update to **every neuron
@@ -218,6 +278,15 @@ impl PackedLayer {
     /// counters so callers can maintain their own caches — scratch slices
     /// rather than returned vectors, so a training loop performs no per-step
     /// allocation (the counters are zeroed here, not accumulated).
+    ///
+    /// A row is unshared ([`Arc::make_mut`]) only when the drawn masks will
+    /// actually flip at least one bit in it
+    /// ([`window_word_would_change`]) — rows the step leaves bit-identical
+    /// stay physically shared with previously published snapshots, which is
+    /// what makes consecutive publishes O(rows touched). The skip is
+    /// RNG-transparent: mask words are still drawn (or skipped) exactly as
+    /// before, so the Bernoulli stream — and therefore every subsequent
+    /// weight — is bit-identical to the always-write path.
     ///
     /// RNG cost is per *window word*, not per neuron — updating a 9-neuron
     /// neighbourhood draws exactly as many mask words as updating one
@@ -266,26 +335,49 @@ impl PackedLayer {
             } else {
                 (1u64 << (self.vector_len % 64)) - 1
             };
-            let start = w * self.neurons + window.start;
-            let run_values = &mut self.values[start..start + width];
-            let run_cares = &mut self.cares[start..start + width];
+            let row = &self.rows[w];
+            let run_values = &row.values[window.start..window.end];
+            let run_cares = &row.cares[window.start..window.end];
             let (needs_relax, needs_commit) =
                 window_word_needs(run_values, run_cares, commit_gates, x, lane_mask);
+            if !needs_relax && !needs_commit {
+                // No neuron in the window can take either transition in this
+                // word; draw_broadcast_masks would consume nothing from the
+                // stream and update_window_word would write nothing.
+                continue;
+            }
             let masks = draw_broadcast_masks(relax, commit, needs_relax, needs_commit, state);
-            update_window_word(
+            let commit_mask = masks.commit & lane_mask;
+            if !window_word_would_change(
                 run_values,
                 run_cares,
+                commit_gates,
                 x,
                 masks.relax,
-                masks.commit & lane_mask,
+                commit_mask,
+            ) {
+                // Masks drawn (stream position preserved) but every
+                // transition was masked off: the row stays shared.
+                continue;
+            }
+            let row = Arc::make_mut(&mut self.rows[w]);
+            update_window_word(
+                &mut row.values[window.start..window.end],
+                &mut row.cares[window.start..window.end],
+                x,
+                masks.relax,
+                commit_mask,
                 commit_gates,
                 relaxed,
                 committed,
             );
         }
-        for (i, (&r, &c)) in relaxed.iter().zip(committed.iter()).enumerate() {
-            let count = &mut self.dont_care_counts[window.start + i];
-            *count = (i64::from(*count) + i64::from(r) - i64::from(c)) as u32;
+        if relaxed.iter().zip(committed.iter()).any(|(&r, &c)| r != c) {
+            let counts = Arc::make_mut(&mut self.dont_care_counts);
+            for (i, (&r, &c)) in relaxed.iter().zip(committed.iter()).enumerate() {
+                let count = &mut counts[window.start + i];
+                *count = (i64::from(*count) + i64::from(r) - i64::from(c)) as u32;
+            }
         }
     }
 
@@ -308,9 +400,8 @@ impl PackedLayer {
             self.vector_len,
             "weight length must match the layer's vector length"
         );
-        for w in 0..self.words_per_vector {
-            let at = w * self.neurons + index;
-            weight.set_plane_word(w, self.values[at], self.cares[at]);
+        for (w, row) in self.rows.iter().enumerate() {
+            weight.set_plane_word(w, row.values[index], row.cares[index]);
         }
     }
 
@@ -324,14 +415,14 @@ impl PackedLayer {
                 .value_plane()
                 .as_words()
                 .iter()
-                .enumerate()
-                .all(|(w, &v)| self.values[w * self.neurons + index] == v)
+                .zip(&self.rows)
+                .all(|(&v, row)| row.values[index] == v)
             && weight
                 .care_plane()
                 .as_words()
                 .iter()
-                .enumerate()
-                .all(|(w, &c)| self.cares[w * self.neurons + index] == c)
+                .zip(&self.rows)
+                .all(|(&c, row)| row.cares[index] == c)
             && self.dont_care_counts[index] as usize == weight.count_dont_care()
     }
 
@@ -350,15 +441,46 @@ impl PackedLayer {
         &self.dont_care_counts
     }
 
-    /// The word-major value plane (`neurons` words per input word index).
-    pub fn value_words(&self) -> &[u64] {
-        &self.values
+    /// Number of word rows (one per 64-bit word index of the vectors).
+    pub fn word_row_count(&self) -> usize {
+        self.words_per_vector
     }
 
-    /// The word-major care plane, in the same layout as
-    /// [`value_words`](Self::value_words).
-    pub fn care_words(&self) -> &[u64] {
-        &self.cares
+    /// Word row `w` of the value plane: neuron `i`'s `w`-th value word is
+    /// `value_row(w)[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.word_row_count()`.
+    pub fn value_row(&self, w: usize) -> &[u64] {
+        &self.rows[w].values
+    }
+
+    /// Word row `w` of the care plane, in the same layout as
+    /// [`value_row`](Self::value_row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.word_row_count()`.
+    pub fn care_row(&self, w: usize) -> &[u64] {
+        &self.rows[w].cares
+    }
+
+    /// Number of word rows physically shared (same allocation, not merely
+    /// equal) between `self` and `other` — the copy-on-write observable the
+    /// `cow_snapshot` suite asserts on. Layers of different shapes share
+    /// nothing.
+    pub fn shared_row_count(&self, other: &PackedLayer) -> usize {
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// `true` iff the `#`-count table is physically shared with `other`'s.
+    pub fn shares_counts_with(&self, other: &PackedLayer) -> bool {
+        Arc::ptr_eq(&self.dont_care_counts, &other.dont_care_counts)
     }
 
     fn check_input(&self, input: &BinaryVector) -> Result<(), SomError> {
@@ -388,13 +510,14 @@ impl PackedLayer {
         distances: &mut [u32],
     ) -> Result<(), SomError> {
         self.check_input(input)?;
-        batch_masked_hamming(
-            &self.values,
-            &self.cares,
-            input.as_words(),
+        assert_eq!(
+            distances.len(),
             self.neurons,
-            distances,
+            "one distance slot per neuron"
         );
+        for (row, &x) in self.rows.iter().zip(input.as_words()) {
+            accumulate_masked_hamming_row(&row.values, &row.cares, x, distances);
+        }
         Ok(())
     }
 
@@ -410,8 +533,10 @@ impl PackedLayer {
     }
 
     /// Batched winner search: one sequential pass over the input words
-    /// against the plane-sliced layer, then the `{distance, #-count,
-    /// address}` reduction.
+    /// against the plane-sliced layer, then the tournament `{distance,
+    /// #-count, address}` reduction over [`WTA_SHARD_LEN`]-neuron shards —
+    /// bit-identical to the linear scan (the `tournament_wta` suite), but
+    /// shaped like the FPGA comparator tree.
     ///
     /// # Errors
     ///
@@ -439,12 +564,12 @@ impl PackedLayer {
     ) -> Result<BatchWinner, SomError> {
         distances.fill(0);
         self.distances_into(input, distances)?;
-        let (index, distance) = select_winner(distances, &self.dont_care_counts)
+        let key = select_winner_tournament(distances, &self.dont_care_counts, WTA_SHARD_LEN)
             .expect("a constructed PackedLayer is never empty");
         Ok(BatchWinner {
-            index,
-            distance,
-            dont_care_count: self.dont_care_counts[index],
+            index: key.address,
+            distance: key.distance,
+            dont_care_count: key.dont_care_count,
         })
     }
 
@@ -460,6 +585,35 @@ impl PackedLayer {
             .iter()
             .map(|input| self.winner_with_buffer(input, &mut distances))
             .collect()
+    }
+}
+
+// The copy-on-write rows are an ownership detail, not a wire concept: the
+// serialized form stays the flat word-major planes of the pre-CoW layout
+// (field order matters — readers and the tamper-rejection fixtures key on
+// it). Hand-written because the vendored serde stand-in has no `Arc` impls;
+// with registry serde this would be `#[serde(into/try_from)]` glue.
+impl Serialize for PackedLayer {
+    fn to_value(&self) -> serde::Value {
+        let flatten = |plane: fn(&PlaneRow) -> &[u64]| {
+            serde::Value::Array(
+                self.rows
+                    .iter()
+                    .flat_map(|row| plane(row).iter().map(|&w| serde::Value::UInt(w)))
+                    .collect(),
+            )
+        };
+        serde::Value::Object(vec![
+            ("neurons".into(), self.neurons.to_value()),
+            ("vector_len".into(), self.vector_len.to_value()),
+            ("words_per_vector".into(), self.words_per_vector.to_value()),
+            ("values".into(), flatten(|row| &row.values)),
+            ("cares".into(), flatten(|row| &row.cares)),
+            (
+                "dont_care_counts".into(),
+                self.dont_care_counts.as_slice().to_value(),
+            ),
+        ])
     }
 }
 
@@ -528,13 +682,23 @@ impl PackedLayer {
                 }
             }
         }
+        let rows = raw
+            .values
+            .chunks_exact(raw.neurons)
+            .zip(raw.cares.chunks_exact(raw.neurons))
+            .map(|(values, cares)| {
+                Arc::new(PlaneRow {
+                    values: values.to_vec(),
+                    cares: cares.to_vec(),
+                })
+            })
+            .collect();
         Ok(PackedLayer {
             neurons: raw.neurons,
             vector_len: raw.vector_len,
             words_per_vector: raw.words_per_vector,
-            values: raw.values,
-            cares: raw.cares,
-            dont_care_counts: raw.dont_care_counts,
+            rows,
+            dont_care_counts: Arc::new(raw.dont_care_counts),
         })
     }
 }
@@ -584,6 +748,7 @@ mod tests {
         let layer = PackedLayer::from_som(&som);
         assert_eq!(layer.neuron_count(), 40);
         assert_eq!(layer.vector_len(), 768);
+        assert_eq!(layer.word_row_count(), 12);
         for _ in 0..10 {
             let input = BinaryVector::random(768, &mut r);
             let scalar = som.distances(&input).unwrap();
@@ -650,6 +815,50 @@ mod tests {
         let batch = layer.winners(&inputs).unwrap();
         for (input, batched) in inputs.iter().zip(&batch) {
             assert_eq!(*batched, layer.winner(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn clone_shares_every_row() {
+        let mut r = rng();
+        let layer = PackedLayer::from_som(&BSom::new(BSomConfig::new(8, 192), &mut r));
+        let snapshot = layer.clone();
+        assert_eq!(snapshot.shared_row_count(&layer), layer.word_row_count());
+        assert!(snapshot.shares_counts_with(&layer));
+        assert_eq!(snapshot, layer);
+    }
+
+    #[test]
+    fn neuron_update_unshares_only_touched_rows() {
+        let mut r = rng();
+        let som = BSom::new(BSomConfig::new(8, 192), &mut r);
+        let mut layer = PackedLayer::from_som(&som);
+        let snapshot = layer.clone();
+
+        // A no-op rewrite (same weight) must leave every row shared.
+        let mut weight = TriStateVector::zeros(192);
+        layer.copy_neuron_into(3, &mut weight);
+        let count = layer.dont_care_counts()[3];
+        layer.apply_neuron_update(3, &weight, count);
+        assert_eq!(layer.shared_row_count(&snapshot), 3);
+        assert!(layer.shares_counts_with(&snapshot));
+
+        // Flip one trit in word 1 only: exactly that row must unshare.
+        let old = weight.trit(70);
+        weight.set(70, different_trit(old));
+        layer.apply_neuron_update(3, &weight, weight.count_dont_care() as u32);
+        assert_eq!(layer.shared_row_count(&snapshot), 2);
+        assert!(std::sync::Arc::ptr_eq(&layer.rows[0], &snapshot.rows[0]));
+        assert!(!std::sync::Arc::ptr_eq(&layer.rows[1], &snapshot.rows[1]));
+        assert!(std::sync::Arc::ptr_eq(&layer.rows[2], &snapshot.rows[2]));
+        // Still word-for-word correct after the copy-on-write.
+        assert!(layer.neuron_matches(3, &weight));
+    }
+
+    fn different_trit(t: bsom_signature::Trit) -> bsom_signature::Trit {
+        match t {
+            bsom_signature::Trit::Zero => bsom_signature::Trit::One,
+            _ => bsom_signature::Trit::Zero,
         }
     }
 

@@ -99,6 +99,25 @@ proptest! {
         assert_equivalent(weights, &input)?;
     }
 
+    /// The layer's tournament winner equals a linear scan over its own
+    /// distance vector — the integration-level restatement of the
+    /// `tournament_wta` suite, on layers wide enough (> [`WTA_SHARD_LEN`]
+    /// neurons) to force a genuine multi-shard reduction.
+    #[test]
+    fn layer_tournament_winner_equals_linear_scan(
+        weights in prop::collection::vec(tristate_vector(96), 60..160),
+        input in binary_vector(96),
+    ) {
+        let packed = PackedLayer::from_neurons(&weights).expect("non-empty layer");
+        let distances = packed.distances(&input).unwrap();
+        let (index, distance) =
+            bsom_signature::select_winner(&distances, packed.dont_care_counts()).unwrap();
+        let winner = packed.winner(&input).unwrap();
+        prop_assert_eq!(winner.index, index);
+        prop_assert_eq!(winner.distance, distance);
+        prop_assert_eq!(winner.dont_care_count, packed.dont_care_counts()[index]);
+    }
+
     /// A batched call over many inputs equals one-at-a-time calls.
     #[test]
     fn winners_batch_equals_pointwise(
