@@ -3,7 +3,9 @@
 //! Writes `BENCH_train.json` (training steps/s across the three datapaths —
 //! bit-serial, per-neuron word-parallel, plane-sliced window — plus the
 //! speedup ratios), `BENCH_recognition.json` (signatures/s, scalar vs
-//! batched vs engine, speedups, FPGA cycle-model comparison) and
+//! batched vs engine, speedups, FPGA cycle-model comparison, and the
+//! per-dispatch distance-pass figures for every SIMD lowering the machine
+//! can run) and
 //! `BENCH_large_map.json` (copy-on-write publish cadence and tournament
 //! winner-search throughput at the 1024-neuron × 768-bit scale target) so
 //! the perf trajectory of the repo is tracked by numbers rather than prose.
@@ -44,9 +46,9 @@ use std::time::Duration;
 
 use bsom_bench::bench_dataset;
 use bsom_engine::{
-    compare_large_map_throughput, compare_recognition_throughput, compare_training_throughput,
-    EngineConfig, LargeMapThroughputComparison, SomService, ThroughputComparison,
-    TrainThroughputComparison,
+    compare_dispatch_throughput, compare_large_map_throughput, compare_recognition_throughput,
+    compare_training_throughput, DispatchThroughputComparison, EngineConfig,
+    LargeMapThroughputComparison, SomService, ThroughputComparison, TrainThroughputComparison,
 };
 use bsom_fpga::FpgaConfig;
 use bsom_som::{BSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule};
@@ -80,10 +82,17 @@ struct RecognitionBenchReport {
     min_duration_seconds: f64,
     /// Scalar / batched / engine signatures-per-second plus the FPGA model.
     comparison: ThroughputComparison,
+    /// Per-dispatch distance-pass throughput at the 1024 × 768 scale shape:
+    /// the same plane-sliced pass through every kernel lowering the machine
+    /// can run (DESIGN.md §"Wide-lane kernels and dispatch").
+    dispatch: DispatchThroughputComparison,
     /// Single-thread plane-sliced search over the scalar loop.
     speedup_batched_over_scalar: f64,
     /// Sharded engine over the scalar loop.
     speedup_engine_over_scalar: f64,
+    /// Widest available lowering over the forced-scalar distance pass — the
+    /// raw worth of the SIMD widening on this machine.
+    speedup_widest_dispatch_over_scalar: f64,
 }
 
 /// The `BENCH_large_map.json` document: the 1024-neuron × 768-bit shape the
@@ -313,12 +322,26 @@ fn main() -> ExitCode {
         min_duration,
     );
     println!("{recognition}");
+
+    // --- Per-dispatch distance pass at the 1024 x 768 scale shape: an
+    // untrained map is the right fixture here (the kernels do not branch on
+    // weight content) and the large shape keeps the pass out of pure
+    // L1-resident territory, where the lane speedups actually matter.
+    println!("bench_report: measuring per-dispatch distance-pass throughput ({mode})...");
+    let mut dispatch_rng = StdRng::seed_from_u64(0xD15B);
+    let dispatch_som = bsom_som::BSom::new(BSomConfig::new(1024, 768), &mut dispatch_rng);
+    let dispatch =
+        compare_dispatch_throughput(dispatch_som.packed_layer(), &test_signatures, min_duration);
+    println!("{dispatch}");
+
     let recognition_report = RecognitionBenchReport {
         mode: mode.to_string(),
         min_duration_seconds: min_duration.as_secs_f64(),
         speedup_batched_over_scalar: recognition.batched_speedup_over_scalar(),
         speedup_engine_over_scalar: recognition.engine_speedup_over_scalar(),
+        speedup_widest_dispatch_over_scalar: dispatch.widest_speedup_over_scalar(),
         comparison: recognition,
+        dispatch,
     };
 
     // --- Large map: CoW publish + tournament search at 1024 x 768.
@@ -435,6 +458,26 @@ fn main() -> ExitCode {
                 name: "recognition.engine/scalar speedup",
                 baseline: recognition_baseline.speedup_engine_over_scalar,
                 fresh: recognition_report.speedup_engine_over_scalar,
+            },
+            // The per-dispatch distance pass: absolute throughput of the
+            // forced-scalar and widest lowerings, plus their dimensionless
+            // ratio — the gate that notices the SIMD widening silently
+            // stopped being selected (ratio collapses to ~1.0) or stopped
+            // being fast.
+            CheckedFigure {
+                name: "recognition.dispatch.scalar passes/s",
+                baseline: recognition_baseline.dispatch.scalar.patterns_per_second,
+                fresh: recognition_report.dispatch.scalar.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "recognition.dispatch.widest passes/s",
+                baseline: recognition_baseline.dispatch.widest.patterns_per_second,
+                fresh: recognition_report.dispatch.widest.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "recognition.dispatch widest/scalar speedup",
+                baseline: recognition_baseline.speedup_widest_dispatch_over_scalar,
+                fresh: recognition_report.speedup_widest_dispatch_over_scalar,
             },
             // The 1024-neuron scale gates: copy-on-write publish cadence
             // under training and tournament winner-search throughput.

@@ -70,8 +70,9 @@ use crate::service::SomSnapshot;
 
 pub use service::{Recognizer, SignatureBatch, SomService, Trainer};
 pub use throughput::{
-    compare_large_map_throughput, compare_recognition_throughput, LargeMapThroughputComparison,
-    MeasuredThroughput, ThroughputComparison,
+    compare_dispatch_throughput, compare_large_map_throughput, compare_recognition_throughput,
+    DispatchFigure, DispatchThroughputComparison, LargeMapThroughputComparison, MeasuredThroughput,
+    ThroughputComparison,
 };
 #[allow(deprecated)]
 pub use train::TrainEngine;

@@ -285,6 +285,139 @@ pub fn compare_large_map_throughput(
     }
 }
 
+/// One dispatch path's distance-pass throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchFigure {
+    /// The dispatch name (`scalar`, `lanes4`, `avx512`, …).
+    pub dispatch: String,
+    /// Distance passes (full input batches against the whole layer) per
+    /// second through this lowering.
+    pub throughput: MeasuredThroughput,
+}
+
+/// Per-dispatch distance-pass throughput (DESIGN.md §"Wide-lane kernels and
+/// dispatch"): the same plane-sliced distance pass measured once per kernel
+/// lowering the machine can run, so the report records what the SIMD
+/// widening is actually worth on this CPU — and `bench_report --check` can
+/// catch a lowering that silently stopped being selected or stopped being
+/// fast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchThroughputComparison {
+    /// Neurons in the measured layer.
+    pub neurons: usize,
+    /// Bits per weight vector.
+    pub vector_len: usize,
+    /// Name of the widest lowering available on this machine
+    /// ([`Dispatch::detect`](bsom_signature::Dispatch::detect)).
+    pub widest_dispatch: String,
+    /// The scalar reference walk.
+    pub scalar: MeasuredThroughput,
+    /// The widest available lowering (same dispatch as `widest_dispatch`).
+    pub widest: MeasuredThroughput,
+    /// Every available lowering, in widening order (includes the two above).
+    pub figures: Vec<DispatchFigure>,
+}
+
+impl DispatchThroughputComparison {
+    /// Distance-pass speed-up of the widest lowering over the scalar walk —
+    /// the raw worth of the SIMD widening on this machine.
+    pub fn widest_speedup_over_scalar(&self) -> f64 {
+        self.widest.patterns_per_second / self.scalar.patterns_per_second.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl std::fmt::Display for DispatchThroughputComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "distance-pass dispatch ({} neurons x {} bits)",
+            self.neurons, self.vector_len
+        )?;
+        for figure in &self.figures {
+            let speedup = figure.throughput.patterns_per_second
+                / self.scalar.patterns_per_second.max(f64::MIN_POSITIVE);
+            writeln!(
+                f,
+                "  {:<8} {:>12.0} passes/s  ({speedup:.2}x scalar)",
+                figure.dispatch, figure.throughput.patterns_per_second
+            )?;
+        }
+        write!(
+            f,
+            "  widest = {} ({:.2}x scalar)",
+            self.widest_dispatch,
+            self.widest_speedup_over_scalar()
+        )
+    }
+}
+
+/// Measures the pure plane-sliced distance pass (no WTA reduction, no
+/// training) through **every** kernel lowering available on this machine,
+/// at the given layer shape. `min_duration` is spent per lowering.
+///
+/// The pass runs through the explicit-dispatch row kernel
+/// ([`bsom_signature::accumulate_masked_hamming_row_with`]) over the
+/// packed layer's shared rows, so the figures isolate exactly the code the
+/// wide lanes replaced; every lowering is bit-identical, so the distance
+/// buffers agree across all of them by construction (and are debug-asserted
+/// to).
+///
+/// # Panics
+///
+/// Panics if `signatures` is empty or a signature length differs from the
+/// layer's vector length.
+pub fn compare_dispatch_throughput(
+    layer: &bsom_som::PackedLayer,
+    signatures: &[BinaryVector],
+    min_duration: Duration,
+) -> DispatchThroughputComparison {
+    use bsom_signature::{accumulate_masked_hamming_row_with, Dispatch};
+    assert!(!signatures.is_empty(), "cannot measure an empty batch");
+    let neurons = layer.neuron_count();
+    let words = signatures[0].as_words().len();
+    let mut distances = vec![0u32; neurons];
+    let mut measure_dispatch = |dispatch: Dispatch| {
+        measure(signatures.len(), min_duration, || {
+            for s in signatures {
+                distances.fill(0);
+                for (w, &x) in s.as_words().iter().enumerate().take(words) {
+                    accumulate_masked_hamming_row_with(
+                        dispatch,
+                        layer.value_row(w),
+                        layer.care_row(w),
+                        x,
+                        &mut distances,
+                    );
+                }
+                std::hint::black_box(&mut distances);
+            }
+        })
+    };
+    let figures: Vec<DispatchFigure> = Dispatch::available()
+        .into_iter()
+        .map(|dispatch| DispatchFigure {
+            dispatch: dispatch.name().to_string(),
+            throughput: measure_dispatch(dispatch),
+        })
+        .collect();
+    let widest = Dispatch::detect();
+    let figure_for = |name: &str| {
+        figures
+            .iter()
+            .find(|figure| figure.dispatch == name)
+            .expect("scalar and the detected widest lowering are always available")
+            .throughput
+    };
+    DispatchThroughputComparison {
+        neurons,
+        vector_len: layer.vector_len(),
+        widest_dispatch: widest.name().to_string(),
+        scalar: figure_for(Dispatch::Scalar.name()),
+        widest: figure_for(widest.name()),
+        figures,
+    }
+}
+
 /// Measures scalar / batched / engine recognition throughput on `signatures`
 /// and derives the FPGA figure from `fpga_config`'s cycle model.
 ///
@@ -406,6 +539,39 @@ mod tests {
         assert!(text.contains("deep re-pack"));
         let json = serde_json::to_string(&comparison).unwrap();
         assert!(json.contains("publish_under_training"));
+    }
+
+    #[test]
+    fn dispatch_comparison_covers_every_available_lowering_and_renders() {
+        let mut r = StdRng::seed_from_u64(0xD15B);
+        // A scaled-down shape keeps the unit test fast; the committed
+        // BENCH_recognition.json uses the full 1024 x 768.
+        let som = BSom::new(BSomConfig::new(96, 200), &mut r);
+        let batch: Vec<BinaryVector> = (0..8).map(|_| BinaryVector::random(200, &mut r)).collect();
+        let comparison =
+            compare_dispatch_throughput(som.packed_layer(), &batch, Duration::from_millis(5));
+        assert_eq!(comparison.neurons, 96);
+        assert_eq!(comparison.vector_len, 200);
+        let available = bsom_signature::Dispatch::available();
+        assert_eq!(comparison.figures.len(), available.len());
+        for (figure, dispatch) in comparison.figures.iter().zip(&available) {
+            assert_eq!(figure.dispatch, dispatch.name());
+            assert!(figure.throughput.patterns_per_second > 0.0);
+            assert!(figure.throughput.rounds >= 1);
+        }
+        assert_eq!(
+            comparison.widest_dispatch,
+            bsom_signature::Dispatch::detect().name()
+        );
+        assert!(comparison.scalar.patterns_per_second > 0.0);
+        assert!(comparison.widest.patterns_per_second > 0.0);
+        assert!(comparison.widest_speedup_over_scalar() > 0.0);
+        let text = comparison.to_string();
+        assert!(text.contains("scalar"));
+        assert!(text.contains("widest ="));
+        let json = serde_json::to_string(&comparison).unwrap();
+        let back: DispatchThroughputComparison = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, comparison);
     }
 
     // Wall-clock assertion: sound in release on an idle machine, but timing

@@ -21,6 +21,15 @@
 //! [`bernoulli::draw_broadcast_masks`](crate::bernoulli::draw_broadcast_masks))
 //! to such a run — the software shape of the FPGA's single update circuit
 //! writing every neuron in the address window in one pass.
+//!
+//! All three hot kernels are *lowered* in [`crate::lanes`]: the default
+//! entry points route through the process-wide
+//! [`active_dispatch`](crate::lanes::active_dispatch) (scalar, portable wide
+//! lanes, or a hand-written `std::arch` path), and each has a `_with` twin
+//! taking an explicit [`Dispatch`] so tests and benches can pin any
+//! lowering. Every lowering is bit-identical to the scalar reference walk.
+
+use crate::lanes::{self, Dispatch};
 
 /// The full FPGA winner-take-all comparator key (DESIGN.md §"Winner
 /// selection and the WTA tie-break key"), ordered exactly like the hardware
@@ -50,14 +59,45 @@ pub struct WtaKey {
 ///
 /// Panics if the slice lengths differ.
 pub fn masked_hamming_words(value: &[u64], care: &[u64], input: &[u64]) -> usize {
+    masked_hamming_words_with(lanes::active_dispatch(), value, care, input)
+}
+
+/// [`masked_hamming_words`] through one **explicit** [`Dispatch`] lowering —
+/// the entry the differential tests and per-dispatch benches use to exercise
+/// every path regardless of the process-wide
+/// [`active_dispatch`](crate::lanes::active_dispatch). In debug builds every
+/// non-scalar lowering is shadow-checked against the scalar walk, so a bad
+/// lowering fails loudly in tests instead of silently in benches.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or if `dispatch` is not
+/// [available](Dispatch::is_available) on the running machine.
+pub fn masked_hamming_words_with(
+    dispatch: Dispatch,
+    value: &[u64],
+    care: &[u64],
+    input: &[u64],
+) -> usize {
     assert_eq!(value.len(), input.len(), "value/input word count mismatch");
     assert_eq!(care.len(), input.len(), "care/input word count mismatch");
-    value
-        .iter()
-        .zip(input)
-        .zip(care)
-        .map(|((w, x), c)| ((w ^ x) & c).count_ones() as usize)
-        .sum()
+    assert!(
+        dispatch.is_available(),
+        "{}",
+        crate::lanes::UnavailableDispatch {
+            requested: dispatch
+        }
+    );
+    let total = lanes::masked_hamming_words_dispatch(dispatch, value, care, input);
+    #[cfg(debug_assertions)]
+    if dispatch != Dispatch::Scalar {
+        debug_assert_eq!(
+            total,
+            lanes::masked_hamming_words_dispatch(Dispatch::Scalar, value, care, input),
+            "{dispatch} masked-hamming lowering diverged from the scalar walk"
+        );
+    }
+    total
 }
 
 /// One pass of the batched winner-search kernel: accumulates the #-aware
@@ -119,14 +159,53 @@ pub fn accumulate_masked_hamming_row(
     input: u64,
     distances: &mut [u32],
 ) {
+    accumulate_masked_hamming_row_with(lanes::active_dispatch(), values, cares, input, distances);
+}
+
+/// [`accumulate_masked_hamming_row`] through one **explicit** [`Dispatch`]
+/// lowering (see [`masked_hamming_words_with`] for the contract: available
+/// paths only, debug shadow-check against the scalar walk).
+///
+/// # Panics
+///
+/// Panics if the three slices do not share one length or if `dispatch` is
+/// not [available](Dispatch::is_available) on the running machine.
+pub fn accumulate_masked_hamming_row_with(
+    dispatch: Dispatch,
+    values: &[u64],
+    cares: &[u64],
+    input: u64,
+    distances: &mut [u32],
+) {
     assert_eq!(values.len(), cares.len(), "value/care row length mismatch");
     assert_eq!(
         values.len(),
         distances.len(),
         "one distance slot per neuron"
     );
-    for i in 0..values.len() {
-        distances[i] += ((values[i] ^ input) & cares[i]).count_ones();
+    assert!(
+        dispatch.is_available(),
+        "{}",
+        crate::lanes::UnavailableDispatch {
+            requested: dispatch
+        }
+    );
+    #[cfg(debug_assertions)]
+    let shadow: Vec<u32> = if dispatch != Dispatch::Scalar {
+        let mut copy = distances.to_vec();
+        lanes::accumulate_row_dispatch(Dispatch::Scalar, values, cares, input, &mut copy);
+        copy
+    } else {
+        Vec::new()
+    };
+    lanes::accumulate_row_dispatch(dispatch, values, cares, input, distances);
+    #[cfg(debug_assertions)]
+    if dispatch != Dispatch::Scalar {
+        debug_assert_eq!(
+            distances,
+            shadow.as_slice(),
+            "{dispatch} row lowering diverged from the scalar walk"
+        );
     }
 }
 
@@ -348,23 +427,116 @@ pub fn update_window_word(
     relaxed: &mut [u32],
     committed: &mut [u32],
 ) {
+    update_window_word_with(
+        lanes::active_dispatch(),
+        values,
+        cares,
+        input,
+        relax_mask,
+        commit_mask,
+        gates,
+        relaxed,
+        committed,
+    );
+}
+
+/// [`update_window_word`] through one **explicit** [`Dispatch`] lowering.
+///
+/// In debug builds every non-scalar lowering is shadow-checked against the
+/// scalar per-neuron [`update_word`](crate::update_word) walk, and — for
+/// *every* dispatch — the relax/commit flip counters are checked against a
+/// full popcount recount of the care-plane delta
+/// (`Δpopcount(care) == committed − relaxed` per neuron). Those counters
+/// feed the incremental `#`-count maintenance in the packed layer, so a bad
+/// lowering fails loudly here, in tests, rather than silently skewing the
+/// WTA tie-break in benches.
+///
+/// # Panics
+///
+/// Panics if the run slices and delta slices do not all share one length or
+/// if `dispatch` is not [available](Dispatch::is_available) on the running
+/// machine.
+#[allow(clippy::too_many_arguments)]
+pub fn update_window_word_with(
+    dispatch: Dispatch,
+    values: &mut [u64],
+    cares: &mut [u64],
+    input: u64,
+    relax_mask: u64,
+    commit_mask: u64,
+    gates: &[u64],
+    relaxed: &mut [u32],
+    committed: &mut [u32],
+) {
     let width = values.len();
     assert_eq!(cares.len(), width, "value/care run length mismatch");
     assert_eq!(gates.len(), width, "one gate word per neuron");
     assert_eq!(relaxed.len(), width, "one relax counter per neuron");
     assert_eq!(committed.len(), width, "one commit counter per neuron");
-    for i in 0..width {
-        let updated = crate::update_word(
-            values[i],
-            cares[i],
-            input,
-            relax_mask,
-            commit_mask & gates[i],
-        );
-        values[i] = updated.value;
-        cares[i] = updated.care;
-        relaxed[i] += updated.relaxed.count_ones();
-        committed[i] += updated.committed.count_ones();
+    assert!(
+        dispatch.is_available(),
+        "{}",
+        crate::lanes::UnavailableDispatch {
+            requested: dispatch
+        }
+    );
+    #[cfg(debug_assertions)]
+    let snapshot = (
+        values.to_vec(),
+        cares.to_vec(),
+        relaxed.to_vec(),
+        committed.to_vec(),
+    );
+    lanes::update_window_word_dispatch(
+        dispatch,
+        values,
+        cares,
+        input,
+        relax_mask,
+        commit_mask,
+        gates,
+        relaxed,
+        committed,
+    );
+    #[cfg(debug_assertions)]
+    {
+        let (old_values, old_cares, old_relaxed, old_committed) = snapshot;
+        // Full recount of the popcount maintenance: the counter deltas must
+        // balance the care-plane popcount delta neuron by neuron.
+        for i in 0..width {
+            let care_delta = cares[i].count_ones() as i64 - old_cares[i].count_ones() as i64;
+            let committed_delta = i64::from(committed[i]) - i64::from(old_committed[i]);
+            let relaxed_delta = i64::from(relaxed[i]) - i64::from(old_relaxed[i]);
+            debug_assert_eq!(
+                care_delta,
+                committed_delta - relaxed_delta,
+                "{dispatch} popcount maintenance diverged from a full recount at neuron {i}"
+            );
+        }
+        if dispatch != Dispatch::Scalar {
+            let mut shadow_values = old_values;
+            let mut shadow_cares = old_cares;
+            let mut shadow_relaxed = old_relaxed;
+            let mut shadow_committed = old_committed;
+            lanes::update_window_word_dispatch(
+                Dispatch::Scalar,
+                &mut shadow_values,
+                &mut shadow_cares,
+                input,
+                relax_mask,
+                commit_mask,
+                gates,
+                &mut shadow_relaxed,
+                &mut shadow_committed,
+            );
+            debug_assert!(
+                values == shadow_values.as_slice()
+                    && cares == shadow_cares.as_slice()
+                    && relaxed == shadow_relaxed.as_slice()
+                    && committed == shadow_committed.as_slice(),
+                "{dispatch} window-update lowering diverged from the scalar walk"
+            );
+        }
     }
 }
 

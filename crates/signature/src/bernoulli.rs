@@ -286,6 +286,22 @@ impl MaskPlan {
             }
         }
     }
+
+    /// Draws `N` consecutive mask words — the lane-batched entry of the
+    /// wide kernels (see [`crate::lanes`]).
+    ///
+    /// Lane `k` of the result is **exactly** the `k`-th sequential
+    /// [`draw`](MaskPlan::draw): the ladder folds the same digits over the
+    /// same xorshift64* words in the same order. This is a *contract*, not
+    /// an implementation detail — the generator is a serial recurrence, so
+    /// the only stream-preserving batching is sequential word-order
+    /// drawing, and every wide lowering hoists its draws through this entry
+    /// so the RNG stream is identical under every dispatch (pinned down by
+    /// the `simd_equivalence` suite).
+    #[inline]
+    pub fn draw_lanes<const N: usize>(&self, state: &mut u64) -> [u64; N] {
+        std::array::from_fn(|_| self.draw(state))
+    }
 }
 
 /// The shared Bernoulli mask pair for one 64-bit word index of a
@@ -339,6 +355,28 @@ pub fn draw_broadcast_masks(
         relax: if needs_relax { relax.draw(state) } else { 0 },
         commit: if needs_commit { commit.draw(state) } else { 0 },
     }
+}
+
+/// Lane-batched [`draw_broadcast_masks`]: the mask pairs for `N`
+/// consecutive word indices, given each word's (relax, commit) needs.
+///
+/// Word `k` draws exactly as the `k`-th sequential [`draw_broadcast_masks`]
+/// call would — same shared-draw coalescing, same skip rules, same
+/// word-order xorshift64* consumption — so a kernel that hoists `N` word
+/// draws out of its wide loop consumes a stream identical to the
+/// word-at-a-time walk (the RNG-stream identity the `simd_equivalence`
+/// suite asserts across full train runs).
+#[inline]
+pub fn draw_broadcast_masks_lanes<const N: usize>(
+    relax: &MaskPlan,
+    commit: &MaskPlan,
+    needs_relax: &[bool; N],
+    needs_commit: &[bool; N],
+    state: &mut u64,
+) -> [BroadcastMasks; N] {
+    std::array::from_fn(|k| {
+        draw_broadcast_masks(relax, commit, needs_relax[k], needs_commit[k], state)
+    })
 }
 
 /// The per-neuron gate of the broadcast update: all-ones for a neuron that

@@ -31,7 +31,10 @@
 //! assert_eq!(signature.len(), SIGNATURE_BITS);
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny (not forbid) so the one module that carries `std::arch` SIMD
+// lowerings — `lanes` — can opt back in with a scoped allow; everything
+// else in the crate still refuses unsafe code.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod batch;
@@ -40,18 +43,24 @@ pub mod bitvec;
 pub mod error;
 pub mod histogram;
 pub mod image;
+pub mod lanes;
 pub mod tristate;
 
 pub use batch::{
-    accumulate_masked_hamming_row, batch_masked_hamming, masked_hamming_words, select_winner,
-    select_winner_tournament, shard_champion, update_window_word, window_word_needs,
+    accumulate_masked_hamming_row, accumulate_masked_hamming_row_with, batch_masked_hamming,
+    masked_hamming_words, masked_hamming_words_with, select_winner, select_winner_tournament,
+    shard_champion, update_window_word, update_window_word_with, window_word_needs,
     window_word_would_change, WtaKey,
 };
-pub use bernoulli::{draw_broadcast_masks, gate_word, BroadcastMasks, CoinThreshold, MaskPlan};
+pub use bernoulli::{
+    draw_broadcast_masks, draw_broadcast_masks_lanes, gate_word, BroadcastMasks, CoinThreshold,
+    MaskPlan,
+};
 pub use bitvec::BinaryVector;
 pub use error::SignatureError;
 pub use histogram::{ColorHistogram, BINS_PER_CHANNEL, HISTOGRAM_BINS};
 pub use image::{BinaryImage, Rgb, RgbImage, Silhouette, SIGNATURE_HEIGHT, SIGNATURE_WIDTH};
+pub use lanes::{active_dispatch, force_dispatch, Dispatch, Lanes, UnavailableDispatch};
 pub use tristate::{update_word, TriStateVector, Trit, UpdateDelta, WordUpdate};
 
 /// Number of bits in a full-size appearance signature (768 = 3 × 256 bins).

@@ -451,6 +451,13 @@ impl TriStateVector {
     /// a given state, and it differs from flipping one scalar coin per bit —
     /// the two paths are distributionally equivalent, not stream-identical.
     ///
+    /// The word axis is walked in lane-width chunks through the
+    /// lane-batched draw entry
+    /// ([`draw_broadcast_masks_lanes`](crate::bernoulli::draw_broadcast_masks_lanes)),
+    /// which consumes the xorshift64* stream in exact word order — so the
+    /// chunked walk is stream- and bit-identical to the historical
+    /// word-at-a-time loop (asserted by the `simd_equivalence` suite).
+    ///
     /// The final partial word is handled internally: beyond-length lanes
     /// never relax, commit, or contribute to the deltas.
     ///
@@ -464,6 +471,9 @@ impl TriStateVector {
         commit: &MaskPlan,
         state: &mut u64,
     ) -> UpdateDelta {
+        /// Words per lane-batched draw (the AVX2-shaped lane width; the
+        /// draw order makes the chunking invisible to the RNG stream).
+        const DRAW_LANES: usize = 4;
         assert_eq!(
             self.len(),
             input.len(),
@@ -475,22 +485,62 @@ impl TriStateVector {
         let mut delta = UpdateDelta::default();
         let values = self.value.as_mut_words();
         let cares = self.care.as_mut_words();
-        for (w, &x) in input.as_words().iter().enumerate() {
-            // Valid-lane mask: all ones except in the final partial word.
-            let lane_mask = if (w + 1) * 64 <= len {
+        let inputs = input.as_words();
+        // Valid-lane mask: all ones except in the final partial word.
+        let lane_mask_at = |w: usize| {
+            if (w + 1) * 64 <= len {
                 u64::MAX
             } else {
                 (1u64 << (len % 64)) - 1
-            };
-            let value = values[w];
-            let care = cares[w];
+            }
+        };
+        // Applies the drawn mask pair to word `w` and accumulates deltas.
+        let apply = |w: usize,
+                     masks: crate::bernoulli::BroadcastMasks,
+                     values: &mut [u64],
+                     cares: &mut [u64],
+                     delta: &mut UpdateDelta| {
+            let updated = update_word(
+                values[w],
+                cares[w],
+                inputs[w],
+                masks.relax,
+                masks.commit & lane_mask_at(w),
+            );
+            values[w] = updated.value;
+            cares[w] = updated.care;
+            delta.relaxed += updated.relaxed.count_ones() as usize;
+            delta.committed += updated.committed.count_ones() as usize;
+        };
+        let wide = inputs.len() - inputs.len() % DRAW_LANES;
+        let mut w = 0;
+        while w < wide {
             // Skip draws that cannot change anything; the plane invariants
             // (tail care/value bits zero) make these checks exact. The
-            // shared-draw case (relax == commit, both needed) is handled by
-            // the broadcast drawing rule — see
+            // shared-draw case (relax == commit, both needed) is handled
+            // per word by the broadcast drawing rule — see
             // [`crate::bernoulli::draw_broadcast_masks`].
-            let needs_relax = (value ^ x) & care != 0;
-            let needs_commit = care != lane_mask;
+            let mut needs_relax = [false; DRAW_LANES];
+            let mut needs_commit = [false; DRAW_LANES];
+            for k in 0..DRAW_LANES {
+                needs_relax[k] = (values[w + k] ^ inputs[w + k]) & cares[w + k] != 0;
+                needs_commit[k] = cares[w + k] != lane_mask_at(w + k);
+            }
+            let masks = crate::bernoulli::draw_broadcast_masks_lanes::<DRAW_LANES>(
+                relax,
+                commit,
+                &needs_relax,
+                &needs_commit,
+                state,
+            );
+            for (k, &lane_masks) in masks.iter().enumerate() {
+                apply(w + k, lane_masks, values, cares, &mut delta);
+            }
+            w += DRAW_LANES;
+        }
+        for w in wide..inputs.len() {
+            let needs_relax = (values[w] ^ inputs[w]) & cares[w] != 0;
+            let needs_commit = cares[w] != lane_mask_at(w);
             let masks = crate::bernoulli::draw_broadcast_masks(
                 relax,
                 commit,
@@ -498,11 +548,7 @@ impl TriStateVector {
                 needs_commit,
                 state,
             );
-            let updated = update_word(value, care, x, masks.relax, masks.commit & lane_mask);
-            values[w] = updated.value;
-            cares[w] = updated.care;
-            delta.relaxed += updated.relaxed.count_ones() as usize;
-            delta.committed += updated.committed.count_ones() as usize;
+            apply(w, masks, values, cares, &mut delta);
         }
         delta
     }

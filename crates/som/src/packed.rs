@@ -90,6 +90,19 @@ use crate::error::SomError;
 /// performance point.
 pub const WTA_SHARD_LEN: usize = 64;
 
+/// Neuron-axis block width of the cache-blocked distance pass.
+///
+/// The winner search walks every word row of the plane-sliced layer over
+/// the whole distance table; once the table (4 bytes per neuron) plus one
+/// block of each plane row stops fitting in L1, each word row evicts the
+/// distances the previous row just touched. Blocking the column walk at
+/// 1024 neurons keeps a 4 KiB distance block resident across all word rows
+/// while the 8 KiB value/care row blocks stream through once each. Any
+/// positive value yields bit-identical distances (the per-neuron
+/// accumulation order over words is unchanged); this constant only picks
+/// the performance point.
+pub const DISTANCE_BLOCK_NEURONS: usize = 1024;
+
 /// The result of a batched winner search, carrying the full FPGA comparator
 /// key so callers can audit tie-breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -515,8 +528,32 @@ impl PackedLayer {
             self.neurons,
             "one distance slot per neuron"
         );
-        for (row, &x) in self.rows.iter().zip(input.as_words()) {
-            accumulate_masked_hamming_row(&row.values, &row.cares, x, distances);
+        // Cache-block the column walk once the map outgrows one block: the
+        // word-row loop re-walks the distance table once per input word, so
+        // for large maps the table is carved into L1-resident blocks and
+        // each block sees all word rows before the next block starts. The
+        // per-neuron accumulation order over `w` is unchanged, so blocking
+        // is bit-identical to the unblocked walk (the `packed_equivalence`
+        // suite covers maps on both sides of the threshold).
+        let words = input.as_words();
+        if self.neurons <= DISTANCE_BLOCK_NEURONS {
+            for (row, &x) in self.rows.iter().zip(words) {
+                accumulate_masked_hamming_row(&row.values, &row.cares, x, distances);
+            }
+            return Ok(());
+        }
+        let mut start = 0;
+        while start < self.neurons {
+            let end = (start + DISTANCE_BLOCK_NEURONS).min(self.neurons);
+            for (row, &x) in self.rows.iter().zip(words) {
+                accumulate_masked_hamming_row(
+                    &row.values[start..end],
+                    &row.cares[start..end],
+                    x,
+                    &mut distances[start..end],
+                );
+            }
+            start = end;
         }
         Ok(())
     }
