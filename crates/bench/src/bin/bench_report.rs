@@ -6,8 +6,9 @@
 //! batched vs engine, speedups, FPGA cycle-model comparison, and the
 //! per-dispatch distance-pass figures for every SIMD lowering the machine
 //! can run) and
-//! `BENCH_large_map.json` (copy-on-write publish cadence and tournament
-//! winner-search throughput at the 1024-neuron × 768-bit scale target) so
+//! `BENCH_large_map.json` (copy-on-write publish cadence, tournament
+//! winner-search throughput and crash-safe checkpoint write/restore
+//! throughput at the 1024-neuron × 768-bit scale target) so
 //! the perf trajectory of the repo is tracked by numbers rather than prose.
 //! CI runs it in `--smoke` mode to keep the reporter itself from rotting;
 //! committed snapshots come from full runs.
@@ -46,9 +47,10 @@ use std::time::Duration;
 
 use bsom_bench::bench_dataset;
 use bsom_engine::{
-    compare_dispatch_throughput, compare_large_map_throughput, compare_recognition_throughput,
-    compare_training_throughput, DispatchThroughputComparison, EngineConfig,
-    LargeMapThroughputComparison, SomService, ThroughputComparison, TrainThroughputComparison,
+    compare_checkpoint_throughput, compare_dispatch_throughput, compare_large_map_throughput,
+    compare_recognition_throughput, compare_training_throughput, CheckpointThroughputComparison,
+    DispatchThroughputComparison, EngineConfig, LargeMapThroughputComparison, SomService,
+    ThroughputComparison, TrainThroughputComparison,
 };
 use bsom_fpga::FpgaConfig;
 use bsom_som::{BSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule};
@@ -112,6 +114,11 @@ struct LargeMapBenchReport {
     /// Tournament over linear-scan search throughput (≈ 1.0: both share the
     /// dominating distance pass).
     tournament_vs_linear_search: f64,
+    /// Crash-safe checkpoint commit and restore throughput at the same
+    /// shape — the durability cost model (frame + fsync + atomic rename on
+    /// the write side, decode + validate + service re-spawn on the restore
+    /// side; DESIGN.md §"Fault model and recovery").
+    checkpoint: CheckpointThroughputComparison,
 }
 
 /// One named figure compared against its committed baseline: an absolute
@@ -198,6 +205,13 @@ fn resolve_baseline(
 }
 
 fn main() -> ExitCode {
+    // Validate the BSOM_DISPATCH override eagerly: a misspelt or unavailable
+    // dispatch must fail the report up front with a clean message, not panic
+    // inside the first measured kernel call.
+    if let Err(error) = bsom_signature::validate_env_dispatch() {
+        eprintln!("bench_report: {error}");
+        return ExitCode::FAILURE;
+    }
     let mut smoke = false;
     let mut check = false;
     let mut noise_band = 0.25f64;
@@ -354,12 +368,22 @@ fn main() -> ExitCode {
         0xB50A,
     );
     println!("{large}");
+
+    // --- Checkpoint durability cost at the same 1024 x 768 shape: full
+    // commit (serialise + frame + fsync + rename) and full restore (decode +
+    // validate + service re-spawn) per second.
+    println!("bench_report: measuring checkpoint write/restore throughput ({mode})...");
+    let checkpoint =
+        compare_checkpoint_throughput(BSomConfig::new(1024, 768), 64, min_duration, 0xB50A);
+    println!("{checkpoint}");
+
     let large_report = LargeMapBenchReport {
         mode: mode.to_string(),
         min_duration_seconds: min_duration.as_secs_f64(),
         publish_speedup_over_repack: large.publish_speedup_over_repack(),
         tournament_vs_linear_search: large.tournament_vs_linear(),
         comparison: large,
+        checkpoint,
     };
 
     // --- Regression gate against the committed baselines.
@@ -512,6 +536,19 @@ fn main() -> ExitCode {
                 name: "large_map.tournament/linear speedup",
                 baseline: large_baseline.tournament_vs_linear_search,
                 fresh: large_report.tournament_vs_linear_search,
+            },
+            // Durability costs: a regression here means checkpointing became
+            // expensive enough to change how often a deployment can afford
+            // to run it.
+            CheckedFigure {
+                name: "large_map.checkpoint writes/s",
+                baseline: large_baseline.checkpoint.write.patterns_per_second,
+                fresh: large_report.checkpoint.write.patterns_per_second,
+            },
+            CheckedFigure {
+                name: "large_map.checkpoint restores/s",
+                baseline: large_baseline.checkpoint.restore.patterns_per_second,
+                fresh: large_report.checkpoint.restore.patterns_per_second,
             },
         ];
         let regressions = check_figures(&figures, noise_band);

@@ -1,0 +1,567 @@
+//! Crash-safe checkpoints: a length-prefixed, checksummed frame around the
+//! full training state, committed by temp-file + atomic rename.
+//!
+//! ## Frame format (DESIGN.md §"Fault model and recovery")
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"BSOMCKPT"
+//! 8       4     format version, u32 little-endian (currently 1)
+//! 12      8     payload length `L`, u64 little-endian
+//! 20      L     payload: the checkpoint document as JSON
+//! 20+L    8     FNV-1a-64 checksum of bytes [0, 20+L), u64 little-endian
+//! ```
+//!
+//! The checksum covers the header too, so a torn prefix, a truncated tail
+//! and a flipped bit anywhere in the file are all rejected with a typed
+//! [`CheckpointError`] — never a panic, never a silently-wrong map. The
+//! payload reuses the validating serde of [`bsom_som::BSom`] (neuron
+//! shapes, probabilities, non-zero RNG state), plus the engine-level checks
+//! in `CheckpointDoc::validate` (private).
+//!
+//! Writes go to `<path>.tmp` in the same directory, are flushed with
+//! `sync_all`, and only then renamed over `path` — on every POSIX
+//! filesystem the rename is atomic, so `path` always holds either the old
+//! complete checkpoint or the new complete checkpoint, regardless of where
+//! a crash lands (the `checkpoint.write` failpoint sits exactly between
+//! write and rename to prove it).
+//!
+//! Checkpoints are written by [`Trainer::write_checkpoint`] and restored by
+//! [`SomService::resume_from_checkpoint`]; `examples/crash_recovery.rs`
+//! walks the full train → checkpoint → crash → resume loop.
+//!
+//! [`Trainer::write_checkpoint`]: crate::Trainer::write_checkpoint
+//! [`SomService::resume_from_checkpoint`]: crate::SomService::resume_from_checkpoint
+
+use std::error::Error;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+use bsom_som::{BSom, BSomConfig, SelfOrganizingMap, TrainSchedule};
+use serde::{Deserialize, Serialize};
+
+use crate::throughput::{measure, MeasuredThroughput};
+use crate::EngineConfig;
+
+/// The frame's leading magic bytes.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"BSOMCKPT";
+/// The frame format this build writes and the only one it accepts.
+pub const CHECKPOINT_FORMAT: u32 = 1;
+/// Bytes before the payload: magic (8) + format (4) + payload length (8).
+pub const CHECKPOINT_HEADER_LEN: usize = 20;
+/// Trailing checksum bytes.
+pub const CHECKPOINT_CHECKSUM_LEN: usize = 8;
+
+/// Errors loading or storing a checkpoint. Every way a file can be wrong —
+/// torn, truncated, bit-flipped, or semantically invalid — maps to a typed
+/// variant; loading never panics on bad bytes (the `checkpoint_corruption`
+/// proptest suite flips and truncates at random offsets to prove it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file could not be read, written, synced, or renamed.
+    Io {
+        /// The failing operation's error, rendered.
+        message: String,
+    },
+    /// Shorter than even an empty frame (header + checksum).
+    TooShort {
+        /// Actual file length in bytes.
+        len: usize,
+    },
+    /// The first eight bytes are not [`CHECKPOINT_MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 8],
+    },
+    /// The frame declares a format this build does not understand.
+    UnsupportedFormat {
+        /// The declared format version.
+        found: u32,
+    },
+    /// The declared payload length runs past the end of the file — a torn
+    /// (partially-written) frame.
+    Truncated {
+        /// Payload bytes the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        available: u64,
+    },
+    /// Extra bytes follow the checksum.
+    TrailingBytes {
+        /// How many.
+        extra: u64,
+    },
+    /// The stored checksum does not match the frame's content — a flipped
+    /// bit or an overwritten region.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        stored: u64,
+        /// Checksum computed over the frame's bytes.
+        computed: u64,
+    },
+    /// The frame is intact but the payload fails JSON/serde/semantic
+    /// validation (including every invariant of [`bsom_som::BSom`]'s own
+    /// validating deserializer).
+    Invalid {
+        /// What failed.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { message } => write!(f, "checkpoint io error: {message}"),
+            CheckpointError::TooShort { len } => write!(
+                f,
+                "checkpoint too short: {len} bytes < {} header + {} checksum",
+                CHECKPOINT_HEADER_LEN, CHECKPOINT_CHECKSUM_LEN
+            ),
+            CheckpointError::BadMagic { found } => {
+                write!(f, "checkpoint magic mismatch: found {found:02x?}")
+            }
+            CheckpointError::UnsupportedFormat { found } => write!(
+                f,
+                "checkpoint format {found} unsupported (this build reads {CHECKPOINT_FORMAT})"
+            ),
+            CheckpointError::Truncated {
+                declared,
+                available,
+            } => write!(
+                f,
+                "checkpoint truncated: header declares {declared} payload bytes, {available} present"
+            ),
+            CheckpointError::TrailingBytes { extra } => {
+                write!(f, "checkpoint has {extra} trailing bytes after the checksum")
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CheckpointError::Invalid { message } => {
+                write!(f, "checkpoint payload invalid: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+impl CheckpointError {
+    fn io(error: std::io::Error) -> Self {
+        CheckpointError::Io {
+            message: error.to_string(),
+        }
+    }
+}
+
+/// What [`Trainer::write_checkpoint`] reports about a committed checkpoint.
+///
+/// [`Trainer::write_checkpoint`]: crate::Trainer::write_checkpoint
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Total bytes of the framed checkpoint file.
+    pub bytes: u64,
+    /// The service snapshot version recorded in the checkpoint.
+    pub version: u64,
+}
+
+/// One neuron's decayed win statistics, serialization form: win weights are
+/// stored as raw `f64` bits so the decayed majorities — and therefore the
+/// labels a resumed service publishes — round-trip *exactly*, immune to any
+/// float-to-decimal-and-back drift in the JSON layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct NeuronStatsDoc {
+    /// Feed-step clock of the neuron's most recent recorded win.
+    pub(crate) last_step: u64,
+    /// `(label id, win weight as f64 bits)` pairs, ascending by label.
+    pub(crate) wins: Vec<(u64, u64)>,
+}
+
+/// The checkpoint payload: everything needed to continue training
+/// bit-identically and rebuild the same service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct CheckpointDoc {
+    /// Latest published snapshot version at write time.
+    pub(crate) service_version: u64,
+    /// The map — weights, `#`-counts (rebuilt by its validating serde) and
+    /// the xorshift64* RNG position.
+    pub(crate) som: BSom,
+    /// The trainer's schedule.
+    pub(crate) schedule: TrainSchedule,
+    /// Epochs of the schedule completed.
+    pub(crate) epochs_run: usize,
+    /// Feed steps completed.
+    pub(crate) steps_run: u64,
+    /// Feed steps since the last publish (continues the publish cadence).
+    pub(crate) steps_since_publish: u64,
+    /// The service construction config.
+    pub(crate) config: EngineConfig,
+    /// Per-neuron decayed win statistics.
+    pub(crate) stats: Vec<NeuronStatsDoc>,
+}
+
+impl CheckpointDoc {
+    /// Engine-level semantic validation on top of the serde layer: the
+    /// stats table must match the map, win weights must be positive finite
+    /// numbers, and the stored config must satisfy the same invariants the
+    /// [`EngineConfig`](crate::EngineConfig) builders assert.
+    pub(crate) fn validate(&self) -> Result<(), CheckpointError> {
+        let invalid = |message: String| Err(CheckpointError::Invalid { message });
+        if self.stats.len() != self.som.neuron_count() {
+            return invalid(format!(
+                "{} stats entries for {} neurons",
+                self.stats.len(),
+                self.som.neuron_count()
+            ));
+        }
+        for (index, stat) in self.stats.iter().enumerate() {
+            for &(label, weight_bits) in &stat.wins {
+                let weight = f64::from_bits(weight_bits);
+                if !weight.is_finite() || weight <= 0.0 {
+                    return invalid(format!(
+                        "neuron {index} label {label}: win weight {weight} must be finite and positive"
+                    ));
+                }
+            }
+        }
+        if let Some(decay) = self.config.label_decay {
+            if !(decay > 0.0 && decay < 1.0) {
+                return invalid(format!("label decay {decay} outside (0, 1)"));
+            }
+        }
+        if self.config.publish_every_steps == Some(0) {
+            return invalid("publish cadence of zero steps".to_string());
+        }
+        if self.config.queue_capacity == Some(0) {
+            return invalid("queue capacity of zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty to catch
+/// torn writes and bit flips (this is corruption *detection*, not an
+/// adversarial MAC).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Wraps `payload` in the framed format: header, payload, checksum.
+pub(crate) fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame =
+        Vec::with_capacity(CHECKPOINT_HEADER_LEN + payload.len() + CHECKPOINT_CHECKSUM_LEN);
+    frame.extend_from_slice(&CHECKPOINT_MAGIC);
+    frame.extend_from_slice(&CHECKPOINT_FORMAT.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let checksum = fnv1a64(&frame);
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame
+}
+
+/// Validates the frame around `bytes` and returns the payload slice.
+pub(crate) fn decode_frame(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < CHECKPOINT_HEADER_LEN + CHECKPOINT_CHECKSUM_LEN {
+        return Err(CheckpointError::TooShort { len: bytes.len() });
+    }
+    if bytes[..8] != CHECKPOINT_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(CheckpointError::BadMagic { found });
+    }
+    let format = u32::from_le_bytes(
+        bytes[8..12]
+            .try_into()
+            .expect("slice of length 4 converts to [u8; 4]"),
+    );
+    if format != CHECKPOINT_FORMAT {
+        return Err(CheckpointError::UnsupportedFormat { found: format });
+    }
+    let declared = u64::from_le_bytes(
+        bytes[12..20]
+            .try_into()
+            .expect("slice of length 8 converts to [u8; 8]"),
+    );
+    let after_header = (bytes.len() - CHECKPOINT_HEADER_LEN - CHECKPOINT_CHECKSUM_LEN) as u64;
+    if declared > after_header {
+        return Err(CheckpointError::Truncated {
+            declared,
+            available: after_header,
+        });
+    }
+    if declared < after_header {
+        return Err(CheckpointError::TrailingBytes {
+            extra: after_header - declared,
+        });
+    }
+    let checksum_at = bytes.len() - CHECKPOINT_CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(
+        bytes[checksum_at..]
+            .try_into()
+            .expect("slice of length 8 converts to [u8; 8]"),
+    );
+    let computed = fnv1a64(&bytes[..checksum_at]);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    Ok(&bytes[CHECKPOINT_HEADER_LEN..checksum_at])
+}
+
+/// Serialises `doc`, frames it, and commits it to `path` atomically:
+/// write `<path>.tmp` → `sync_all` → rename over `path`.
+pub(crate) fn write_doc(
+    path: &Path,
+    doc: &CheckpointDoc,
+) -> Result<CheckpointInfo, CheckpointError> {
+    let payload = serde_json::to_string(doc).map_err(|error| CheckpointError::Invalid {
+        message: error.to_string(),
+    })?;
+    let frame = encode_frame(payload.as_bytes());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Io {
+            message: format!("checkpoint path {} has no file name", path.display()),
+        })?
+        .to_owned();
+    let mut tmp_name = file_name;
+    tmp_name.push(".tmp");
+    let tmp_path = path.with_file_name(tmp_name);
+    let mut file = std::fs::File::create(&tmp_path).map_err(CheckpointError::io)?;
+    file.write_all(&frame).map_err(CheckpointError::io)?;
+    file.sync_all().map_err(CheckpointError::io)?;
+    drop(file);
+    // A crash here (the failpoint's spot) leaves a complete `.tmp` beside an
+    // untouched `path`: the previous checkpoint still loads.
+    crate::faultpoint::hit("checkpoint.write");
+    std::fs::rename(&tmp_path, path).map_err(CheckpointError::io)?;
+    Ok(CheckpointInfo {
+        bytes: frame.len() as u64,
+        version: doc.service_version,
+    })
+}
+
+/// Reads, unframes, parses and validates the checkpoint at `path`.
+pub(crate) fn read_doc(path: &Path) -> Result<CheckpointDoc, CheckpointError> {
+    crate::faultpoint::hit("checkpoint.read");
+    let bytes = std::fs::read(path).map_err(CheckpointError::io)?;
+    let payload = decode_frame(&bytes)?;
+    let text = std::str::from_utf8(payload).map_err(|error| CheckpointError::Invalid {
+        message: format!("payload is not UTF-8: {error}"),
+    })?;
+    let doc: CheckpointDoc =
+        serde_json::from_str(text).map_err(|error| CheckpointError::Invalid {
+            message: error.to_string(),
+        })?;
+    doc.validate()?;
+    Ok(doc)
+}
+
+/// Checkpoint write/restore latency at a given map shape — the durability
+/// cost model `bench_report` tracks in `BENCH_large_map.json` next to the
+/// publish and search figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointThroughputComparison {
+    /// Neurons in the measured map.
+    pub neurons: usize,
+    /// Bits per weight vector.
+    pub vector_len: usize,
+    /// Size of one framed checkpoint of that map, in bytes.
+    pub checkpoint_bytes: u64,
+    /// Full checkpoint commits (serialise + frame + write + sync + rename)
+    /// per second.
+    pub write: MeasuredThroughput,
+    /// Full restores ([`SomService::resume_from_checkpoint`], including
+    /// service construction) per second.
+    ///
+    /// [`SomService::resume_from_checkpoint`]: crate::SomService::resume_from_checkpoint
+    pub restore: MeasuredThroughput,
+}
+
+impl std::fmt::Display for CheckpointThroughputComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "checkpoint costs ({} neurons x {} bits, {} KiB framed)",
+            self.neurons,
+            self.vector_len,
+            self.checkpoint_bytes / 1024
+        )?;
+        writeln!(
+            f,
+            "  write (serialise+sync+rename)    {:>12.1} checkpoints/s",
+            self.write.patterns_per_second
+        )?;
+        write!(
+            f,
+            "  restore (validate+rebuild)       {:>12.1} resumes/s",
+            self.restore.patterns_per_second
+        )
+    }
+}
+
+/// Measures checkpoint write and restore latency on a freshly trained map of
+/// the given shape. `train_steps` signatures are fed first so the
+/// checkpoint carries realistic (non-empty) label statistics;
+/// `min_duration` is spent on **each** of the two measurements. The
+/// checkpoint file lives in the OS temp directory and is removed before
+/// returning.
+///
+/// # Panics
+///
+/// Panics if the temp directory is not writable (benchmark infrastructure,
+/// not a recoverable serving condition).
+pub fn compare_checkpoint_throughput(
+    config: BSomConfig,
+    train_steps: usize,
+    min_duration: Duration,
+    seed: u64,
+) -> CheckpointThroughputComparison {
+    use bsom_signature::BinaryVector;
+    use bsom_som::ObjectLabel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let neurons = config.neurons;
+    let vector_len = config.vector_len;
+    let som = BSom::new(config, &mut rng);
+    let (_service, mut trainer) = crate::SomService::train_while_serve(
+        som,
+        TrainSchedule::new(train_steps.max(1)),
+        &[],
+        EngineConfig::with_workers(1),
+    );
+    for step in 0..train_steps {
+        let signature = BinaryVector::random(vector_len, &mut rng);
+        trainer
+            .feed(&signature, ObjectLabel::new(step % 8))
+            .expect("generated signatures match the map's vector length");
+    }
+    trainer.publish();
+
+    let path = std::env::temp_dir().join(format!(
+        "bsom-checkpoint-bench-{}-{seed:x}.ckpt",
+        std::process::id()
+    ));
+    let info = trainer
+        .write_checkpoint(&path)
+        .expect("the OS temp directory is writable");
+    let write = measure(1, min_duration, || {
+        trainer
+            .write_checkpoint(&path)
+            .expect("the OS temp directory is writable");
+    });
+    let restore = measure(1, min_duration, || {
+        let restored = crate::SomService::resume_from_checkpoint(&path)
+            .expect("a just-written checkpoint restores");
+        std::hint::black_box(&restored);
+    });
+    let _ = std::fs::remove_file(&path);
+
+    CheckpointThroughputComparison {
+        neurons,
+        vector_len,
+        checkpoint_bytes: info.bytes,
+        write,
+        restore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_and_every_field_of_the_header_is_checked() {
+        let payload = b"{\"hello\":1}";
+        let frame = encode_frame(payload);
+        assert_eq!(decode_frame(&frame).unwrap(), payload);
+
+        // Too short.
+        assert_eq!(
+            decode_frame(&frame[..CHECKPOINT_HEADER_LEN]),
+            Err(CheckpointError::TooShort {
+                len: CHECKPOINT_HEADER_LEN
+            })
+        );
+        // Bad magic.
+        let mut bad = frame.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+        // Unsupported format.
+        let mut bad = frame.clone();
+        bad[8] = 0xEE;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(CheckpointError::UnsupportedFormat { .. })
+        ));
+        // Truncated payload (frame cut inside the payload).
+        assert!(matches!(
+            decode_frame(&frame[..frame.len() - CHECKPOINT_CHECKSUM_LEN - 1]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        // Trailing bytes.
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_frame(&long),
+            Err(CheckpointError::TrailingBytes { extra: 1 })
+        ));
+        // Flipped payload bit.
+        let mut flipped = frame.clone();
+        flipped[CHECKPOINT_HEADER_LEN + 2] ^= 0x10;
+        assert!(matches!(
+            decode_frame(&flipped),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            CheckpointError::Io {
+                message: "x".into(),
+            },
+            CheckpointError::TooShort { len: 1 },
+            CheckpointError::BadMagic { found: [0; 8] },
+            CheckpointError::UnsupportedFormat { found: 9 },
+            CheckpointError::Truncated {
+                declared: 10,
+                available: 2,
+            },
+            CheckpointError::TrailingBytes { extra: 3 },
+            CheckpointError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            CheckpointError::Invalid {
+                message: "y".into(),
+            },
+        ];
+        for error in errors {
+            assert!(!error.to_string().is_empty());
+        }
+    }
+}

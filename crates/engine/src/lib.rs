@@ -20,7 +20,13 @@
 //!   learning.
 //! * [`Trainer`] / [`Recognizer`] — the two handle types.
 //! * [`EngineConfig`] — worker count, unknown-rejection override, publish
-//!   cadence.
+//!   cadence, bounded-queue capacity.
+//! * [`checkpoint`] / [`SomService::resume_from_checkpoint`] — crash-safe
+//!   framed checkpoints with bit-identical training continuation;
+//!   [`faultpoint`] is the deterministic fault-injection harness
+//!   (`fault-injection` feature) that proves the recovery paths.
+//! * [`EngineError`] / [`ServiceHealth`] — typed degradation (load
+//!   shedding, trainer poisoning) and the supervision counters.
 //! * [`throughput`] / [`train`] — measured serving and training throughput
 //!   against the `bsom_fpga` cycle model, the tracked benchmark numbers.
 //! * [`RecognitionEngine`] / [`TrainEngine`] — the pre-service API, kept as
@@ -55,6 +61,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
+pub mod error;
+pub mod faultpoint;
 pub mod service;
 pub mod throughput;
 pub mod train;
@@ -68,7 +77,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::service::SomSnapshot;
 
-pub use service::{Recognizer, SignatureBatch, SomService, Trainer};
+pub use checkpoint::{
+    compare_checkpoint_throughput, CheckpointError, CheckpointInfo, CheckpointThroughputComparison,
+};
+pub use error::EngineError;
+pub use service::{Recognizer, ServiceHealth, SignatureBatch, SomService, Trainer};
 pub use throughput::{
     compare_dispatch_throughput, compare_large_map_throughput, compare_recognition_throughput,
     DispatchFigure, DispatchThroughputComparison, LargeMapThroughputComparison, MeasuredThroughput,
@@ -107,6 +120,14 @@ pub struct EngineConfig {
     /// default) keeps every win at full weight forever — the cumulative
     /// behaviour of [`bsom_som::LabelledSom::label`].
     pub label_decay: Option<f64>,
+    /// Capacity of the bounded job queue classify shards are submitted
+    /// through. `None` (the default) resolves to `4 × workers`, floored at
+    /// 16 — enough for a few batches in flight per worker. The bound is the
+    /// graceful-degradation lever: a blocking classify waits for space
+    /// (backpressure), while [`Recognizer::try_classify_batch`] sheds the
+    /// batch with [`EngineError::Overloaded`] instead
+    /// of growing the queue without bound.
+    pub queue_capacity: Option<usize>,
 }
 
 impl EngineConfig {
@@ -159,6 +180,18 @@ impl EngineConfig {
     pub fn with_label_half_life_steps(self, steps: u64) -> Self {
         assert!(steps > 0, "label half-life must be at least one step");
         self.with_label_decay(0.5f64.powf(1.0 / steps as f64))
+    }
+
+    /// Bounds the worker pool's job queue at `capacity` shards (see
+    /// [`EngineConfig::queue_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least one job");
+        self.queue_capacity = Some(capacity);
+        self
     }
 }
 

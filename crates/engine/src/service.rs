@@ -31,10 +31,13 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bsom_signature::{BinaryVector, RgbImage};
 use bsom_som::{
@@ -43,7 +46,31 @@ use bsom_som::{
 };
 use bsom_vision::pipeline::SurveillancePipeline;
 
-use crate::{EngineConfig, RecognizedObject, TrainReport};
+use crate::checkpoint::{self, CheckpointDoc, CheckpointError, CheckpointInfo, NeuronStatsDoc};
+use crate::{EngineConfig, EngineError, RecognizedObject, TrainReport};
+
+/// Locks a mutex, recovering the data from a poisoned lock.
+///
+/// Every mutex in this module protects state that is consistent at every
+/// instant a panic can unwind through it (snapshot publishes build the new
+/// `Arc` *before* swapping; the job receiver is only ever `recv`'d from), so
+/// a poisoned lock carries no torn data — the last good value is still
+/// there. Recovering keeps the service serving after an injected or real
+/// panic instead of cascading `PoisonError` panics through every reader.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload for [`ServiceHealth::last_panic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "panic payload was not a string".to_string()
+    }
+}
 
 /// Weights below this threshold are dropped from a neuron's decayed win
 /// statistics — a win this faded can never influence a majority that any
@@ -219,89 +246,306 @@ struct Job {
     reply: Sender<Shard>,
 }
 
-/// A completed shard: winners for `signatures[start..start + winners.len()]`.
+/// A shard reply. `winners` is `None` when the worker's job panicked — the
+/// collector then recomputes that range inline (the search is deterministic,
+/// so the inline result is bit-identical to what the worker would have sent)
+/// and the panic costs latency, never correctness.
 struct Shard {
-    start: usize,
-    winners: Vec<Option<BatchWinner>>,
+    range: Range<usize>,
+    winners: Option<Vec<Option<BatchWinner>>>,
 }
 
-/// The fixed worker pool. Workers pull jobs off a shared queue; dropping the
-/// pool closes the queue and joins every thread.
+/// Base delay before respawning a panicked worker; doubles per consecutive
+/// panic up to [`RESPAWN_MAX_DELAY`], so a poisoned input that kills every
+/// worker that touches it cannot turn the supervisor into a spawn loop.
+const RESPAWN_BASE_DELAY: Duration = Duration::from_millis(2);
+/// Cap on the exponential respawn backoff.
+const RESPAWN_MAX_DELAY: Duration = Duration::from_millis(250);
+/// A panic this long after the previous one starts the backoff ladder over.
+const RESPAWN_QUIET_PERIOD: Duration = Duration::from_secs(1);
+
+/// How a worker thread left its receive loop.
+enum WorkerExit {
+    /// The job queue closed: the service is shutting down.
+    QueueClosed,
+    /// A job panicked. The worker reported the shard as failed and exits;
+    /// the supervisor respawns a fresh thread (let-it-crash: no state from
+    /// the panicked thread is reused).
+    Panicked,
+}
+
+/// Supervisor mailbox: worker exits and the shutdown sentinel.
+enum ExitEvent {
+    WorkerPanicked,
+    Shutdown,
+}
+
+/// State shared between the pool handle, its workers, and the supervisor.
+struct PoolShared {
+    /// The bounded job queue's receiving half. Workers hold the lock only
+    /// while `recv`ing, so shards drain in parallel.
+    job_rx: Mutex<Receiver<Job>>,
+    /// Jobs submitted and not yet picked up by a worker.
+    queue_depth: AtomicUsize,
+    /// Worker threads currently in their receive loop.
+    workers_alive: AtomicUsize,
+    /// Total worker threads ever spawned (names respawns uniquely).
+    spawned_total: AtomicUsize,
+    /// Jobs that panicked ([`ServiceHealth::worker_panics`]).
+    panics: AtomicU64,
+    /// Workers respawned by the supervisor ([`ServiceHealth::worker_respawns`]).
+    respawns: AtomicU64,
+    /// Message of the most recent worker panic.
+    last_panic: Mutex<Option<String>>,
+    /// Join handles of every live (or not-yet-joined) worker thread. The
+    /// supervisor pushes respawned handles; only pool drop drains it, after
+    /// the supervisor has been joined.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The supervised worker pool: a fixed target of worker threads over one
+/// bounded job queue, plus a supervisor thread that respawns any worker
+/// whose job panicked. Dropping the pool closes the queue, stops the
+/// supervisor, and joins every thread.
 struct WorkerPool {
-    job_tx: Option<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    job_tx: Option<SyncSender<Job>>,
+    exit_tx: Option<Sender<ExitEvent>>,
+    supervisor: Option<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+    queue_capacity: usize,
 }
 
 impl WorkerPool {
-    fn spawn(workers: usize) -> Self {
-        let (job_tx, job_rx) = mpsc::channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let handles = (0..workers)
-            .map(|worker_index| {
-                let job_rx = Arc::clone(&job_rx);
-                std::thread::Builder::new()
-                    .name(format!("bsom-service-{worker_index}"))
-                    .spawn(move || worker_loop(&job_rx))
-                    .expect("spawning a service worker thread")
-            })
-            .collect();
+    fn spawn(workers: usize, queue_capacity: usize) -> Self {
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_capacity);
+        let (exit_tx, exit_rx) = mpsc::channel::<ExitEvent>();
+        let shared = Arc::new(PoolShared {
+            job_rx: Mutex::new(job_rx),
+            queue_depth: AtomicUsize::new(0),
+            workers_alive: AtomicUsize::new(0),
+            spawned_total: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            last_panic: Mutex::new(None),
+            handles: Mutex::new(Vec::with_capacity(workers)),
+        });
+        for _ in 0..workers {
+            let handle = spawn_worker(&shared, exit_tx.clone());
+            lock_recovering(&shared.handles).push(handle);
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let exit_tx = exit_tx.clone();
+            std::thread::Builder::new()
+                .name("bsom-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, &exit_rx, &exit_tx))
+                .expect("spawning the supervisor thread")
+        };
         WorkerPool {
             job_tx: Some(job_tx),
-            handles,
+            exit_tx: Some(exit_tx),
+            supervisor: Some(supervisor),
+            shared,
+            queue_capacity,
         }
     }
 
-    fn submit(&self, job: Job) {
+    /// The sending half; present from construction until drop.
+    fn job_tx(&self) -> &SyncSender<Job> {
         self.job_tx
             .as_ref()
-            .expect("pool is alive while the service exists")
-            .send(job)
-            .expect("workers outlive the service");
+            .expect("job_tx is taken only in WorkerPool::drop")
+    }
+
+    /// Blocking submit: waits for queue space (backpressure). Fails only
+    /// mid-shutdown, when the receiver is already gone.
+    fn submit(&self, job: Job) -> Result<(), EngineError> {
+        self.shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+        match self.job_tx().send(job) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                Err(EngineError::PoolShutDown)
+            }
+        }
+    }
+
+    /// Non-blocking submit: a full queue is the saturation signal —
+    /// [`EngineError::Overloaded`] — instead of unbounded queue growth.
+    fn try_submit(&self, job: Job) -> Result<(), EngineError> {
+        self.shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+        match self.job_tx().try_send(job) {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                Err(match error {
+                    TrySendError::Full(_) => EngineError::Overloaded {
+                        queue_capacity: self.queue_capacity,
+                        queue_depth: self.shared.queue_depth.load(Ordering::SeqCst),
+                    },
+                    TrySendError::Disconnected(_) => EngineError::PoolShutDown,
+                })
+            }
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the channel ends every worker's receive loop.
+        // Closing the job channel ends every worker's receive loop; the
+        // sentinel (not channel closure — respawned workers hold clones of
+        // the exit sender) ends the supervisor's.
         self.job_tx.take();
-        for handle in self.handles.drain(..) {
+        if let Some(exit_tx) = self.exit_tx.take() {
+            let _ = exit_tx.send(ExitEvent::Shutdown);
+        }
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // Only after the supervisor is gone can no new handles appear.
+        let handles: Vec<JoinHandle<()>> =
+            lock_recovering(&self.shared.handles).drain(..).collect();
+        for handle in handles {
             let _ = handle.join();
         }
     }
 }
 
+/// Spawns one worker thread and accounts for it in the shared state.
+fn spawn_worker(shared: &Arc<PoolShared>, exit_tx: Sender<ExitEvent>) -> JoinHandle<()> {
+    let index = shared.spawned_total.fetch_add(1, Ordering::SeqCst);
+    shared.workers_alive.fetch_add(1, Ordering::SeqCst);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("bsom-service-{index}"))
+        .spawn(move || {
+            let exit = worker_loop(&shared);
+            shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+            if let WorkerExit::Panicked = exit {
+                // The supervisor may itself be gone mid-shutdown; the
+                // un-respawned worker is then irrelevant.
+                let _ = exit_tx.send(ExitEvent::WorkerPanicked);
+            }
+        })
+        .expect("spawning a service worker thread")
+}
+
 /// Worker body: drain the shared job queue, running the batched winner
-/// search over each shard with a reusable distance buffer.
-fn worker_loop(job_rx: &Mutex<Receiver<Job>>) {
+/// search over each shard with a reusable distance buffer. Each job runs
+/// inside `catch_unwind`; a panicking job reports a failed shard (so the
+/// collector never hangs) and the thread exits for the supervisor to
+/// replace — no state of the panicked thread survives into the respawn.
+fn worker_loop(shared: &PoolShared) -> WorkerExit {
     let mut distances: Vec<u32> = Vec::new();
     loop {
         // Hold the lock only while receiving so shards drain in parallel.
-        let job = match job_rx.lock() {
-            Ok(rx) => rx.recv(),
-            Err(_) => return, // a sibling worker panicked; shut down
-        };
+        let job = lock_recovering(&shared.job_rx).recv();
         let Ok(job) = job else {
-            return; // queue closed: the service was dropped
+            return WorkerExit::QueueClosed; // queue closed: service dropped
         };
-        distances.resize(job.layer.neuron_count(), 0);
-        let winners = job.range.clone().map(|i| {
-            job.layer
-                .winner_with_buffer(&job.signatures[i], &mut distances)
-                .ok()
-        });
-        let shard = Shard {
-            start: job.range.start,
-            winners: winners.collect(),
-        };
-        // The collector may have been dropped (e.g. a panicking caller);
-        // losing the reply is then harmless.
-        let _ = job.reply.send(shard);
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::faultpoint::hit("worker.job");
+            distances.resize(job.layer.neuron_count(), 0);
+            job.range
+                .clone()
+                .map(|i| {
+                    job.layer
+                        .winner_with_buffer(&job.signatures[i], &mut distances)
+                        .ok()
+                })
+                .collect::<Vec<Option<BatchWinner>>>()
+        }));
+        match outcome {
+            Ok(winners) => {
+                // The collector may have been dropped (e.g. a panicking
+                // caller); losing the reply is then harmless.
+                let _ = job.reply.send(Shard {
+                    range: job.range,
+                    winners: Some(winners),
+                });
+            }
+            Err(payload) => {
+                shared.panics.fetch_add(1, Ordering::SeqCst);
+                *lock_recovering(&shared.last_panic) = Some(panic_message(payload.as_ref()));
+                let _ = job.reply.send(Shard {
+                    range: job.range,
+                    winners: None,
+                });
+                return WorkerExit::Panicked;
+            }
+        }
     }
+}
+
+/// Supervisor body: respawn panicked workers with a capped exponential
+/// backoff until the shutdown sentinel arrives.
+fn supervisor_loop(
+    shared: &Arc<PoolShared>,
+    exit_rx: &Receiver<ExitEvent>,
+    exit_tx: &Sender<ExitEvent>,
+) {
+    let mut consecutive_panics: u32 = 0;
+    let mut last_panic_at: Option<Instant> = None;
+    while let Ok(event) = exit_rx.recv() {
+        match event {
+            ExitEvent::Shutdown => return,
+            ExitEvent::WorkerPanicked => {
+                if let Some(at) = last_panic_at {
+                    if at.elapsed() >= RESPAWN_QUIET_PERIOD {
+                        consecutive_panics = 0;
+                    }
+                }
+                let delay = RESPAWN_BASE_DELAY
+                    .saturating_mul(1u32 << consecutive_panics.min(7))
+                    .min(RESPAWN_MAX_DELAY);
+                std::thread::sleep(delay);
+                consecutive_panics = consecutive_panics.saturating_add(1);
+                last_panic_at = Some(Instant::now());
+                shared.respawns.fetch_add(1, Ordering::SeqCst);
+                let handle = spawn_worker(shared, exit_tx.clone());
+                lock_recovering(&shared.handles).push(handle);
+            }
+        }
+    }
+}
+
+/// A point-in-time view of the service's supervision state
+/// ([`SomService::health`]): how many workers are alive versus configured,
+/// how busy the bounded job queue is, and the panic/respawn history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceHealth {
+    /// Worker threads the service was configured with.
+    pub workers_configured: usize,
+    /// Worker threads currently alive. Dips below `workers_configured` only
+    /// in the window between a worker panic and its respawn.
+    pub workers_alive: usize,
+    /// Jobs submitted to the bounded queue and not yet picked up.
+    pub queue_depth: usize,
+    /// Capacity of the bounded job queue
+    /// ([`EngineConfig::queue_capacity`](crate::EngineConfig::queue_capacity)).
+    pub queue_capacity: usize,
+    /// Total worker jobs that panicked since construction.
+    pub worker_panics: u64,
+    /// Total workers the supervisor respawned since construction.
+    pub worker_respawns: u64,
+    /// Message of the most recent worker panic, if any.
+    pub last_panic: Option<String>,
+}
+
+/// Admission policy for one batch (DESIGN.md §"Fault model and recovery"):
+/// block on a full queue (backpressure) or shed the batch with
+/// [`EngineError::Overloaded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    Block,
+    Shed,
 }
 
 /// The state every handle shares: the latest published snapshot behind a
 /// mutex, its version mirrored in an atomic so readers can detect "nothing
-/// changed" without touching the lock, and the worker pool.
+/// changed" without touching the lock, and the supervised worker pool.
 struct ServiceCore {
     latest: Mutex<Arc<SomSnapshot>>,
     version: AtomicU64,
@@ -310,21 +554,28 @@ struct ServiceCore {
 }
 
 impl ServiceCore {
-    /// The latest published snapshot.
+    /// The latest published snapshot. Recovers from a poisoned lock: a
+    /// publish panics (if ever) strictly *before* replacing the stored
+    /// `Arc`, so the value behind a poisoned lock is always the last
+    /// fully-published snapshot.
     fn snapshot(&self) -> Arc<SomSnapshot> {
-        Arc::clone(&self.latest.lock().expect("snapshot lock poisoned"))
+        Arc::clone(&lock_recovering(&self.latest))
     }
 
     /// Swaps in a new snapshot and returns its version. The version counter
     /// is released only after the pointer swap, so a reader that observes
-    /// the new version is guaranteed to read the new snapshot.
+    /// the new version is guaranteed to read the new snapshot. The new
+    /// `Arc` is fully constructed before the stored one is replaced, so an
+    /// unwind while the lock is held (the `service.publish` failpoint sits
+    /// exactly there) leaves the previous snapshot served, never a torn one.
     fn publish(
         &self,
         layer: Arc<PackedLayer>,
         labels: Vec<Option<ObjectLabel>>,
         unknown_threshold: Option<f64>,
     ) -> u64 {
-        let mut guard = self.latest.lock().expect("snapshot lock poisoned");
+        let mut guard = lock_recovering(&self.latest);
+        crate::faultpoint::hit("service.publish");
         let version = guard.version() + 1;
         *guard = Arc::new(SomSnapshot {
             version,
@@ -336,39 +587,121 @@ impl ServiceCore {
         version
     }
 
+    /// The current supervision/queue counters.
+    fn health(&self) -> ServiceHealth {
+        let shared = &self.pool.shared;
+        ServiceHealth {
+            workers_configured: self.workers,
+            workers_alive: shared.workers_alive.load(Ordering::SeqCst),
+            queue_depth: shared.queue_depth.load(Ordering::SeqCst),
+            queue_capacity: self.pool.queue_capacity,
+            worker_panics: shared.panics.load(Ordering::SeqCst),
+            worker_respawns: shared.respawns.load(Ordering::SeqCst),
+            last_panic: lock_recovering(&shared.last_panic).clone(),
+        }
+    }
+
+    /// Computes verdicts for `range` on the calling thread — the fallback
+    /// when a shard's worker panicked or its reply was lost. The winner
+    /// search is deterministic, so this is bit-identical to the pool path.
+    fn classify_range_inline(
+        &self,
+        snapshot: &SomSnapshot,
+        batch: &SignatureBatch,
+        range: Range<usize>,
+        predictions: &mut [Prediction],
+    ) {
+        let mut distances = vec![0u32; snapshot.layer.neuron_count()];
+        for i in range {
+            let winner = snapshot
+                .layer
+                .winner_with_buffer(&batch.0[i], &mut distances)
+                .ok();
+            predictions[i] = snapshot.verdict(winner);
+        }
+    }
+
     /// Sharded winner search + verdicts against one pinned snapshot.
+    /// Infallible: shard failures (a panicked worker, a lost reply, even a
+    /// shutting-down pool) degrade to inline computation on the calling
+    /// thread with bit-identical results.
     fn classify_on(&self, snapshot: &SomSnapshot, batch: &SignatureBatch) -> Vec<Prediction> {
+        self.classify_with_admission(snapshot, batch, Admission::Block)
+            .unwrap_or_else(|_| unreachable!("blocking admission never sheds a batch"))
+    }
+
+    /// [`classify_on`](Self::classify_on) with an explicit admission policy.
+    ///
+    /// Under [`Admission::Shed`], a full job queue rejects the whole batch
+    /// with [`EngineError::Overloaded`]; shards submitted before the full
+    /// one still run (workers cannot be recalled) but their replies go to a
+    /// receiver this call abandons. Under [`Admission::Block`] the call
+    /// never errors: queue-full waits, and a shutdown race degrades to
+    /// inline computation.
+    fn classify_with_admission(
+        &self,
+        snapshot: &SomSnapshot,
+        batch: &SignatureBatch,
+        admission: Admission,
+    ) -> Result<Vec<Prediction>, EngineError> {
         let total = batch.len();
         if total == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let shard_len = total.div_ceil(self.workers);
         let (reply_tx, reply_rx) = mpsc::channel::<Shard>();
-        let mut shards_sent = 0usize;
+        // Ranges submitted to the pool whose replies are still owed.
+        let mut outstanding: Vec<Range<usize>> = Vec::new();
+        // Ranges the pool never accepted; computed inline below.
+        let mut inline: Vec<Range<usize>> = Vec::new();
         let mut start = 0usize;
         while start < total {
             let end = (start + shard_len).min(total);
-            self.pool.submit(Job {
+            let job = Job {
                 layer: Arc::clone(&snapshot.layer),
                 signatures: Arc::clone(&batch.0),
                 range: start..end,
                 reply: reply_tx.clone(),
-            });
-            shards_sent += 1;
+            };
+            match admission {
+                Admission::Block => match self.pool.submit(job) {
+                    Ok(()) => outstanding.push(start..end),
+                    // Mid-shutdown: fall back to the calling thread.
+                    Err(_) => inline.push(start..end),
+                },
+                Admission::Shed => match self.pool.try_submit(job) {
+                    Ok(()) => outstanding.push(start..end),
+                    Err(error) => return Err(error),
+                },
+            }
             start = end;
         }
         drop(reply_tx);
 
         let mut predictions: Vec<Prediction> = vec![Prediction::Unknown; total];
-        for _ in 0..shards_sent {
-            let shard = reply_rx
-                .recv()
-                .expect("every submitted shard sends exactly one reply");
-            for (offset, winner) in shard.winners.into_iter().enumerate() {
-                predictions[shard.start + offset] = snapshot.verdict(winner);
+        while !outstanding.is_empty() {
+            let Ok(shard) = reply_rx.recv() else {
+                // Every remaining reply sender is gone without replying —
+                // a worker died harder than the panic handler. Recompute.
+                inline.append(&mut outstanding);
+                break;
+            };
+            outstanding.retain(|range| *range != shard.range);
+            match shard.winners {
+                Some(winners) => {
+                    for (offset, winner) in winners.into_iter().enumerate() {
+                        predictions[shard.range.start + offset] = snapshot.verdict(winner);
+                    }
+                }
+                // The worker running this shard panicked: its job already
+                // counted in the health stats; the shard is re-run inline.
+                None => inline.push(shard.range),
             }
         }
-        predictions
+        for range in inline {
+            self.classify_range_inline(snapshot, batch, range, &mut predictions);
+        }
+        Ok(predictions)
     }
 }
 
@@ -455,11 +788,13 @@ impl SomService {
     /// Serves a frozen, already-trained classifier: snapshot v1 is published
     /// at construction and never replaced (nothing holds a [`Trainer`]).
     pub fn serve(classifier: &LabelledSom<BSom>, config: EngineConfig) -> Self {
-        Self::from_parts(
+        Self::build(
             classifier.map().packed_layer().clone(),
             classifier.neuron_labels().to_vec(),
             config.unknown_threshold.or(classifier.unknown_threshold()),
             config.workers,
+            config.queue_capacity,
+            1,
         )
     }
 
@@ -469,18 +804,43 @@ impl SomService {
     ///
     /// # Panics
     ///
-    /// Panics if `labels.len()` differs from the layer's neuron count.
+    /// Panics if `labels.len()` differs from the layer's neuron count, or if
+    /// the `BSOM_DISPATCH` environment variable names an unknown or
+    /// unavailable kernel dispatch — validated **here**, eagerly, so a
+    /// misconfigured deployment fails at startup on the constructing thread
+    /// with a clear message instead of panicking at the first kernel call
+    /// deep inside a worker.
     pub fn from_parts(
         layer: PackedLayer,
         labels: Vec<Option<ObjectLabel>>,
         unknown_threshold: Option<f64>,
         workers: usize,
     ) -> Self {
+        Self::build(layer, labels, unknown_threshold, workers, None, 1)
+    }
+
+    /// The one construction path: resolves the worker count and queue
+    /// capacity, validates the kernel dispatch eagerly, and publishes the
+    /// initial snapshot as `initial_version` (1 for fresh services, the
+    /// checkpointed version + 1 on [`resume_from_checkpoint`]).
+    ///
+    /// [`resume_from_checkpoint`]: SomService::resume_from_checkpoint
+    fn build(
+        layer: PackedLayer,
+        labels: Vec<Option<ObjectLabel>>,
+        unknown_threshold: Option<f64>,
+        workers: usize,
+        queue_capacity: Option<usize>,
+        initial_version: u64,
+    ) -> Self {
         assert_eq!(
             labels.len(),
             layer.neuron_count(),
             "one label slot per neuron"
         );
+        if let Err(error) = bsom_signature::validate_env_dispatch() {
+            panic!("{error}");
+        }
         let workers = if workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -488,16 +848,17 @@ impl SomService {
         } else {
             workers
         };
+        let queue_capacity = queue_capacity.unwrap_or_else(|| (workers * 4).max(16));
         let snapshot = Arc::new(SomSnapshot {
-            version: 1,
+            version: initial_version,
             layer: Arc::new(layer),
             labels,
             unknown_threshold,
         });
         let core = Arc::new(ServiceCore {
             latest: Mutex::new(snapshot),
-            version: AtomicU64::new(1),
-            pool: WorkerPool::spawn(workers),
+            version: AtomicU64::new(initial_version),
+            pool: WorkerPool::spawn(workers, queue_capacity),
             workers,
         });
         SomService { core }
@@ -527,11 +888,13 @@ impl SomService {
             .iter()
             .map(DecayedLabelStats::majority_label)
             .collect();
-        let service = Self::from_parts(
+        let service = Self::build(
             som.packed_layer().clone(),
             labels,
             config.unknown_threshold,
             config.workers,
+            config.queue_capacity,
+            1,
         );
         let trainer = Trainer {
             core: Arc::clone(&service.core),
@@ -544,8 +907,93 @@ impl SomService {
             stats,
             label_decay: config.label_decay,
             unknown_threshold: config.unknown_threshold,
+            config,
+            poisoned: false,
         };
         (service, trainer)
+    }
+
+    /// Restores a train-while-serve pair from a checkpoint written by
+    /// [`Trainer::write_checkpoint`], continuing **bit-identically**: the
+    /// restored map carries the exact weights, `#`-counts and xorshift64*
+    /// RNG position of the checkpointed one, so feeding the same signatures
+    /// produces the same winners, the same weight updates and the same RNG
+    /// stream as a run that never stopped (proven by the
+    /// `checkpoint_resume` and `fault_injection` suites).
+    ///
+    /// The restored state is published immediately as snapshot version
+    /// `checkpointed version + 1`, so snapshot versions stay monotonic
+    /// across restarts. The service is rebuilt with the checkpointed
+    /// [`EngineConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`]: unreadable file, bad magic/format, torn or
+    /// bit-flipped frame (checksum mismatch), or a payload that fails the
+    /// serde/semantic validation.
+    pub fn resume_from_checkpoint(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, Trainer), CheckpointError> {
+        let doc = checkpoint::read_doc(path.as_ref())?;
+        let CheckpointDoc {
+            service_version,
+            som,
+            schedule,
+            epochs_run,
+            steps_run,
+            steps_since_publish,
+            config,
+            stats,
+        } = doc;
+        let stats: Vec<DecayedLabelStats> = stats
+            .into_iter()
+            .map(|doc| DecayedLabelStats {
+                wins: doc
+                    .wins
+                    .into_iter()
+                    .map(|(label, weight_bits)| {
+                        (
+                            ObjectLabel::new(label as usize),
+                            f64::from_bits(weight_bits),
+                        )
+                    })
+                    .collect(),
+                last_step: doc.last_step,
+            })
+            .collect();
+        let labels = stats
+            .iter()
+            .map(DecayedLabelStats::majority_label)
+            .collect();
+        let service = Self::build(
+            som.packed_layer().clone(),
+            labels,
+            config.unknown_threshold,
+            config.workers,
+            config.queue_capacity,
+            service_version + 1,
+        );
+        let trainer = Trainer {
+            core: Arc::clone(&service.core),
+            som,
+            schedule,
+            epochs_run,
+            steps_run,
+            steps_since_publish,
+            publish_every_steps: config.publish_every_steps,
+            stats,
+            label_decay: config.label_decay,
+            unknown_threshold: config.unknown_threshold,
+            config,
+            poisoned: false,
+        };
+        Ok((service, trainer))
+    }
+
+    /// A point-in-time view of the supervision state: workers alive vs
+    /// configured, bounded-queue depth, and the panic/respawn counters.
+    pub fn health(&self) -> ServiceHealth {
+        self.core.health()
     }
 
     /// A new recognizer handle, pinned to the latest snapshot until its next
@@ -608,6 +1056,12 @@ pub struct Trainer {
     stats: Vec<DecayedLabelStats>,
     label_decay: Option<f64>,
     unknown_threshold: Option<f64>,
+    /// The full construction config, persisted into checkpoints so
+    /// [`SomService::resume_from_checkpoint`] rebuilds the same service.
+    config: EngineConfig,
+    /// Set when a [`try_feed`](Trainer::try_feed) step panicked: the map may
+    /// hold a half-applied update, so this trainer refuses further training.
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for Trainer {
@@ -670,6 +1124,103 @@ impl Trainer {
             }
         }
         Ok(winner)
+    }
+
+    /// [`feed`](Self::feed) with the training step wrapped in
+    /// `catch_unwind` — the supervised trainer loop. A panic inside the
+    /// step is contained and returned as
+    /// [`EngineError::TrainerPanicked`]; because the map may then hold a
+    /// half-applied update, the trainer **poisons itself** and every later
+    /// call returns [`EngineError::TrainerPoisoned`]. The service keeps
+    /// serving its last published snapshot throughout — recovery is
+    /// [`SomService::resume_from_checkpoint`] from the last checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Som`] for a wrong-length signature (the trainer stays
+    /// usable), [`EngineError::TrainerPanicked`] /
+    /// [`EngineError::TrainerPoisoned`] as above.
+    pub fn try_feed(
+        &mut self,
+        signature: &BinaryVector,
+        label: ObjectLabel,
+    ) -> Result<Winner, EngineError> {
+        if self.poisoned {
+            return Err(EngineError::TrainerPoisoned);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::faultpoint::hit("trainer.feed");
+            self.som
+                .train_step(signature, self.epochs_run, &self.schedule)
+        }));
+        let winner = match outcome {
+            Ok(result) => result?,
+            Err(payload) => {
+                self.poisoned = true;
+                return Err(EngineError::TrainerPanicked {
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        };
+        self.stats[winner.index].record_win(label, self.steps_run, self.label_decay);
+        self.steps_run += 1;
+        self.steps_since_publish += 1;
+        if let Some(every) = self.publish_every_steps {
+            if self.steps_since_publish >= every {
+                self.publish();
+            }
+        }
+        Ok(winner)
+    }
+
+    /// `true` once a [`try_feed`](Self::try_feed) step panicked; the trainer
+    /// then refuses further training (see [`EngineError::TrainerPoisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Writes a crash-safe checkpoint of the **entire training state** —
+    /// weights with their `#`-counts, the xorshift64* RNG position, the
+    /// schedule position, the step clocks, the decayed label statistics
+    /// (bit-exact: weights round-trip as raw `f64` bits) and the service
+    /// config/version — to `path`, framed with a length prefix and an
+    /// FNV-1a checksum and committed by temp-file + atomic rename, so a
+    /// crash mid-write can never leave a half-written file at `path` (see
+    /// DESIGN.md §"Fault model and recovery" for the frame format).
+    ///
+    /// [`SomService::resume_from_checkpoint`] restores the pair and
+    /// continues bit-identically to a run that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the temp file cannot be written, synced
+    /// or renamed into place.
+    pub fn write_checkpoint(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<CheckpointInfo, CheckpointError> {
+        let doc = CheckpointDoc {
+            service_version: self.core.version.load(Ordering::Acquire),
+            som: self.som.clone(),
+            schedule: self.schedule,
+            epochs_run: self.epochs_run,
+            steps_run: self.steps_run,
+            steps_since_publish: self.steps_since_publish,
+            config: self.config,
+            stats: self
+                .stats
+                .iter()
+                .map(|stat| NeuronStatsDoc {
+                    last_step: stat.last_step,
+                    wins: stat
+                        .wins
+                        .iter()
+                        .map(|(label, weight)| (label.id() as u64, weight.to_bits()))
+                        .collect(),
+                })
+                .collect(),
+        };
+        checkpoint::write_doc(path.as_ref(), &doc)
     }
 
     /// Advances the schedule to the next epoch and publishes — the epoch
@@ -807,6 +1358,27 @@ impl Recognizer {
     pub fn classify_batch(&mut self, signatures: impl Into<SignatureBatch>) -> Vec<Prediction> {
         self.refresh();
         self.core.classify_on(&self.current, &signatures.into())
+    }
+
+    /// [`classify_batch`](Self::classify_batch) with **load shedding**: if
+    /// the bounded job queue cannot take every shard of this batch without
+    /// blocking, the batch is rejected with [`EngineError::Overloaded`]
+    /// instead of queueing without bound — the graceful-degradation path for
+    /// a live camera feed, where a stale frame is better dropped than
+    /// stalled on. Check [`SomService::health`] for the queue depth that
+    /// triggered the shed.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overloaded`] when the queue is full,
+    /// [`EngineError::PoolShutDown`] in a shutdown race.
+    pub fn try_classify_batch(
+        &mut self,
+        signatures: impl Into<SignatureBatch>,
+    ) -> Result<Vec<Prediction>, EngineError> {
+        self.refresh();
+        self.core
+            .classify_with_admission(&self.current, &signatures.into(), Admission::Shed)
     }
 
     /// Classifies one signature on the calling thread (no pool round-trip) —

@@ -1,0 +1,229 @@
+//! Crash-safe checkpoint suite (no fault injection required).
+//!
+//! Pins down the three checkpoint guarantees of DESIGN.md §"Fault model
+//! and recovery":
+//!
+//! 1. **Bit-identical continuation** — a run that checkpoints at step `K`,
+//!    drops everything and resumes produces, over the remaining steps,
+//!    exactly the winners, weights, `#`-counts, xorshift64* RNG positions
+//!    and classifications of a run that never stopped.
+//! 2. **Version continuity** — the resumed service publishes the restored
+//!    state as `checkpointed version + 1` and the publish cadence picks up
+//!    mid-count (`steps_since_publish` is part of the checkpoint).
+//! 3. **Typed failure** — a missing file is a [`CheckpointError::Io`], not
+//!    a panic.
+
+use std::path::PathBuf;
+
+use bsom_engine::{CheckpointError, EngineConfig, SomService, Trainer};
+use bsom_signature::BinaryVector;
+use bsom_som::{BSom, BSomConfig, ObjectLabel, TrainSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const VECTOR_LEN: usize = 96;
+
+/// A unique temp path per test so suites can run in parallel.
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "bsom-checkpoint-resume-{}-{tag}.ckpt",
+        std::process::id()
+    ))
+}
+
+fn training_stream(seed: u64, steps: usize) -> Vec<(BinaryVector, ObjectLabel)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|i| {
+            (
+                BinaryVector::random(VECTOR_LEN, &mut rng),
+                ObjectLabel::new(i % 3),
+            )
+        })
+        .collect()
+}
+
+fn fresh_pair(seed: u64, config: EngineConfig) -> (SomService, Trainer) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let som = BSom::new(BSomConfig::new(8, VECTOR_LEN), &mut rng);
+    SomService::train_while_serve(som, TrainSchedule::new(8), &[], config)
+}
+
+/// The headline property: checkpoint at step 100 of 200, resume in a "new
+/// process" (the original service and trainer dropped), finish the run, and
+/// compare *everything observable* against an uninterrupted reference run.
+#[test]
+fn resume_continues_bit_identically_to_an_uninterrupted_run() {
+    let path = temp_checkpoint("bit-identical");
+    let stream = training_stream(0xC0FFEE, 200);
+    let probes: Vec<BinaryVector> = {
+        let mut rng = StdRng::seed_from_u64(0x9E37);
+        (0..16)
+            .map(|_| BinaryVector::random(VECTOR_LEN, &mut rng))
+            .collect()
+    };
+    let config = EngineConfig::with_workers(2).with_publish_every_steps(7);
+
+    // Reference: 200 steps straight through, recording every winner.
+    let (reference_service, mut reference) = fresh_pair(0x5EED, config);
+    let mut reference_winners = Vec::new();
+    for (signature, label) in &stream {
+        reference_winners.push(reference.feed(signature, *label).unwrap());
+    }
+    reference.publish();
+    let reference_predictions = reference_service.recognizer().classify_batch(&probes);
+
+    // Interrupted: same seed, 100 steps, checkpoint, drop the pair.
+    let (service, mut trainer) = fresh_pair(0x5EED, config);
+    let mut winners = Vec::new();
+    for (signature, label) in &stream[..100] {
+        winners.push(trainer.feed(signature, *label).unwrap());
+    }
+    let info = trainer.write_checkpoint(&path).unwrap();
+    assert!(info.bytes > 0, "a checkpoint frame has content");
+    assert_eq!(info.version, service.version());
+    drop((service, trainer));
+
+    // Resume and finish the run with the very same remaining stream.
+    let (resumed_service, mut resumed) = SomService::resume_from_checkpoint(&path).unwrap();
+    assert_eq!(resumed.steps_run(), 100);
+    for (signature, label) in &stream[100..] {
+        winners.push(resumed.feed(signature, *label).unwrap());
+    }
+    resumed.publish();
+    let resumed_predictions = resumed_service.recognizer().classify_batch(&probes);
+
+    // Winners (index + distance) step for step, the full map state (weights
+    // and RNG stream position, via BSom's PartialEq), the `#`-count cache,
+    // the step clocks and the served classifications all match.
+    assert_eq!(winners.len(), reference_winners.len());
+    for (step, (ours, theirs)) in winners.iter().zip(&reference_winners).enumerate() {
+        assert_eq!(ours.index, theirs.index, "winner diverged at step {step}");
+        assert_eq!(
+            ours.distance, theirs.distance,
+            "distance diverged at step {step}"
+        );
+    }
+    assert_eq!(resumed.som(), reference.som(), "map state diverged");
+    assert_eq!(
+        resumed.som().dont_care_counts(),
+        reference.som().dont_care_counts()
+    );
+    assert_eq!(resumed.steps_run(), reference.steps_run());
+    assert_eq!(resumed_predictions, reference_predictions);
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Snapshot versions stay monotone across the restart: the restored state is
+/// published as `checkpointed version + 1`, and the publish cadence resumes
+/// mid-count instead of restarting from zero.
+#[test]
+fn resume_publishes_the_next_version_and_keeps_the_publish_cadence() {
+    let path = temp_checkpoint("version-continuity");
+    let stream = training_stream(0xFEED, 12);
+    let config = EngineConfig::with_workers(1).with_publish_every_steps(7);
+
+    let (service, mut trainer) = fresh_pair(0xBEE, config);
+    // 5 steps: below the cadence of 7, so still at version 1 with
+    // steps_since_publish == 5 inside the checkpoint.
+    for (signature, label) in &stream[..5] {
+        trainer.feed(signature, *label).unwrap();
+    }
+    assert_eq!(service.version(), 1);
+    let info = trainer.write_checkpoint(&path).unwrap();
+    assert_eq!(info.version, 1);
+    drop((service, trainer));
+
+    let (resumed_service, mut resumed) = SomService::resume_from_checkpoint(&path).unwrap();
+    assert_eq!(
+        resumed_service.version(),
+        2,
+        "the restored state is published as checkpointed version + 1"
+    );
+    // Two more steps complete the cadence window of 7 (5 before the crash +
+    // 2 after): the automatic publish fires exactly where an uninterrupted
+    // run would have published.
+    resumed.feed(&stream[5].0, stream[5].1).unwrap();
+    assert_eq!(resumed_service.version(), 2, "cadence must not fire early");
+    resumed.feed(&stream[6].0, stream[6].1).unwrap();
+    assert_eq!(
+        resumed_service.version(),
+        3,
+        "the publish cadence resumes mid-count after a restart"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// The restored service serves the checkpointed labelling immediately —
+/// a recognizer created right after resume classifies without any further
+/// training or publishing.
+#[test]
+fn resumed_service_serves_the_checkpointed_labelling_immediately() {
+    let path = temp_checkpoint("immediate-serve");
+    let stream = training_stream(0xAB1E, 60);
+    let config = EngineConfig::with_workers(2);
+
+    let (service, mut trainer) = fresh_pair(0xD1CE, config);
+    for (signature, label) in &stream {
+        trainer.feed(signature, *label).unwrap();
+    }
+    trainer.publish();
+    let probes: Vec<BinaryVector> = stream.iter().take(10).map(|(s, _)| s.clone()).collect();
+    let before = service.recognizer().classify_batch(&probes);
+    trainer.write_checkpoint(&path).unwrap();
+    drop((service, trainer));
+
+    let (resumed_service, resumed) = SomService::resume_from_checkpoint(&path).unwrap();
+    let after = resumed_service.recognizer().classify_batch(&probes);
+    assert_eq!(before, after, "served labelling must survive the restart");
+    assert!(!resumed.is_poisoned());
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Missing file: a typed I/O error, never a panic.
+#[test]
+fn resume_from_a_missing_file_is_a_typed_io_error() {
+    let path = temp_checkpoint("no-such-file");
+    std::fs::remove_file(&path).ok();
+    match SomService::resume_from_checkpoint(&path) {
+        Err(CheckpointError::Io { .. }) => {}
+        other => panic!("expected CheckpointError::Io, got {other:?}"),
+    }
+}
+
+/// Overwriting a checkpoint is atomic at the API level: writing twice leaves
+/// the newer state, and the temp file never survives a successful commit.
+#[test]
+fn checkpoint_overwrite_leaves_the_newest_state_and_no_temp_file() {
+    let path = temp_checkpoint("overwrite");
+    let stream = training_stream(0x0DD, 40);
+    let config = EngineConfig::with_workers(1);
+
+    let (_service, mut trainer) = fresh_pair(0xF00D, config);
+    for (signature, label) in &stream[..20] {
+        trainer.feed(signature, *label).unwrap();
+    }
+    trainer.write_checkpoint(&path).unwrap();
+    for (signature, label) in &stream[20..] {
+        trainer.feed(signature, *label).unwrap();
+    }
+    trainer.write_checkpoint(&path).unwrap();
+
+    let temp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name().unwrap().to_string_lossy()
+    ));
+    assert!(
+        !temp.exists(),
+        "the temp file must not survive a committed write"
+    );
+
+    let (_resumed_service, resumed) = SomService::resume_from_checkpoint(&path).unwrap();
+    assert_eq!(resumed.steps_run(), 40, "the newer checkpoint wins");
+    assert_eq!(resumed.som(), trainer.som());
+
+    std::fs::remove_file(&path).ok();
+}

@@ -305,6 +305,88 @@ impl std::fmt::Display for UnavailableDispatch {
 
 impl std::error::Error for UnavailableDispatch {}
 
+/// Error of [`validate_env_dispatch`]: the `BSOM_DISPATCH` environment
+/// variable holds a value the process could not serve — either a name that
+/// is no dispatch at all, or a lowering this machine cannot execute.
+///
+/// The [`Display`](std::fmt::Display) text is exactly the message the lazy
+/// [`active_dispatch`] path would panic with at the first kernel call, so a
+/// caller that validates eagerly (e.g. `SomService` construction) reports
+/// the same diagnosis, just at startup and as a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DispatchEnvError {
+    /// The value names no known lowering (and is not `widest`/`auto`).
+    Unknown {
+        /// The raw `BSOM_DISPATCH` value.
+        value: String,
+    },
+    /// The value names a real lowering that this machine cannot execute
+    /// (wrong architecture or missing CPU feature).
+    Unavailable {
+        /// The raw `BSOM_DISPATCH` value.
+        value: String,
+        /// The lowering it names.
+        requested: Dispatch,
+    },
+}
+
+impl std::fmt::Display for DispatchEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchEnvError::Unknown { value } => write!(
+                f,
+                "{DISPATCH_ENV}={value}: unknown dispatch \
+                 (expected scalar, lanes4, lanes8, avx2, avx512, neon, widest or auto)"
+            ),
+            DispatchEnvError::Unavailable { value, requested } => write!(
+                f,
+                "{DISPATCH_ENV}={value}: {}",
+                UnavailableDispatch {
+                    requested: *requested
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DispatchEnvError {}
+
+/// Resolves what `BSOM_DISPATCH` asks for **without** panicking: the named
+/// lowering if it exists and runs here, [`Dispatch::detect`] when the
+/// variable is unset/empty/`widest`/`auto`, or a typed [`DispatchEnvError`].
+///
+/// This is the eager-validation entry point for long-lived services: call it
+/// at construction so a mistyped value fails at startup with a clear error
+/// instead of panicking on the first kernel call deep in a worker thread.
+/// It does **not** consult (or set) the [`force_dispatch`] override or the
+/// cached process default — it re-reads the environment on every call.
+pub fn validate_env_dispatch() -> Result<Dispatch, DispatchEnvError> {
+    match std::env::var(DISPATCH_ENV) {
+        Err(_) => Ok(Dispatch::detect()),
+        Ok(value) => {
+            let trimmed = value.trim();
+            if trimmed.is_empty()
+                || trimmed.eq_ignore_ascii_case("widest")
+                || trimmed.eq_ignore_ascii_case("auto")
+            {
+                return Ok(Dispatch::detect());
+            }
+            let dispatch =
+                Dispatch::from_name(trimmed).ok_or_else(|| DispatchEnvError::Unknown {
+                    value: value.clone(),
+                })?;
+            if !dispatch.is_available() {
+                return Err(DispatchEnvError::Unavailable {
+                    value,
+                    requested: dispatch,
+                });
+            }
+            Ok(dispatch)
+        }
+    }
+}
+
 /// Comma-separated [`Dispatch::available`] names, for error messages.
 fn available_names() -> String {
     Dispatch::available()
@@ -319,32 +401,7 @@ fn available_names() -> String {
 /// silently fell back to auto-detection would measure and test the wrong
 /// kernels.
 fn env_default() -> Dispatch {
-    *ENV_DEFAULT.get_or_init(|| match std::env::var(DISPATCH_ENV) {
-        Err(_) => Dispatch::detect(),
-        Ok(value) => {
-            let trimmed = value.trim();
-            if trimmed.is_empty()
-                || trimmed.eq_ignore_ascii_case("widest")
-                || trimmed.eq_ignore_ascii_case("auto")
-            {
-                return Dispatch::detect();
-            }
-            let dispatch = Dispatch::from_name(trimmed).unwrap_or_else(|| {
-                panic!(
-                    "{DISPATCH_ENV}={value}: unknown dispatch \
-                     (expected scalar, lanes4, lanes8, avx2, avx512, neon, widest or auto)"
-                )
-            });
-            assert!(
-                dispatch.is_available(),
-                "{DISPATCH_ENV}={value}: {}",
-                UnavailableDispatch {
-                    requested: dispatch
-                }
-            );
-            dispatch
-        }
-    })
+    *ENV_DEFAULT.get_or_init(|| validate_env_dispatch().unwrap_or_else(|error| panic!("{error}")))
 }
 
 /// The dispatch the default kernel entry points will use for this call:

@@ -60,7 +60,10 @@ pub use bitvec::BinaryVector;
 pub use error::SignatureError;
 pub use histogram::{ColorHistogram, BINS_PER_CHANNEL, HISTOGRAM_BINS};
 pub use image::{BinaryImage, Rgb, RgbImage, Silhouette, SIGNATURE_HEIGHT, SIGNATURE_WIDTH};
-pub use lanes::{active_dispatch, force_dispatch, Dispatch, Lanes, UnavailableDispatch};
+pub use lanes::{
+    active_dispatch, force_dispatch, validate_env_dispatch, Dispatch, DispatchEnvError, Lanes,
+    UnavailableDispatch,
+};
 pub use tristate::{update_word, TriStateVector, Trit, UpdateDelta, WordUpdate};
 
 /// Number of bits in a full-size appearance signature (768 = 3 × 256 bins).

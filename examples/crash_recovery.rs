@@ -1,0 +1,122 @@
+//! Crash-safe checkpointing: train, checkpoint, "crash", resume, compare.
+//!
+//! The paper's FPGA holds its weights in BlockRAM — power-cycle the board
+//! and the trained map is gone unless it was exported. The software engine's
+//! answer is [`Trainer::write_checkpoint`]: a length-prefixed, checksummed,
+//! atomically-renamed frame holding the **entire** training state (weights
+//! with `#`-counts, xorshift64* RNG position, schedule clock, decayed label
+//! statistics, engine config). This example
+//!
+//! 1. trains a service online on a synthetic surveillance dataset,
+//! 2. writes a checkpoint mid-run and then simulates a crash by dropping
+//!    the service and trainer,
+//! 3. resumes with [`SomService::resume_from_checkpoint`],
+//! 4. finishes training on BOTH a resumed run and an uninterrupted
+//!    reference run, and
+//! 5. prints the accuracies side by side — identical to the last digit,
+//!    because the resume is bit-identical (same weights, same RNG stream,
+//!    same winners).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+
+use bsom_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Accuracy of whatever snapshot the service currently serves, over a
+/// labelled test set.
+fn served_accuracy(service: &SomService, test: &[(BinaryVector, ObjectLabel)]) -> f64 {
+    let signatures: Vec<BinaryVector> = test.iter().map(|(s, _)| s.clone()).collect();
+    let predictions = service.recognizer().classify_batch(&signatures);
+    let correct = predictions
+        .iter()
+        .zip(test)
+        .filter(|(prediction, (_, label))| prediction.label() == Some(*label))
+        .count();
+    100.0 * correct as f64 / test.len() as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2010);
+    let dataset = SurveillanceDataset::generate(
+        &DatasetConfig {
+            train_instances: 400,
+            test_instances: 200,
+            ..DatasetConfig::paper_default()
+        },
+        &mut rng,
+    );
+    let config = EngineConfig::with_workers(2).with_publish_every_steps(50);
+    let schedule = TrainSchedule::new(8);
+    let checkpoint_path = std::env::temp_dir().join("bsom-crash-recovery-example.ckpt");
+    let crash_at = dataset.train.len() / 2;
+
+    // ---- Reference: the run that never crashes. -------------------------
+    let mut som_rng = StdRng::seed_from_u64(7);
+    let som = BSom::new(BSomConfig::paper_default(), &mut som_rng);
+    let (reference_service, mut reference_trainer) =
+        SomService::train_while_serve(som.clone(), schedule, &[], config);
+    for (signature, label) in &dataset.train {
+        reference_trainer.feed(signature, *label).unwrap();
+    }
+    reference_trainer.publish();
+    let reference_accuracy = served_accuracy(&reference_service, &dataset.test);
+
+    // ---- The crashing run: train half, checkpoint, "crash". -------------
+    let (service, mut trainer) = SomService::train_while_serve(som, schedule, &[], config);
+    for (signature, label) in &dataset.train[..crash_at] {
+        trainer.feed(signature, *label).unwrap();
+    }
+    trainer.publish();
+    let accuracy_at_checkpoint = served_accuracy(&service, &dataset.test);
+    let info = trainer.write_checkpoint(&checkpoint_path).unwrap();
+    println!(
+        "checkpoint written: {} bytes at snapshot v{} after {} steps",
+        info.bytes,
+        info.version,
+        trainer.steps_run()
+    );
+
+    // Simulate the crash: every handle is dropped, the process state is
+    // gone; only the checkpoint file survives.
+    drop((service, trainer));
+
+    // ---- Resume and finish the run. --------------------------------------
+    let (service, mut trainer) =
+        SomService::resume_from_checkpoint(&checkpoint_path).expect("checkpoint must load");
+    println!(
+        "resumed at snapshot v{} with {} steps already run",
+        service.version(),
+        trainer.steps_run()
+    );
+    let accuracy_after_resume = served_accuracy(&service, &dataset.test);
+    for (signature, label) in &dataset.train[crash_at..] {
+        trainer.feed(signature, *label).unwrap();
+    }
+    trainer.publish();
+    let final_accuracy = served_accuracy(&service, &dataset.test);
+
+    println!();
+    println!("accuracy at checkpoint        : {accuracy_at_checkpoint:6.2} %");
+    println!("accuracy right after resume   : {accuracy_after_resume:6.2} % (same snapshot, republished)");
+    println!("accuracy after finishing      : {final_accuracy:6.2} %");
+    println!("uninterrupted reference       : {reference_accuracy:6.2} %");
+    println!();
+    println!("service health after the run  : {:?}", service.health());
+
+    assert_eq!(
+        accuracy_at_checkpoint, accuracy_after_resume,
+        "resume must serve the checkpointed labelling unchanged"
+    );
+    assert_eq!(
+        final_accuracy, reference_accuracy,
+        "a resumed run must be bit-identical to one that never crashed"
+    );
+    println!("crash-recovery run matches the uninterrupted reference bit for bit");
+
+    std::fs::remove_file(&checkpoint_path).ok();
+}

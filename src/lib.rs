@@ -58,7 +58,9 @@ pub use bsom_vision as vision;
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
     pub use bsom_dataset::{AppearanceModel, CorruptionConfig, DatasetConfig, SurveillanceDataset};
-    pub use bsom_engine::{EngineConfig, Recognizer, SomService, Trainer};
+    pub use bsom_engine::{
+        CheckpointError, EngineConfig, EngineError, Recognizer, ServiceHealth, SomService, Trainer,
+    };
     pub use bsom_fpga::{FpgaBSom, FpgaConfig, ResourceReport};
     pub use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector, Trit};
     pub use bsom_som::{
