@@ -8,7 +8,11 @@
 //! can run) and
 //! `BENCH_large_map.json` (copy-on-write publish cadence, tournament
 //! winner-search throughput and crash-safe checkpoint write/restore
-//! throughput at the 1024-neuron × 768-bit scale target) so
+//! throughput at the 1024-neuron × 768-bit scale target) and
+//! `BENCH_serve.json` (the TCP serving front-end: wire throughput vs
+//! in-process on large batches, and the adaptive micro-batching scheduler
+//! vs batch-of-one dispatch on a small-request mix, measured against a live
+//! server with a concurrently publishing trainer) so
 //! the perf trajectory of the repo is tracked by numbers rather than prose.
 //! CI runs it in `--smoke` mode to keep the reporter itself from rotting;
 //! committed snapshots come from full runs.
@@ -26,19 +30,22 @@
 //!
 //! ```text
 //! bench_report [--smoke] [--out DIR] [--check] [--noise-band F]
-//!              [--baseline-dir DIR] [--baseline FILE]...
+//!              [--baseline-dir DIR] [--baseline FILE]... [--only KEY]...
 //!
 //!   --smoke          short measurement windows (CI liveness check, noisy numbers)
-//!   --out            directory to write the two JSON files into (default: .)
+//!   --out            directory to write the JSON files into (default: .)
 //!   --check          compare fresh numbers against the committed baselines
 //!   --noise-band     allowed relative deviation before --check fails (default: 0.25)
 //!   --baseline-dir   where the committed BENCH_*.json live (default: .)
 //!   --baseline       per-runner baseline file override, repeatable; the file
 //!                    name decides which report it replaces (a name containing
-//!                    "train" overrides BENCH_train.json, "recognition" or
-//!                    "large" the others) — point this at e.g.
+//!                    "train" overrides BENCH_train.json, "recognition",
+//!                    "large" or "serve" the others) — point this at e.g.
 //!                    baselines/ci-runner/BENCH_train.json to gate a specific
 //!                    runner against its own committed numbers
+//!   --only           measure (and check, and write) only the named report:
+//!                    one of "train", "recognition", "large", "serve";
+//!                    repeatable — the default is all four
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -53,6 +60,7 @@ use bsom_engine::{
     ThroughputComparison, TrainThroughputComparison,
 };
 use bsom_fpga::FpgaConfig;
+use bsom_serve::bench::{measure_serve, ServeBenchConfig, ServeBenchReport};
 use bsom_som::{BSomConfig, LabelledSom, SelfOrganizingMap, TrainSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -119,6 +127,31 @@ struct LargeMapBenchReport {
     /// the write side, decode + validate + service re-spawn on the restore
     /// side; DESIGN.md §"Fault model and recovery").
     checkpoint: CheckpointThroughputComparison,
+}
+
+/// The `BENCH_serve.json` document: the TCP serving front-end measured
+/// against a live loopback server while a trainer publishes snapshots
+/// concurrently — large-batch wire throughput vs the same-shape in-process
+/// `classify_batch`, and the adaptive micro-batching scheduler vs
+/// batch-of-one dispatch on a singleton-request mix.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeBenchDocument {
+    /// `"smoke"` or `"full"` — the serve legs clamp their windows to a
+    /// floor regardless, so the adaptive scheduler has room to converge.
+    mode: String,
+    /// Seconds of wall clock requested per measured leg (before the clamp).
+    min_duration_seconds: f64,
+    /// The measured legs, latencies included.
+    comparison: ServeBenchReport,
+}
+
+/// Which reports to measure, check and write — `--only` narrows the set.
+#[derive(Clone, Copy)]
+struct Selection {
+    train: bool,
+    recognition: bool,
+    large: bool,
+    serve: bool,
 }
 
 /// One named figure compared against its committed baseline: an absolute
@@ -218,11 +251,33 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from(".");
     let mut baseline_dir = PathBuf::from(".");
     let mut baseline_overrides: Vec<PathBuf> = Vec::new();
+    let mut only: Option<Selection> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--check" => check = true,
+            "--only" => {
+                let selection = only.get_or_insert(Selection {
+                    train: false,
+                    recognition: false,
+                    large: false,
+                    serve: false,
+                });
+                match args.next().as_deref() {
+                    Some("train") => selection.train = true,
+                    Some("recognition") => selection.recognition = true,
+                    Some("large") => selection.large = true,
+                    Some("serve") => selection.serve = true,
+                    other => {
+                        eprintln!(
+                            "--only requires one of \"train\", \"recognition\", \"large\", \
+                             \"serve\" (got {other:?})"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--noise-band" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(band) if band > 0.0 && band < 1.0 => noise_band = band,
                 _ => {
@@ -251,12 +306,13 @@ fn main() -> ExitCode {
                         lower.contains("train"),
                         lower.contains("recognition"),
                         lower.contains("large"),
+                        lower.contains("serve"),
                     ];
                     if keys.iter().filter(|&&k| k).count() != 1 {
                         eprintln!(
                             "--baseline file name must contain exactly one of \"train\", \
-                             \"recognition\" or \"large\" so the reporter knows which report \
-                             it overrides: {file}"
+                             \"recognition\", \"large\" or \"serve\" so the reporter knows \
+                             which report it overrides: {file}"
                         );
                         return ExitCode::FAILURE;
                     }
@@ -277,7 +333,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "bench_report [--smoke] [--out DIR] [--check] [--noise-band F] \
-                     [--baseline-dir DIR] [--baseline FILE]..."
+                     [--baseline-dir DIR] [--baseline FILE]... [--only KEY]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -291,6 +347,12 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {error}", out_dir.display());
         return ExitCode::FAILURE;
     }
+    let selection = only.unwrap_or(Selection {
+        train: true,
+        recognition: true,
+        large: true,
+        serve: true,
+    });
     let mode = if smoke { "smoke" } else { "full" };
     let min_duration = if smoke {
         Duration::from_millis(40)
@@ -298,259 +360,393 @@ fn main() -> ExitCode {
         Duration::from_millis(1500)
     };
 
-    println!("bench_report: generating the shared fixture dataset...");
-    let dataset = bench_dataset();
-    let train_signatures = dataset.train_signatures();
-    let test_signatures: Vec<_> = dataset.test.iter().map(|(s, _)| s.clone()).collect();
+    let dataset = if selection.train || selection.recognition || selection.large {
+        println!("bench_report: generating the shared fixture dataset...");
+        Some(bench_dataset())
+    } else {
+        None
+    };
 
     // --- Training: bit-serial vs word-parallel on the paper configuration.
-    println!("bench_report: measuring training throughput ({mode})...");
-    let train = compare_training_throughput(
-        BSomConfig::paper_default(),
-        &train_signatures,
-        min_duration,
-        0xB50A,
-    );
-    println!("{train}");
-    let train_report = TrainBenchReport {
-        mode: mode.to_string(),
-        min_duration_seconds: min_duration.as_secs_f64(),
-        speedup_window_over_bit_serial: train.speedup(),
-        speedup_window_over_per_neuron: train.window_speedup(),
-        comparison: train,
-    };
+    let train_report = dataset.as_ref().filter(|_| selection.train).map(|dataset| {
+        println!("bench_report: measuring training throughput ({mode})...");
+        let train = compare_training_throughput(
+            BSomConfig::paper_default(),
+            &dataset.train_signatures(),
+            min_duration,
+            0xB50A,
+        );
+        println!("{train}");
+        TrainBenchReport {
+            mode: mode.to_string(),
+            min_duration_seconds: min_duration.as_secs_f64(),
+            speedup_window_over_bit_serial: train.speedup(),
+            speedup_window_over_per_neuron: train.window_speedup(),
+            comparison: train,
+        }
+    });
 
     // --- Recognition: scalar vs batched vs service on a trained map.
-    println!("bench_report: measuring recognition throughput ({mode})...");
-    let mut rng = StdRng::seed_from_u64(0xB50A);
-    let mut som = bsom_som::BSom::new(BSomConfig::paper_default(), &mut rng);
-    som.train_labelled_data(&dataset.train, TrainSchedule::new(3), &mut rng)
-        .expect("fixture dataset is non-empty");
-    let classifier = LabelledSom::label(som.clone(), &dataset.train);
-    let service = SomService::serve(&classifier, EngineConfig::default());
-    let recognition = compare_recognition_throughput(
-        &service,
-        &som,
-        &test_signatures,
-        FpgaConfig::paper_default(),
-        min_duration,
-    );
-    println!("{recognition}");
+    let recognition_report = dataset
+        .as_ref()
+        .filter(|_| selection.recognition)
+        .map(|dataset| {
+            println!("bench_report: measuring recognition throughput ({mode})...");
+            let test_signatures: Vec<_> = dataset.test.iter().map(|(s, _)| s.clone()).collect();
+            let mut rng = StdRng::seed_from_u64(0xB50A);
+            let mut som = bsom_som::BSom::new(BSomConfig::paper_default(), &mut rng);
+            som.train_labelled_data(&dataset.train, TrainSchedule::new(3), &mut rng)
+                .expect("fixture dataset is non-empty");
+            let classifier = LabelledSom::label(som.clone(), &dataset.train);
+            let service = SomService::serve(&classifier, EngineConfig::default());
+            let recognition = compare_recognition_throughput(
+                &service,
+                &som,
+                &test_signatures,
+                FpgaConfig::paper_default(),
+                min_duration,
+            );
+            println!("{recognition}");
 
-    // --- Per-dispatch distance pass at the 1024 x 768 scale shape: an
-    // untrained map is the right fixture here (the kernels do not branch on
-    // weight content) and the large shape keeps the pass out of pure
-    // L1-resident territory, where the lane speedups actually matter.
-    println!("bench_report: measuring per-dispatch distance-pass throughput ({mode})...");
-    let mut dispatch_rng = StdRng::seed_from_u64(0xD15B);
-    let dispatch_som = bsom_som::BSom::new(BSomConfig::new(1024, 768), &mut dispatch_rng);
-    let dispatch =
-        compare_dispatch_throughput(dispatch_som.packed_layer(), &test_signatures, min_duration);
-    println!("{dispatch}");
+            // --- Per-dispatch distance pass at the 1024 x 768 scale shape:
+            // an untrained map is the right fixture here (the kernels do not
+            // branch on weight content) and the large shape keeps the pass
+            // out of pure L1-resident territory, where the lane speedups
+            // actually matter.
+            println!("bench_report: measuring per-dispatch distance-pass throughput ({mode})...");
+            let mut dispatch_rng = StdRng::seed_from_u64(0xD15B);
+            let dispatch_som = bsom_som::BSom::new(BSomConfig::new(1024, 768), &mut dispatch_rng);
+            let dispatch = compare_dispatch_throughput(
+                dispatch_som.packed_layer(),
+                &test_signatures,
+                min_duration,
+            );
+            println!("{dispatch}");
 
-    let recognition_report = RecognitionBenchReport {
-        mode: mode.to_string(),
-        min_duration_seconds: min_duration.as_secs_f64(),
-        speedup_batched_over_scalar: recognition.batched_speedup_over_scalar(),
-        speedup_engine_over_scalar: recognition.engine_speedup_over_scalar(),
-        speedup_widest_dispatch_over_scalar: dispatch.widest_speedup_over_scalar(),
-        comparison: recognition,
-        dispatch,
-    };
+            RecognitionBenchReport {
+                mode: mode.to_string(),
+                min_duration_seconds: min_duration.as_secs_f64(),
+                speedup_batched_over_scalar: recognition.batched_speedup_over_scalar(),
+                speedup_engine_over_scalar: recognition.engine_speedup_over_scalar(),
+                speedup_widest_dispatch_over_scalar: dispatch.widest_speedup_over_scalar(),
+                comparison: recognition,
+                dispatch,
+            }
+        });
 
     // --- Large map: CoW publish + tournament search at 1024 x 768.
-    println!("bench_report: measuring large-map publish/search costs ({mode})...");
-    let large_signatures: Vec<_> = train_signatures.iter().take(64).cloned().collect();
-    let large = compare_large_map_throughput(
-        BSomConfig::new(1024, 768),
-        &large_signatures,
-        min_duration,
-        0xB50A,
-    );
-    println!("{large}");
+    let large_report = dataset.as_ref().filter(|_| selection.large).map(|dataset| {
+        println!("bench_report: measuring large-map publish/search costs ({mode})...");
+        let large_signatures: Vec<_> = dataset
+            .train_signatures()
+            .iter()
+            .take(64)
+            .cloned()
+            .collect();
+        let large = compare_large_map_throughput(
+            BSomConfig::new(1024, 768),
+            &large_signatures,
+            min_duration,
+            0xB50A,
+        );
+        println!("{large}");
 
-    // --- Checkpoint durability cost at the same 1024 x 768 shape: full
-    // commit (serialise + frame + fsync + rename) and full restore (decode +
-    // validate + service re-spawn) per second.
-    println!("bench_report: measuring checkpoint write/restore throughput ({mode})...");
-    let checkpoint =
-        compare_checkpoint_throughput(BSomConfig::new(1024, 768), 64, min_duration, 0xB50A);
-    println!("{checkpoint}");
+        // --- Checkpoint durability cost at the same 1024 x 768 shape: full
+        // commit (serialise + frame + fsync + rename) and full restore
+        // (decode + validate + service re-spawn) per second.
+        println!("bench_report: measuring checkpoint write/restore throughput ({mode})...");
+        let checkpoint =
+            compare_checkpoint_throughput(BSomConfig::new(1024, 768), 64, min_duration, 0xB50A);
+        println!("{checkpoint}");
 
-    let large_report = LargeMapBenchReport {
-        mode: mode.to_string(),
-        min_duration_seconds: min_duration.as_secs_f64(),
-        publish_speedup_over_repack: large.publish_speedup_over_repack(),
-        tournament_vs_linear_search: large.tournament_vs_linear(),
-        comparison: large,
-        checkpoint,
-    };
+        LargeMapBenchReport {
+            mode: mode.to_string(),
+            min_duration_seconds: min_duration.as_secs_f64(),
+            publish_speedup_over_repack: large.publish_speedup_over_repack(),
+            tournament_vs_linear_search: large.tournament_vs_linear(),
+            comparison: large,
+            checkpoint,
+        }
+    });
+
+    // --- The serving front-end: live loopback server, concurrent trainer.
+    let serve_report = selection.serve.then(|| {
+        println!("bench_report: measuring serving front-end throughput ({mode})...");
+        let serve = measure_serve(&ServeBenchConfig {
+            min_duration,
+            seed: 0xB50A,
+        });
+        println!(
+            "serve large-batch: in-process {:.0} sigs/s, over the wire {:.0} sigs/s \
+             (ratio {:.2}); small mix: batch-of-one {:.0} req/s, micro-batched {:.0} req/s \
+             (speedup {:.2}x, mean batch {:.1} sigs, p99 {:.2} ms)",
+            serve.large.inprocess_signatures_per_second,
+            serve.large.serve.signatures_per_second,
+            serve.large.serve_over_inprocess,
+            serve.small.batch1.requests_per_second,
+            serve.small.microbatch.requests_per_second,
+            serve.small.speedup_microbatch_over_batch1,
+            serve.small.mean_batch_signatures,
+            serve.small.microbatch.latency.p99_ms,
+        );
+        ServeBenchDocument {
+            mode: mode.to_string(),
+            min_duration_seconds: min_duration.as_secs_f64(),
+            comparison: serve,
+        }
+    });
 
     // --- Regression gate against the committed baselines.
     if check {
-        let train_path = resolve_baseline(
-            &baseline_dir,
-            &baseline_overrides,
-            "train",
-            "BENCH_train.json",
-        );
-        let recognition_path = resolve_baseline(
-            &baseline_dir,
-            &baseline_overrides,
-            "recognition",
-            "BENCH_recognition.json",
-        );
-        let large_path = resolve_baseline(
-            &baseline_dir,
-            &baseline_overrides,
-            "large",
-            "BENCH_large_map.json",
-        );
-        let train_baseline: TrainBenchReport = match load_baseline(&train_path) {
-            Ok(report) => report,
-            Err(error) => {
-                eprintln!("bench_report: {error}");
-                return ExitCode::FAILURE;
+        let mut figures: Vec<CheckedFigure> = Vec::new();
+        let mut checked_paths: Vec<String> = Vec::new();
+        let train_pair = match &train_report {
+            Some(fresh) => {
+                let path = resolve_baseline(
+                    &baseline_dir,
+                    &baseline_overrides,
+                    "train",
+                    "BENCH_train.json",
+                );
+                let baseline: TrainBenchReport = match load_baseline(&path) {
+                    Ok(report) => report,
+                    Err(error) => {
+                        eprintln!("bench_report: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                checked_paths.push(path.display().to_string());
+                Some((fresh, baseline))
             }
+            None => None,
         };
-        let recognition_baseline: RecognitionBenchReport = match load_baseline(&recognition_path) {
-            Ok(report) => report,
-            Err(error) => {
-                eprintln!("bench_report: {error}");
-                return ExitCode::FAILURE;
+        let recognition_pair = match &recognition_report {
+            Some(fresh) => {
+                let path = resolve_baseline(
+                    &baseline_dir,
+                    &baseline_overrides,
+                    "recognition",
+                    "BENCH_recognition.json",
+                );
+                let baseline: RecognitionBenchReport = match load_baseline(&path) {
+                    Ok(report) => report,
+                    Err(error) => {
+                        eprintln!("bench_report: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                checked_paths.push(path.display().to_string());
+                Some((fresh, baseline))
             }
+            None => None,
         };
-        let large_baseline: LargeMapBenchReport = match load_baseline(&large_path) {
-            Ok(report) => report,
-            Err(error) => {
-                eprintln!("bench_report: {error}");
-                return ExitCode::FAILURE;
+        let large_pair = match &large_report {
+            Some(fresh) => {
+                let path = resolve_baseline(
+                    &baseline_dir,
+                    &baseline_overrides,
+                    "large",
+                    "BENCH_large_map.json",
+                );
+                let baseline: LargeMapBenchReport = match load_baseline(&path) {
+                    Ok(report) => report,
+                    Err(error) => {
+                        eprintln!("bench_report: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                checked_paths.push(path.display().to_string());
+                Some((fresh, baseline))
             }
+            None => None,
+        };
+        let serve_pair = match &serve_report {
+            Some(fresh) => {
+                let path = resolve_baseline(
+                    &baseline_dir,
+                    &baseline_overrides,
+                    "serve",
+                    "BENCH_serve.json",
+                );
+                let baseline: ServeBenchDocument = match load_baseline(&path) {
+                    Ok(report) => report,
+                    Err(error) => {
+                        eprintln!("bench_report: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                checked_paths.push(path.display().to_string());
+                Some((fresh, baseline))
+            }
+            None => None,
         };
         println!(
-            "bench_report: checking against {}, {} and {} (noise band ±{:.0}%)...",
-            train_path.display(),
-            recognition_path.display(),
-            large_path.display(),
+            "bench_report: checking against {} (noise band ±{:.0}%)...",
+            checked_paths.join(", "),
             noise_band * 100.0
         );
-        let figures = [
-            CheckedFigure {
-                name: "train.bit_serial steps/s",
-                baseline: train_baseline.comparison.bit_serial.patterns_per_second,
-                fresh: train_report.comparison.bit_serial.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "train.per_neuron steps/s",
-                baseline: train_baseline.comparison.per_neuron.patterns_per_second,
-                fresh: train_report.comparison.per_neuron.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "train.window steps/s",
-                baseline: train_baseline.comparison.window.patterns_per_second,
-                fresh: train_report.comparison.window.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "recognition.scalar signatures/s",
-                baseline: recognition_baseline.comparison.scalar.patterns_per_second,
-                fresh: recognition_report.comparison.scalar.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "recognition.batched signatures/s",
-                baseline: recognition_baseline.comparison.batched.patterns_per_second,
-                fresh: recognition_report.comparison.batched.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "recognition.engine signatures/s",
-                baseline: recognition_baseline.comparison.engine.patterns_per_second,
-                fresh: recognition_report.comparison.engine.patterns_per_second,
-            },
-            // Dimensionless speedups: these stay comparable even when the
-            // run and the committed baseline come from different machines,
-            // so the gate still means something on heterogeneous CI.
-            CheckedFigure {
-                name: "train.window/bit_serial speedup",
-                baseline: train_baseline.speedup_window_over_bit_serial,
-                fresh: train_report.speedup_window_over_bit_serial,
-            },
-            CheckedFigure {
-                name: "train.window/per_neuron speedup",
-                baseline: train_baseline.speedup_window_over_per_neuron,
-                fresh: train_report.speedup_window_over_per_neuron,
-            },
-            CheckedFigure {
-                name: "recognition.engine/scalar speedup",
-                baseline: recognition_baseline.speedup_engine_over_scalar,
-                fresh: recognition_report.speedup_engine_over_scalar,
-            },
-            // The per-dispatch distance pass: absolute throughput of the
-            // forced-scalar and widest lowerings, plus their dimensionless
-            // ratio — the gate that notices the SIMD widening silently
-            // stopped being selected (ratio collapses to ~1.0) or stopped
-            // being fast.
-            CheckedFigure {
-                name: "recognition.dispatch.scalar passes/s",
-                baseline: recognition_baseline.dispatch.scalar.patterns_per_second,
-                fresh: recognition_report.dispatch.scalar.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "recognition.dispatch.widest passes/s",
-                baseline: recognition_baseline.dispatch.widest.patterns_per_second,
-                fresh: recognition_report.dispatch.widest.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "recognition.dispatch widest/scalar speedup",
-                baseline: recognition_baseline.speedup_widest_dispatch_over_scalar,
-                fresh: recognition_report.speedup_widest_dispatch_over_scalar,
-            },
-            // The 1024-neuron scale gates: copy-on-write publish cadence
-            // under training and tournament winner-search throughput.
-            CheckedFigure {
-                name: "large_map.publish publishes/s",
-                baseline: large_baseline
-                    .comparison
-                    .publish_under_training
-                    .patterns_per_second,
-                fresh: large_report
-                    .comparison
-                    .publish_under_training
-                    .patterns_per_second,
-            },
-            CheckedFigure {
-                name: "large_map.tournament searches/s",
-                baseline: large_baseline
-                    .comparison
-                    .tournament_search
-                    .patterns_per_second,
-                fresh: large_report
-                    .comparison
-                    .tournament_search
-                    .patterns_per_second,
-            },
-            CheckedFigure {
-                name: "large_map.publish/repack speedup",
-                baseline: large_baseline.publish_speedup_over_repack,
-                fresh: large_report.publish_speedup_over_repack,
-            },
-            CheckedFigure {
-                name: "large_map.tournament/linear speedup",
-                baseline: large_baseline.tournament_vs_linear_search,
-                fresh: large_report.tournament_vs_linear_search,
-            },
-            // Durability costs: a regression here means checkpointing became
-            // expensive enough to change how often a deployment can afford
-            // to run it.
-            CheckedFigure {
-                name: "large_map.checkpoint writes/s",
-                baseline: large_baseline.checkpoint.write.patterns_per_second,
-                fresh: large_report.checkpoint.write.patterns_per_second,
-            },
-            CheckedFigure {
-                name: "large_map.checkpoint restores/s",
-                baseline: large_baseline.checkpoint.restore.patterns_per_second,
-                fresh: large_report.checkpoint.restore.patterns_per_second,
-            },
-        ];
+        if let Some((train_report, train_baseline)) = &train_pair {
+            figures.extend([
+                CheckedFigure {
+                    name: "train.bit_serial steps/s",
+                    baseline: train_baseline.comparison.bit_serial.patterns_per_second,
+                    fresh: train_report.comparison.bit_serial.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "train.per_neuron steps/s",
+                    baseline: train_baseline.comparison.per_neuron.patterns_per_second,
+                    fresh: train_report.comparison.per_neuron.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "train.window steps/s",
+                    baseline: train_baseline.comparison.window.patterns_per_second,
+                    fresh: train_report.comparison.window.patterns_per_second,
+                },
+                // Dimensionless speedups: these stay comparable even when the
+                // run and the committed baseline come from different machines,
+                // so the gate still means something on heterogeneous CI.
+                CheckedFigure {
+                    name: "train.window/bit_serial speedup",
+                    baseline: train_baseline.speedup_window_over_bit_serial,
+                    fresh: train_report.speedup_window_over_bit_serial,
+                },
+                CheckedFigure {
+                    name: "train.window/per_neuron speedup",
+                    baseline: train_baseline.speedup_window_over_per_neuron,
+                    fresh: train_report.speedup_window_over_per_neuron,
+                },
+            ]);
+        }
+        if let Some((recognition_report, recognition_baseline)) = &recognition_pair {
+            figures.extend([
+                CheckedFigure {
+                    name: "recognition.scalar signatures/s",
+                    baseline: recognition_baseline.comparison.scalar.patterns_per_second,
+                    fresh: recognition_report.comparison.scalar.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "recognition.batched signatures/s",
+                    baseline: recognition_baseline.comparison.batched.patterns_per_second,
+                    fresh: recognition_report.comparison.batched.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "recognition.engine signatures/s",
+                    baseline: recognition_baseline.comparison.engine.patterns_per_second,
+                    fresh: recognition_report.comparison.engine.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "recognition.engine/scalar speedup",
+                    baseline: recognition_baseline.speedup_engine_over_scalar,
+                    fresh: recognition_report.speedup_engine_over_scalar,
+                },
+                // The per-dispatch distance pass: absolute throughput of the
+                // forced-scalar and widest lowerings, plus their dimensionless
+                // ratio — the gate that notices the SIMD widening silently
+                // stopped being selected (ratio collapses to ~1.0) or stopped
+                // being fast.
+                CheckedFigure {
+                    name: "recognition.dispatch.scalar passes/s",
+                    baseline: recognition_baseline.dispatch.scalar.patterns_per_second,
+                    fresh: recognition_report.dispatch.scalar.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "recognition.dispatch.widest passes/s",
+                    baseline: recognition_baseline.dispatch.widest.patterns_per_second,
+                    fresh: recognition_report.dispatch.widest.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "recognition.dispatch widest/scalar speedup",
+                    baseline: recognition_baseline.speedup_widest_dispatch_over_scalar,
+                    fresh: recognition_report.speedup_widest_dispatch_over_scalar,
+                },
+            ]);
+        }
+        if let Some((large_report, large_baseline)) = &large_pair {
+            figures.extend([
+                // The 1024-neuron scale gates: copy-on-write publish cadence
+                // under training and tournament winner-search throughput.
+                CheckedFigure {
+                    name: "large_map.publish publishes/s",
+                    baseline: large_baseline
+                        .comparison
+                        .publish_under_training
+                        .patterns_per_second,
+                    fresh: large_report
+                        .comparison
+                        .publish_under_training
+                        .patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "large_map.tournament searches/s",
+                    baseline: large_baseline
+                        .comparison
+                        .tournament_search
+                        .patterns_per_second,
+                    fresh: large_report
+                        .comparison
+                        .tournament_search
+                        .patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "large_map.publish/repack speedup",
+                    baseline: large_baseline.publish_speedup_over_repack,
+                    fresh: large_report.publish_speedup_over_repack,
+                },
+                CheckedFigure {
+                    name: "large_map.tournament/linear speedup",
+                    baseline: large_baseline.tournament_vs_linear_search,
+                    fresh: large_report.tournament_vs_linear_search,
+                },
+                // Durability costs: a regression here means checkpointing became
+                // expensive enough to change how often a deployment can afford
+                // to run it.
+                CheckedFigure {
+                    name: "large_map.checkpoint writes/s",
+                    baseline: large_baseline.checkpoint.write.patterns_per_second,
+                    fresh: large_report.checkpoint.write.patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "large_map.checkpoint restores/s",
+                    baseline: large_baseline.checkpoint.restore.patterns_per_second,
+                    fresh: large_report.checkpoint.restore.patterns_per_second,
+                },
+            ]);
+        }
+        if let Some((serve_report, serve_baseline)) = &serve_pair {
+            figures.extend([
+                // The serving front-end: wire throughput on large batches and
+                // what adaptive micro-batching buys on a singleton mix. Only
+                // bigger-is-better figures are gated; latencies are recorded in
+                // the document but too machine-sensitive to fail CI on.
+                CheckedFigure {
+                    name: "serve.large signatures/s",
+                    baseline: serve_baseline.comparison.large.serve.signatures_per_second,
+                    fresh: serve_report.comparison.large.serve.signatures_per_second,
+                },
+                CheckedFigure {
+                    name: "serve.large serve/inprocess ratio",
+                    baseline: serve_baseline.comparison.large.serve_over_inprocess,
+                    fresh: serve_report.comparison.large.serve_over_inprocess,
+                },
+                CheckedFigure {
+                    name: "serve.small.microbatch requests/s",
+                    baseline: serve_baseline
+                        .comparison
+                        .small
+                        .microbatch
+                        .requests_per_second,
+                    fresh: serve_report.comparison.small.microbatch.requests_per_second,
+                },
+                CheckedFigure {
+                    name: "serve.small microbatch/batch1 speedup",
+                    baseline: serve_baseline
+                        .comparison
+                        .small
+                        .speedup_microbatch_over_batch1,
+                    fresh: serve_report.comparison.small.speedup_microbatch_over_batch1,
+                },
+            ]);
+        }
         let regressions = check_figures(&figures, noise_band);
         if regressions > 0 {
             eprintln!(
@@ -562,20 +758,23 @@ fn main() -> ExitCode {
         println!("bench_report: all figures within the noise band");
     }
 
-    for (name, json) in [
-        (
-            "BENCH_train.json",
-            serde_json::to_string_pretty(&train_report),
-        ),
-        (
+    let mut outputs: Vec<(&str, serde_json::Result<String>)> = Vec::new();
+    if let Some(report) = &train_report {
+        outputs.push(("BENCH_train.json", serde_json::to_string_pretty(report)));
+    }
+    if let Some(report) = &recognition_report {
+        outputs.push((
             "BENCH_recognition.json",
-            serde_json::to_string_pretty(&recognition_report),
-        ),
-        (
-            "BENCH_large_map.json",
-            serde_json::to_string_pretty(&large_report),
-        ),
-    ] {
+            serde_json::to_string_pretty(report),
+        ));
+    }
+    if let Some(report) = &large_report {
+        outputs.push(("BENCH_large_map.json", serde_json::to_string_pretty(report)));
+    }
+    if let Some(report) = &serve_report {
+        outputs.push(("BENCH_serve.json", serde_json::to_string_pretty(report)));
+    }
+    for (name, json) in outputs {
         let path = out_dir.join(name);
         let json = match json {
             Ok(json) => json,

@@ -11,6 +11,7 @@
 //! | `trainer.feed`       | inside [`Trainer::try_feed`]'s `catch_unwind`, before the train step |
 //! | `checkpoint.write`   | between the temp-file write and the atomic rename  |
 //! | `checkpoint.read`    | on entry of a checkpoint load                      |
+//! | `service.drain`      | in `bsom-serve`'s graceful drain, after new work stops and before the in-flight flush |
 //!
 //! Without the `fault-injection` feature every [`hit`] is an empty inline
 //! function the optimizer deletes — production builds carry no registry, no

@@ -1,0 +1,209 @@
+//! The `bsom-serve` binary: a train-while-serve bSOM behind the wire
+//! protocol.
+//!
+//! ```text
+//! bsom-serve --addr 127.0.0.1:7171 --neurons 40 --labels 4
+//! ```
+//!
+//! Builds a synthetic labelled corpus, starts a `SomService` with a trainer
+//! thread feeding and publishing continuously, and serves classify /
+//! health / drain requests until a client sends a drain frame (or the
+//! process is killed). With `--checkpoint PATH` the graceful drain stops
+//! the trainer and writes a crash-safe checkpoint before the drain response
+//! goes out. With `--addr-file PATH` the bound address (useful with port 0)
+//! is written for scripts to pick up.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bsom_serve::bench::{bench_service, synthetic_corpus};
+use bsom_serve::scheduler::SchedulerConfig;
+use bsom_serve::server::{DrainHook, ServeConfig, Server};
+
+struct Args {
+    addr: String,
+    addr_file: Option<String>,
+    checkpoint: Option<String>,
+    neurons: usize,
+    vector_len: usize,
+    labels: usize,
+    seed: u64,
+    max_batch_signatures: usize,
+    max_delay_micros: u64,
+    queue_capacity: usize,
+    batch_of_one: bool,
+}
+
+impl Args {
+    fn defaults() -> Args {
+        Args {
+            addr: "127.0.0.1:0".to_string(),
+            addr_file: None,
+            checkpoint: None,
+            neurons: 40,
+            vector_len: 768,
+            labels: 4,
+            seed: 42,
+            max_batch_signatures: 256,
+            max_delay_micros: 1000,
+            queue_capacity: 1024,
+            batch_of_one: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: bsom-serve [--addr HOST:PORT] [--addr-file PATH] \
+[--checkpoint PATH] [--neurons N] [--vector-len BITS] [--labels N] [--seed N] \
+[--max-batch SIGS] [--max-delay-micros N] [--queue-capacity N] [--batch-of-one]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::defaults();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--neurons" => args.neurons = parse(&value("--neurons")?)?,
+            "--vector-len" => args.vector_len = parse(&value("--vector-len")?)?,
+            "--labels" => args.labels = parse(&value("--labels")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--max-batch" => args.max_batch_signatures = parse(&value("--max-batch")?)?,
+            "--max-delay-micros" => args.max_delay_micros = parse(&value("--max-delay-micros")?)?,
+            "--queue-capacity" => args.queue_capacity = parse(&value("--queue-capacity")?)?,
+            "--batch-of-one" => args.batch_of_one = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("cannot parse {raw:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    // Fail fast on a bad BSOM_DISPATCH before any map exists.
+    let dispatch = match bsom_signature::validate_env_dispatch() {
+        Ok(dispatch) => dispatch,
+        Err(error) => {
+            eprintln!("bsom-serve: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let corpus = synthetic_corpus(args.vector_len, args.labels, 32, 24, args.seed);
+    let (service, trainer) = bench_service(args.neurons, args.vector_len, args.seed, &corpus);
+
+    // The trainer runs until the drain hook stops it; the hook then owns
+    // the trainer again and may write the checkpoint.
+    let stop = Arc::new(AtomicBool::new(false));
+    let trainer_stop = Arc::clone(&stop);
+    let feed = corpus.clone();
+    let trainer_thread = std::thread::spawn(move || {
+        let mut trainer = trainer;
+        let mut step = 0usize;
+        'outer: loop {
+            for (signature, label) in &feed {
+                if trainer_stop.load(Ordering::Relaxed) {
+                    break 'outer;
+                }
+                let _ = trainer.feed(signature, *label);
+                step += 1;
+                if step.is_multiple_of(64) {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+        trainer
+    });
+    let checkpoint_path = args.checkpoint.clone();
+    let drain_hook: DrainHook = Box::new(move || {
+        stop.store(true, Ordering::Relaxed);
+        let Ok(trainer) = trainer_thread.join() else {
+            eprintln!("bsom-serve: trainer thread panicked; no checkpoint written");
+            return false;
+        };
+        let Some(path) = checkpoint_path else {
+            return false;
+        };
+        match trainer.write_checkpoint(&path) {
+            Ok(info) => {
+                eprintln!(
+                    "bsom-serve: drain checkpoint written to {path} (snapshot v{})",
+                    info.version
+                );
+                true
+            }
+            Err(error) => {
+                eprintln!("bsom-serve: drain checkpoint failed: {error}");
+                false
+            }
+        }
+    });
+
+    let scheduler = if args.batch_of_one {
+        SchedulerConfig::batch_of_one()
+    } else {
+        SchedulerConfig {
+            max_batch_signatures: args.max_batch_signatures,
+            max_delay: Duration::from_micros(args.max_delay_micros),
+            queue_capacity: args.queue_capacity,
+            ..SchedulerConfig::default()
+        }
+    };
+    let server = match Server::bind(
+        service,
+        args.addr.as_str(),
+        ServeConfig {
+            scheduler,
+            ..ServeConfig::default()
+        },
+        Some(drain_hook),
+    ) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("bsom-serve: cannot bind {}: {error}", args.addr);
+            return ExitCode::from(1);
+        }
+    };
+    let local_addr: SocketAddr = server.local_addr();
+    if let Some(path) = &args.addr_file {
+        if let Err(error) = std::fs::write(path, local_addr.to_string()) {
+            eprintln!("bsom-serve: cannot write --addr-file {path}: {error}");
+            return ExitCode::from(1);
+        }
+    }
+    eprintln!(
+        "bsom-serve: serving {} neurons x {} bits on {local_addr} (dispatch {dispatch:?}); \
+         send a drain frame to stop",
+        args.neurons, args.vector_len
+    );
+
+    let summary = server.wait_until_drained();
+    server.join();
+    eprintln!(
+        "bsom-serve: drained cleanly — {} requests flushed, checkpoint_written={}, final snapshot v{}",
+        summary.requests_flushed, summary.checkpoint_written, summary.final_version
+    );
+    ExitCode::SUCCESS
+}

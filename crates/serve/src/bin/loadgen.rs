@@ -1,0 +1,199 @@
+//! The `loadgen` binary: open- and closed-loop load against a `bsom-serve`
+//! endpoint.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7171 --rate 2000 --duration-ms 5000
+//! loadgen --addr 127.0.0.1:7171 --closed-in-flight 8 --batch 150 --drain
+//! ```
+//!
+//! Open mode offers a seeded Poisson arrival process and measures latency
+//! from each request's *scheduled* arrival time (no coordinated omission);
+//! closed mode keeps a fixed number of requests in flight and measures the
+//! throughput ceiling. `--drain` sends a graceful-drain frame afterwards
+//! and fails unless the server acknowledges it. `--json` prints the full
+//! report for scripts.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bsom_serve::client::ServeClient;
+use bsom_serve::loadgen::{self, ArrivalMode, LoadgenConfig};
+
+struct Args {
+    addr: String,
+    connections: usize,
+    batch_size: usize,
+    vector_len: usize,
+    seed: u64,
+    rate: Option<f64>,
+    in_flight: Option<usize>,
+    duration_ms: u64,
+    warmup_ms: u64,
+    drain: bool,
+    json: bool,
+}
+
+impl Args {
+    fn defaults() -> Args {
+        Args {
+            addr: String::new(),
+            connections: 2,
+            batch_size: 1,
+            vector_len: 768,
+            seed: 42,
+            rate: None,
+            in_flight: None,
+            duration_ms: 2000,
+            warmup_ms: 200,
+            drain: false,
+            json: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: loadgen --addr HOST:PORT [--rate RPS | --closed-in-flight N] \
+[--connections N] [--batch SIGS] [--vector-len BITS] [--duration-ms N] [--warmup-ms N] \
+[--seed N] [--drain] [--json]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::defaults();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--connections" => args.connections = parse(&value("--connections")?)?,
+            "--batch" => args.batch_size = parse(&value("--batch")?)?,
+            "--vector-len" => args.vector_len = parse(&value("--vector-len")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--rate" => args.rate = Some(parse(&value("--rate")?)?),
+            "--closed-in-flight" => args.in_flight = Some(parse(&value("--closed-in-flight")?)?),
+            "--duration-ms" => args.duration_ms = parse(&value("--duration-ms")?)?,
+            "--warmup-ms" => args.warmup_ms = parse(&value("--warmup-ms")?)?,
+            "--drain" => args.drain = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    if args.rate.is_some() && args.in_flight.is_some() {
+        return Err("--rate and --closed-in-flight are mutually exclusive".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("cannot parse {raw:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    // Same fail-fast contract as the server: a bad BSOM_DISPATCH dies here.
+    if let Err(error) = bsom_signature::validate_env_dispatch() {
+        eprintln!("loadgen: {error}");
+        return ExitCode::from(2);
+    }
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr: SocketAddr = match args.addr.to_socket_addrs().map(|mut a| a.next()) {
+        Ok(Some(addr)) => addr,
+        _ => {
+            eprintln!("loadgen: cannot resolve {}", args.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let mode = match (args.rate, args.in_flight) {
+        (Some(rate_rps), _) => ArrivalMode::Open { rate_rps },
+        (None, Some(in_flight)) => ArrivalMode::Closed { in_flight },
+        (None, None) => ArrivalMode::Closed { in_flight: 4 },
+    };
+    let config = LoadgenConfig {
+        addr,
+        connections: args.connections,
+        batch_size: args.batch_size,
+        vector_len: args.vector_len,
+        seed: args.seed,
+        mode,
+        duration: Duration::from_millis(args.duration_ms),
+        warmup: Duration::from_millis(args.warmup_ms),
+    };
+    let report = match loadgen::run(&config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("loadgen: run failed: {error}");
+            return ExitCode::from(1);
+        }
+    };
+    if args.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(error) => {
+                eprintln!("loadgen: cannot serialize report: {error}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        println!(
+            "loadgen: {} mode, {} conns x batch {} — sent {}, ok {}, overloaded {}, errors {}",
+            report.mode,
+            report.connections,
+            report.batch_size,
+            report.sent,
+            report.ok,
+            report.overloaded,
+            report.errors
+        );
+        println!(
+            "loadgen: {:.0} req/s ({:.0} sigs/s) over {:.2}s; latency p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms max {:.3}ms",
+            report.requests_per_second,
+            report.signatures_per_second,
+            report.elapsed_seconds,
+            report.latency.p50_ms,
+            report.latency.p99_ms,
+            report.latency.p999_ms,
+            report.latency.max_ms
+        );
+    }
+    if args.drain {
+        let mut client = match ServeClient::connect(addr) {
+            Ok(client) => client,
+            Err(error) => {
+                eprintln!("loadgen: cannot connect for drain: {error}");
+                return ExitCode::from(1);
+            }
+        };
+        match client.drain() {
+            Ok(summary) => eprintln!(
+                "loadgen: server drained — {} requests flushed, checkpoint_written={}, final v{}",
+                summary.requests_flushed, summary.checkpoint_written, summary.final_version
+            ),
+            Err(error) => {
+                eprintln!("loadgen: drain failed: {error}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if report.errors > 0 || report.ok == 0 {
+        eprintln!(
+            "loadgen: FAILED — {} errors, {} ok responses",
+            report.errors, report.ok
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,44 @@
+//! # bsom-serve
+//!
+//! The TCP serving front-end of the bSOM reproduction: the layer that turns
+//! the in-process train-while-serve [`SomService`](bsom_engine::SomService)
+//! into a network service (ROADMAP north star: serving this workload at
+//! fleet scale).
+//!
+//! * [`wire`] — the hand-rolled, length-prefixed, FNV-1a-64-checksummed
+//!   frame format (the checkpoint frames' sibling). Malformed input is
+//!   rejected as a typed [`WireError`], never a panic —
+//!   proptested by `tests/wire_corruption.rs`.
+//! * [`scheduler`] — the adaptive micro-batching scheduler: pipelined small
+//!   requests coalesce into one `classify_batch` up to a latency deadline
+//!   that adapts to observed queue depth, with two-stage admission control
+//!   surfacing as typed `Overloaded` responses.
+//! * [`server`] — the `std::net` listener, per-connection reader/writer
+//!   threads (responses strictly in request order, so clients may
+//!   pipeline), the wire health endpoint, and graceful drain with an
+//!   optional checkpoint hook.
+//! * [`client`] — a blocking client, splittable for pipelining.
+//! * [`loadgen`] — the open-loop (coordinated-omission-free) and
+//!   closed-loop load harness behind the `loadgen` binary.
+//! * [`mod@bench`] — the measured figures tracked in `BENCH_serve.json`.
+//!
+//! Both binaries (`bsom-serve`, `loadgen`) call
+//! [`bsom_signature::validate_env_dispatch`] before doing anything else, so
+//! a bad `BSOM_DISPATCH` fails fast at startup instead of deep in a worker.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod loadgen;
+pub mod scheduler;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, ServeClient};
+pub use scheduler::{
+    BatchClassify, BatchReply, ClassifyJob, MicroBatcher, SchedulerConfig, SchedulerSnapshot,
+};
+pub use server::{DrainHook, ServeConfig, Server};
+pub use wire::{DrainSummary, ErrorCode, WireError, WireHealth, WireMessage};

@@ -1,0 +1,283 @@
+//! End-to-end behaviour of the serving front-end: wire answers are
+//! bit-identical to in-process answers, pipelined small requests coalesce
+//! into single engine batches, overload is a typed response (and the
+//! service recovers), and drain/health behave as documented.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bsom_engine::EngineError;
+use bsom_serve::bench::{bench_service, synthetic_corpus};
+use bsom_serve::scheduler::{BatchClassify, ClassifyJob, MicroBatcher};
+use bsom_serve::wire::{self, ErrorCode, WireMessage};
+use bsom_serve::{BatchReply, SchedulerConfig, ServeClient, ServeConfig, Server};
+use bsom_signature::BinaryVector;
+use bsom_som::Prediction;
+
+const VECTOR_LEN: usize = 256;
+
+/// A served map whose snapshot stays frozen for the test (the trainer is
+/// held alive but never fed), so wire answers can be compared bit-for-bit
+/// against a direct `classify_batch`.
+fn frozen_server(
+    scheduler: SchedulerConfig,
+) -> (Server, bsom_engine::Recognizer, bsom_engine::Trainer) {
+    let corpus = synthetic_corpus(VECTOR_LEN, 4, 16, 12, 7);
+    let (service, trainer) = bench_service(24, VECTOR_LEN, 7, &corpus);
+    let recognizer = service.recognizer();
+    let server = Server::bind(
+        service,
+        "127.0.0.1:0",
+        ServeConfig {
+            scheduler,
+            ..ServeConfig::default()
+        },
+        None,
+    )
+    .expect("bind loopback");
+    (server, recognizer, trainer)
+}
+
+fn probes(count: usize, seed: u64) -> Vec<BinaryVector> {
+    let corpus = synthetic_corpus(VECTOR_LEN, 4, count.div_ceil(4), 30, seed);
+    corpus.into_iter().map(|(v, _)| v).take(count).collect()
+}
+
+#[test]
+fn wire_classification_matches_in_process_bit_for_bit() {
+    let (server, mut recognizer, _trainer) = frozen_server(SchedulerConfig::default());
+    let signatures = probes(40, 11);
+    let direct = recognizer.classify_batch(signatures.clone());
+
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let over_wire = client
+        .classify(&signatures)
+        .expect("classify over the wire");
+    assert_eq!(over_wire, direct);
+
+    // Distances survive the f64-bit round trip exactly, not approximately.
+    assert!(over_wire
+        .iter()
+        .any(|p| matches!(p, Prediction::Known { .. })));
+    server.join();
+}
+
+#[test]
+fn pipelined_singletons_coalesce_into_one_engine_batch() {
+    // A long deadline guarantees every pipelined singleton lands in the
+    // scheduler's first collection window: N requests, one engine batch.
+    let scheduler = SchedulerConfig {
+        initial_delay: Duration::from_millis(300),
+        max_delay: Duration::from_millis(300),
+        ..SchedulerConfig::default()
+    };
+    let (server, mut recognizer, _trainer) = frozen_server(scheduler);
+    let signatures = probes(16, 23);
+    let direct = recognizer.classify_batch(signatures.clone());
+
+    let (mut send, mut recv) = ServeClient::connect(server.local_addr())
+        .expect("connect")
+        .split();
+    for signature in &signatures {
+        send.send_classify(std::slice::from_ref(signature))
+            .expect("pipelined send");
+    }
+    let mut answers = Vec::new();
+    for _ in 0..signatures.len() {
+        match recv.recv().expect("response").expect("not EOF") {
+            WireMessage::ClassifyResponse { predictions } => {
+                assert_eq!(predictions.len(), 1);
+                answers.push(predictions[0]);
+            }
+            other => panic!("expected classify response, got {other:?}"),
+        }
+    }
+    // Responses come back in request order and match the direct batch.
+    assert_eq!(answers, direct);
+
+    let stats = server.scheduler_snapshot();
+    assert_eq!(stats.requests_dispatched, 16);
+    assert_eq!(
+        stats.batches_dispatched, 1,
+        "16 pipelined singletons must coalesce into one engine batch: {stats:?}"
+    );
+    assert_eq!(stats.requests_coalesced, 16, "all 16 shared the batch");
+    server.join();
+}
+
+#[test]
+fn size_flush_fires_before_the_deadline() {
+    // With a 5-second deadline but a 4-signature batch cap, a burst of 8
+    // singletons must flush on size (twice), not wait out the deadline.
+    let scheduler = SchedulerConfig {
+        max_batch_signatures: 4,
+        initial_delay: Duration::from_secs(5),
+        max_delay: Duration::from_secs(5),
+        ..SchedulerConfig::default()
+    };
+    let (server, _recognizer, _trainer) = frozen_server(scheduler);
+    let signatures = probes(8, 31);
+    let (mut send, mut recv) = ServeClient::connect(server.local_addr())
+        .expect("connect")
+        .split();
+    let started = Instant::now();
+    for signature in &signatures {
+        send.send_classify(std::slice::from_ref(signature))
+            .expect("send");
+    }
+    for _ in 0..signatures.len() {
+        let message = recv.recv().expect("response").expect("not EOF");
+        assert!(matches!(message, WireMessage::ClassifyResponse { .. }));
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "size flush must beat the 5s deadline (took {:?})",
+        started.elapsed()
+    );
+    assert!(server.scheduler_snapshot().batches_dispatched >= 2);
+    server.join();
+}
+
+/// A classifier the test can wedge: blocks inside `try_classify` until the
+/// gate opens, so the scheduler queue can be filled deterministically.
+struct GatedClassifier {
+    gate: mpsc::Receiver<()>,
+}
+
+impl BatchClassify for GatedClassifier {
+    fn try_classify(
+        &mut self,
+        signatures: Vec<BinaryVector>,
+    ) -> Result<Vec<Prediction>, EngineError> {
+        let _ = self.gate.recv();
+        Ok(vec![Prediction::Unknown; signatures.len()])
+    }
+}
+
+#[test]
+fn admission_control_sheds_when_full_and_recovers() {
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let batcher = MicroBatcher::new(
+        GatedClassifier { gate: gate_rx },
+        SchedulerConfig {
+            queue_capacity: 2,
+            initial_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..SchedulerConfig::default()
+        },
+    );
+    let submit_one = |batcher: &MicroBatcher| {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = ClassifyJob {
+            signatures: vec![BinaryVector::zeros(8)],
+            reply: reply_tx,
+        };
+        (batcher.submit(job), reply_rx)
+    };
+    // First job is picked up by the scheduler thread and wedges in the
+    // classifier; give it a moment to leave the queue.
+    let (first, first_reply) = submit_one(&batcher);
+    assert!(first.is_ok());
+    std::thread::sleep(Duration::from_millis(50));
+    // The queue holds `queue_capacity` more; everything past that is shed
+    // synchronously — the caller gets the job back, nothing blocks.
+    let mut accepted = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..6 {
+        match submit_one(&batcher) {
+            (Ok(()), reply) => accepted.push(reply),
+            (Err(_job), _) => shed += 1,
+        }
+    }
+    assert!(shed >= 1, "a full queue must shed, not block");
+    assert_eq!(accepted.len() + shed, 6);
+    assert_eq!(batcher.snapshot().requests_shed as usize, shed);
+
+    // Open the gate: the wedged batch and every accepted job complete —
+    // the service recovers once load subsides.
+    for _ in 0..16 {
+        let _ = gate_tx.send(());
+    }
+    assert!(matches!(
+        first_reply.recv().expect("wedged job completes"),
+        BatchReply::Predictions(_)
+    ));
+    for reply in accepted {
+        assert!(matches!(
+            reply.recv().expect("accepted job completes"),
+            BatchReply::Predictions(_)
+        ));
+    }
+    let (after, after_reply) = submit_one(&batcher);
+    assert!(after.is_ok(), "admission reopens after the backlog clears");
+    assert!(matches!(
+        after_reply.recv().expect("post-recovery job completes"),
+        BatchReply::Predictions(_)
+    ));
+}
+
+#[test]
+fn health_drain_and_post_drain_rejection_over_the_wire() {
+    let (server, _recognizer, _trainer) = frozen_server(SchedulerConfig::default());
+    let addr = server.local_addr();
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let health = client.health().expect("health over the wire");
+    assert!(!health.draining);
+    assert_eq!(health.workers_alive, health.workers_configured);
+    assert_eq!(health.worker_panics, 0);
+
+    let summary = client.drain().expect("drain over the wire");
+    assert!(!summary.checkpoint_written, "no hook was installed");
+    assert_eq!(summary.final_version, health.snapshot_version);
+
+    // Post-drain: health still answers (and says so); classify is refused
+    // with the typed Draining error, not a hang or a dropped connection.
+    let health = client.health().expect("health while draining");
+    assert!(health.draining);
+    match client.classify(&probes(1, 3)) {
+        Err(bsom_serve::ClientError::Rejected { code, .. }) => {
+            assert_eq!(code, ErrorCode::Draining);
+        }
+        other => panic!("expected a Draining rejection, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn malformed_frames_get_an_error_response_not_a_dropped_socket() {
+    let (server, _recognizer, _trainer) = frozen_server(SchedulerConfig::default());
+    let (mut send, mut recv) = ServeClient::connect(server.local_addr())
+        .expect("connect")
+        .split();
+    // A checksum-valid frame with a response kind is a protocol violation
+    // from a client; the server must answer with a typed error, then hang
+    // up cleanly.
+    send.send(&WireMessage::OverloadedResponse {
+        queue_depth: 0,
+        queue_capacity: 0,
+    })
+    .expect("send protocol violation");
+    match recv.recv().expect("error response").expect("not EOF") {
+        WireMessage::ErrorResponse { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    assert!(
+        recv.recv().expect("clean EOF after hangup").is_none(),
+        "server must close the connection after a protocol violation"
+    );
+
+    // A corrupted frame (bad checksum) likewise gets a typed error.
+    let (mut send, mut recv) = ServeClient::connect(server.local_addr())
+        .expect("connect")
+        .split();
+    let mut frame = wire::encode_classify_request(&probes(1, 5));
+    let last = frame.len() - 1;
+    frame[last] ^= 0xff;
+    send.send_frame(&frame).expect("send corrupted frame");
+    match recv.recv().expect("error response").expect("not EOF") {
+        WireMessage::ErrorResponse { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    server.join();
+}

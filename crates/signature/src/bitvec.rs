@@ -237,6 +237,36 @@ impl BinaryVector {
         &self.words
     }
 
+    /// Reconstructs a vector from packed words produced by
+    /// [`as_words`](Self::as_words) — the near-zero-copy path wire decoders
+    /// use: the word buffer is adopted, not re-packed bit by bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::InvalidPacking`] unless the buffer holds
+    /// exactly `len.div_ceil(64)` words *and* every bit beyond `len` in the
+    /// last word is zero (the invariant `as_words` documents, which
+    /// [`count_ones`](Self::count_ones) and the Hamming kernels rely on).
+    /// Untrusted input that violates the invariant is rejected rather than
+    /// silently masked, so a corrupted frame cannot alias a valid signature.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, SignatureError> {
+        let invalid = || SignatureError::InvalidPacking {
+            words: words.len(),
+            len,
+        };
+        if words.len() != len.div_ceil(WORD_BITS) {
+            return Err(invalid());
+        }
+        let rem = len % WORD_BITS;
+        if rem != 0 {
+            let tail = words.last().copied().unwrap_or(0);
+            if tail & !((1u64 << rem) - 1) != 0 {
+                return Err(invalid());
+            }
+        }
+        Ok(BinaryVector { words, len })
+    }
+
     /// Mutable access to the packed words for the in-crate word-parallel
     /// update kernels. Callers must keep every bit beyond `len` zero — the
     /// invariant [`as_words`](Self::as_words) documents; `crate`-private so
@@ -397,6 +427,22 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn from_words_round_trips_and_rejects_bad_packing() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0usize, 1, 63, 64, 65, 100, 768] {
+            let v = BinaryVector::random(len, &mut rng);
+            let back = BinaryVector::from_words(v.as_words().to_vec(), len)
+                .expect("as_words output must round-trip");
+            assert_eq!(back, v);
+        }
+        // Wrong word count.
+        assert!(BinaryVector::from_words(vec![0; 3], 100).is_err());
+        assert!(BinaryVector::from_words(vec![], 1).is_err());
+        // Tail bits beyond len set.
+        assert!(BinaryVector::from_words(vec![u64::MAX, u64::MAX], 100).is_err());
+    }
 
     #[test]
     fn zeros_has_no_set_bits() {

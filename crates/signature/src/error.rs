@@ -35,6 +35,14 @@ pub enum SignatureError {
     /// A histogram had no entries, so the mean threshold of Eq. 1 is
     /// undefined.
     EmptyHistogram,
+    /// A packed-word buffer does not match the claimed bit length: wrong
+    /// word count, or bits set beyond `len` in the last word.
+    InvalidPacking {
+        /// Number of 64-bit words supplied.
+        words: usize,
+        /// Claimed bit length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for SignatureError {
@@ -57,6 +65,10 @@ impl fmt::Display for SignatureError {
             SignatureError::EmptyHistogram => {
                 write!(f, "histogram has no entries; mean threshold is undefined")
             }
+            SignatureError::InvalidPacking { words, len } => write!(
+                f,
+                "packed buffer of {words} words is invalid for a {len}-bit vector"
+            ),
         }
     }
 }
@@ -78,6 +90,7 @@ mod tests {
                 pixels: 5,
             },
             SignatureError::EmptyHistogram,
+            SignatureError::InvalidPacking { words: 2, len: 80 },
         ];
         for e in errors {
             let text = e.to_string();

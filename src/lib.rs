@@ -20,6 +20,10 @@
 //!   versioned, atomically-swappable snapshot of the plane-sliced layer; a
 //!   `Trainer` publishes while `Recognizer`s classify batches sharded across
 //!   a worker pool.
+//! * [`serve`] — the TCP serving front-end: a length-prefixed checksummed
+//!   wire format, an adaptive micro-batching scheduler over the engine, a
+//!   graceful-drain server (`bsom-serve` binary) and an open-loop load
+//!   generator (`loadgen` binary).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@ pub use bsom_dataset as dataset;
 pub use bsom_engine as engine;
 pub use bsom_eval as eval;
 pub use bsom_fpga as fpga;
+pub use bsom_serve as serve;
 pub use bsom_signature as signature;
 pub use bsom_som as som;
 pub use bsom_stats as stats;
@@ -62,6 +67,7 @@ pub mod prelude {
         CheckpointError, EngineConfig, EngineError, Recognizer, ServiceHealth, SomService, Trainer,
     };
     pub use bsom_fpga::{FpgaBSom, FpgaConfig, ResourceReport};
+    pub use bsom_serve::{SchedulerConfig, ServeClient, ServeConfig, Server};
     pub use bsom_signature::{BinaryVector, ColorHistogram, Rgb, TriStateVector, Trit};
     pub use bsom_som::{
         evaluate, BSom, BSomConfig, CSom, CSomConfig, LabelledSom, ObjectLabel, PackedLayer,
