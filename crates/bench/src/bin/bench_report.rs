@@ -12,7 +12,10 @@
 //! `BENCH_serve.json` (the TCP serving front-end: wire throughput vs
 //! in-process on large batches, and the adaptive micro-batching scheduler
 //! vs batch-of-one dispatch on a small-request mix, measured against a live
-//! server with a concurrently publishing trainer) so
+//! server with a concurrently publishing trainer) and
+//! `BENCH_registry.json` (the multi-tenant facade: registry feed+tick
+//! steps/s vs a bare trainer, facade classify throughput, and the
+//! evict+reload spill round-trip rate across a 64-tenant fleet) so
 //! the perf trajectory of the repo is tracked by numbers rather than prose.
 //! CI runs it in `--smoke` mode to keep the reporter itself from rotting;
 //! committed snapshots come from full runs.
@@ -40,12 +43,12 @@
 //!   --baseline       per-runner baseline file override, repeatable; the file
 //!                    name decides which report it replaces (a name containing
 //!                    "train" overrides BENCH_train.json, "recognition",
-//!                    "large" or "serve" the others) — point this at e.g.
-//!                    baselines/ci-runner/BENCH_train.json to gate a specific
-//!                    runner against its own committed numbers
+//!                    "large", "serve" or "registry" the others) — point this
+//!                    at e.g. baselines/ci-runner/BENCH_train.json to gate a
+//!                    specific runner against its own committed numbers
 //!   --only           measure (and check, and write) only the named report:
-//!                    one of "train", "recognition", "large", "serve";
-//!                    repeatable — the default is all four
+//!                    one of "train", "recognition", "large", "serve",
+//!                    "registry"; repeatable — the default is all five
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -55,9 +58,10 @@ use std::time::Duration;
 use bsom_bench::bench_dataset;
 use bsom_engine::{
     compare_checkpoint_throughput, compare_dispatch_throughput, compare_large_map_throughput,
-    compare_recognition_throughput, compare_training_throughput, CheckpointThroughputComparison,
-    DispatchThroughputComparison, EngineConfig, LargeMapThroughputComparison, SomService,
-    ThroughputComparison, TrainThroughputComparison,
+    compare_recognition_throughput, compare_registry_throughput, compare_training_throughput,
+    CheckpointThroughputComparison, DispatchThroughputComparison, EngineConfig,
+    LargeMapThroughputComparison, RegistryThroughputComparison, SomService, ThroughputComparison,
+    TrainThroughputComparison,
 };
 use bsom_fpga::FpgaConfig;
 use bsom_serve::bench::{measure_serve, ServeBenchConfig, ServeBenchReport};
@@ -145,6 +149,25 @@ struct ServeBenchDocument {
     comparison: ServeBenchReport,
 }
 
+/// The `BENCH_registry.json` document: the multi-tenant facade measured
+/// across a 64-tenant fleet of paper-sized maps — what the slab lookup,
+/// per-tenant FIFO and round-robin tick charge per training step next to a
+/// bare trainer, plus facade classify throughput and the spill (evict +
+/// validating reload) round-trip rate.
+#[derive(Debug, Serialize, Deserialize)]
+struct RegistryBenchReport {
+    /// `"smoke"` or `"full"`.
+    mode: String,
+    /// Seconds of wall clock spent per measured leg.
+    min_duration_seconds: f64,
+    /// The four registry legs (direct steps, registry steps, classify,
+    /// spill round-trips).
+    comparison: RegistryThroughputComparison,
+    /// Registry feed+tick steps/s over direct trainer steps/s — the
+    /// dimensionless facade tax the gate leans on across machines.
+    registry_step_overhead: f64,
+}
+
 /// Which reports to measure, check and write — `--only` narrows the set.
 #[derive(Clone, Copy)]
 struct Selection {
@@ -152,6 +175,7 @@ struct Selection {
     recognition: bool,
     large: bool,
     serve: bool,
+    registry: bool,
 }
 
 /// One named figure compared against its committed baseline: an absolute
@@ -263,16 +287,18 @@ fn main() -> ExitCode {
                     recognition: false,
                     large: false,
                     serve: false,
+                    registry: false,
                 });
                 match args.next().as_deref() {
                     Some("train") => selection.train = true,
                     Some("recognition") => selection.recognition = true,
                     Some("large") => selection.large = true,
                     Some("serve") => selection.serve = true,
+                    Some("registry") => selection.registry = true,
                     other => {
                         eprintln!(
                             "--only requires one of \"train\", \"recognition\", \"large\", \
-                             \"serve\" (got {other:?})"
+                             \"serve\", \"registry\" (got {other:?})"
                         );
                         return ExitCode::FAILURE;
                     }
@@ -307,12 +333,13 @@ fn main() -> ExitCode {
                         lower.contains("recognition"),
                         lower.contains("large"),
                         lower.contains("serve"),
+                        lower.contains("registry"),
                     ];
                     if keys.iter().filter(|&&k| k).count() != 1 {
                         eprintln!(
                             "--baseline file name must contain exactly one of \"train\", \
-                             \"recognition\", \"large\" or \"serve\" so the reporter knows \
-                             which report it overrides: {file}"
+                             \"recognition\", \"large\", \"serve\" or \"registry\" so the \
+                             reporter knows which report it overrides: {file}"
                         );
                         return ExitCode::FAILURE;
                     }
@@ -352,6 +379,7 @@ fn main() -> ExitCode {
         recognition: true,
         large: true,
         serve: true,
+        registry: true,
     });
     let mode = if smoke { "smoke" } else { "full" };
     let min_duration = if smoke {
@@ -496,6 +524,21 @@ fn main() -> ExitCode {
         }
     });
 
+    // --- The multi-tenant facade: 64 paper-sized tenants behind one
+    // registry, measured against a bare trainer on the same map shape.
+    let registry_report = selection.registry.then(|| {
+        println!("bench_report: measuring multi-tenant registry throughput ({mode})...");
+        let registry =
+            compare_registry_throughput(64, BSomConfig::new(40, 768), min_duration, 0xB50A);
+        println!("{registry}");
+        RegistryBenchReport {
+            mode: mode.to_string(),
+            min_duration_seconds: min_duration.as_secs_f64(),
+            registry_step_overhead: registry.registry_step_overhead(),
+            comparison: registry,
+        }
+    });
+
     // --- Regression gate against the committed baselines.
     if check {
         let mut figures: Vec<CheckedFigure> = Vec::new();
@@ -569,6 +612,26 @@ fn main() -> ExitCode {
                     "BENCH_serve.json",
                 );
                 let baseline: ServeBenchDocument = match load_baseline(&path) {
+                    Ok(report) => report,
+                    Err(error) => {
+                        eprintln!("bench_report: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                checked_paths.push(path.display().to_string());
+                Some((fresh, baseline))
+            }
+            None => None,
+        };
+        let registry_pair = match &registry_report {
+            Some(fresh) => {
+                let path = resolve_baseline(
+                    &baseline_dir,
+                    &baseline_overrides,
+                    "registry",
+                    "BENCH_registry.json",
+                );
+                let baseline: RegistryBenchReport = match load_baseline(&path) {
                     Ok(report) => report,
                     Err(error) => {
                         eprintln!("bench_report: {error}");
@@ -747,6 +810,52 @@ fn main() -> ExitCode {
                 },
             ]);
         }
+        if let Some((registry_report, registry_baseline)) = &registry_pair {
+            figures.extend([
+                // The facade legs: training steps through the registry and
+                // facade classifies, plus the spill round-trip rate the LRU
+                // evictor leans on. The dimensionless step-overhead ratio is
+                // the figure that stays meaningful across machines.
+                CheckedFigure {
+                    name: "registry.feed+tick steps/s",
+                    baseline: registry_baseline
+                        .comparison
+                        .registry_steps
+                        .patterns_per_second,
+                    fresh: registry_report
+                        .comparison
+                        .registry_steps
+                        .patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "registry.classify signatures/s",
+                    baseline: registry_baseline
+                        .comparison
+                        .registry_classify
+                        .patterns_per_second,
+                    fresh: registry_report
+                        .comparison
+                        .registry_classify
+                        .patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "registry.spill round-trips/s",
+                    baseline: registry_baseline
+                        .comparison
+                        .spill_roundtrips
+                        .patterns_per_second,
+                    fresh: registry_report
+                        .comparison
+                        .spill_roundtrips
+                        .patterns_per_second,
+                },
+                CheckedFigure {
+                    name: "registry.step-overhead ratio",
+                    baseline: registry_baseline.registry_step_overhead,
+                    fresh: registry_report.registry_step_overhead,
+                },
+            ]);
+        }
         let regressions = check_figures(&figures, noise_band);
         if regressions > 0 {
             eprintln!(
@@ -773,6 +882,9 @@ fn main() -> ExitCode {
     }
     if let Some(report) = &serve_report {
         outputs.push(("BENCH_serve.json", serde_json::to_string_pretty(report)));
+    }
+    if let Some(report) = &registry_report {
+        outputs.push(("BENCH_registry.json", serde_json::to_string_pretty(report)));
     }
     for (name, json) in outputs {
         let path = out_dir.join(name);

@@ -54,6 +54,22 @@ pub enum EngineError {
     Som(SomError),
     /// A checkpoint could not be written, read, or validated.
     Checkpoint(CheckpointError),
+    /// The registry holds no tenant under this id
+    /// ([`MapRegistry`](crate::registry::MapRegistry)).
+    UnknownTenant {
+        /// The id that resolved to nothing.
+        tenant: String,
+    },
+    /// [`MapRegistry::create_tenant`](crate::registry::MapRegistry::create_tenant)
+    /// was asked for an id that already names a tenant.
+    DuplicateTenant {
+        /// The id that is already taken.
+        tenant: String,
+    },
+    /// An operation needed to spill a tenant to disk, but the registry was
+    /// built without a spill directory
+    /// ([`RegistryConfig::spill_dir`](crate::registry::RegistryConfig::spill_dir)).
+    SpillUnconfigured,
 }
 
 impl fmt::Display for EngineError {
@@ -79,6 +95,16 @@ impl fmt::Display for EngineError {
             ),
             EngineError::Som(error) => write!(f, "{error}"),
             EngineError::Checkpoint(error) => write!(f, "{error}"),
+            EngineError::UnknownTenant { tenant } => {
+                write!(f, "no tenant {tenant:?} in the registry")
+            }
+            EngineError::DuplicateTenant { tenant } => {
+                write!(f, "tenant {tenant:?} already exists in the registry")
+            }
+            EngineError::SpillUnconfigured => write!(
+                f,
+                "eviction requires a spill directory; build the registry with RegistryConfig::spill_dir"
+            ),
         }
     }
 }

@@ -64,6 +64,8 @@
 pub mod checkpoint;
 pub mod error;
 pub mod faultpoint;
+pub mod registry;
+pub mod registry_bench;
 pub mod service;
 pub mod throughput;
 pub mod train;
@@ -81,6 +83,8 @@ pub use checkpoint::{
     compare_checkpoint_throughput, CheckpointError, CheckpointInfo, CheckpointThroughputComparison,
 };
 pub use error::EngineError;
+pub use registry::{MapRegistry, RegistryConfig, RegistryStats, TenantId, TickReport};
+pub use registry_bench::{compare_registry_throughput, RegistryThroughputComparison};
 pub use service::{Recognizer, ServiceHealth, SignatureBatch, SomService, Trainer};
 pub use throughput::{
     compare_dispatch_throughput, compare_large_map_throughput, compare_recognition_throughput,

@@ -39,7 +39,7 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bsom_signature::{BinaryVector, RgbImage};
+use bsom_signature::{BinaryVector, RgbImage, TriStateVector};
 use bsom_som::{
     BSom, BatchWinner, LabelledSom, ObjectLabel, PackedLayer, Prediction, SelfOrganizingMap,
     SomError, TrainSchedule, Winner,
@@ -57,7 +57,7 @@ use crate::{EngineConfig, EngineError, RecognizedObject, TrainReport};
 /// a poisoned lock carries no torn data — the last good value is still
 /// there. Recovering keeps the service serving after an injected or real
 /// panic instead of cascading `PoisonError` panics through every reader.
-fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -70,6 +70,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "panic payload was not a string".to_string()
     }
+}
+
+/// Resolves [`EngineConfig::workers`]: 0 means one worker per available
+/// hardware thread.
+pub(crate) fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
+/// Resolves [`EngineConfig::queue_capacity`]: `None` means four queued jobs
+/// per worker, floored at 16.
+pub(crate) fn resolve_queue_capacity(queue_capacity: Option<usize>, workers: usize) -> usize {
+    queue_capacity.unwrap_or_else(|| (workers * 4).max(16))
 }
 
 /// Weights below this threshold are dropped from a neuron's decayed win
@@ -307,7 +325,12 @@ struct PoolShared {
 /// bounded job queue, plus a supervisor thread that respawns any worker
 /// whose job panicked. Dropping the pool closes the queue, stops the
 /// supervisor, and joins every thread.
-struct WorkerPool {
+///
+/// `pub(crate)` because every [`Job`] carries the `Arc<PackedLayer>` it must
+/// search, one pool can serve any number of services — the multi-tenant
+/// [`MapRegistry`](crate::registry::MapRegistry) shares a single pool across
+/// all of its tenants' services.
+pub(crate) struct WorkerPool {
     job_tx: Option<SyncSender<Job>>,
     exit_tx: Option<Sender<ExitEvent>>,
     supervisor: Option<JoinHandle<()>>,
@@ -316,7 +339,7 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn spawn(workers: usize, queue_capacity: usize) -> Self {
+    pub(crate) fn spawn(workers: usize, queue_capacity: usize) -> Self {
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_capacity);
         let (exit_tx, exit_rx) = mpsc::channel::<ExitEvent>();
         let shared = Arc::new(PoolShared {
@@ -367,6 +390,21 @@ impl WorkerPool {
                 self.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
                 Err(EngineError::PoolShutDown)
             }
+        }
+    }
+
+    /// The pool's supervision counters as a [`ServiceHealth`], reported
+    /// against the given configured worker count. Shared by
+    /// [`ServiceCore::health`] and the registry's aggregate health view.
+    pub(crate) fn health_with(&self, workers_configured: usize) -> ServiceHealth {
+        ServiceHealth {
+            workers_configured,
+            workers_alive: self.shared.workers_alive.load(Ordering::SeqCst),
+            queue_depth: self.shared.queue_depth.load(Ordering::SeqCst),
+            queue_capacity: self.queue_capacity,
+            worker_panics: self.shared.panics.load(Ordering::SeqCst),
+            worker_respawns: self.shared.respawns.load(Ordering::SeqCst),
+            last_panic: lock_recovering(&self.shared.last_panic).clone(),
         }
     }
 
@@ -549,7 +587,10 @@ enum Admission {
 struct ServiceCore {
     latest: Mutex<Arc<SomSnapshot>>,
     version: AtomicU64,
-    pool: WorkerPool,
+    /// Shared (`Arc`) so many services — the registry's tenants — can run
+    /// over one supervised pool; a standalone service simply holds the only
+    /// reference.
+    pool: Arc<WorkerPool>,
     workers: usize,
 }
 
@@ -589,16 +630,7 @@ impl ServiceCore {
 
     /// The current supervision/queue counters.
     fn health(&self) -> ServiceHealth {
-        let shared = &self.pool.shared;
-        ServiceHealth {
-            workers_configured: self.workers,
-            workers_alive: shared.workers_alive.load(Ordering::SeqCst),
-            queue_depth: shared.queue_depth.load(Ordering::SeqCst),
-            queue_capacity: self.pool.queue_capacity,
-            worker_panics: shared.panics.load(Ordering::SeqCst),
-            worker_respawns: shared.respawns.load(Ordering::SeqCst),
-            last_panic: lock_recovering(&shared.last_panic).clone(),
-        }
+        self.pool.health_with(self.workers)
     }
 
     /// `(queue_depth, queue_capacity)` from atomics only — no lock, no
@@ -829,12 +861,9 @@ impl SomService {
         Self::build(layer, labels, unknown_threshold, workers, None, 1)
     }
 
-    /// The one construction path: resolves the worker count and queue
-    /// capacity, validates the kernel dispatch eagerly, and publishes the
-    /// initial snapshot as `initial_version` (1 for fresh services, the
-    /// checkpointed version + 1 on [`resume_from_checkpoint`]).
-    ///
-    /// [`resume_from_checkpoint`]: SomService::resume_from_checkpoint
+    /// The one construction path for a **standalone** service: resolves the
+    /// worker count and queue capacity, spawns a dedicated pool, and
+    /// delegates to [`build_on`](Self::build_on).
     fn build(
         layer: PackedLayer,
         labels: Vec<Option<ObjectLabel>>,
@@ -842,6 +871,35 @@ impl SomService {
         workers: usize,
         queue_capacity: Option<usize>,
         initial_version: u64,
+    ) -> Self {
+        let workers = resolve_workers(workers);
+        let queue_capacity = resolve_queue_capacity(queue_capacity, workers);
+        let pool = Arc::new(WorkerPool::spawn(workers, queue_capacity));
+        Self::build_on(
+            layer,
+            labels,
+            unknown_threshold,
+            initial_version,
+            pool,
+            workers,
+        )
+    }
+
+    /// Builds a service over an **existing** worker pool: validates the
+    /// kernel dispatch eagerly and publishes the initial snapshot as
+    /// `initial_version` (1 for fresh services, the checkpointed version + 1
+    /// on [`resume_from_checkpoint`], the checkpointed version *exactly* on
+    /// a registry reload — see `registry.rs` for why the distinction keeps
+    /// evict→reload version-transparent).
+    ///
+    /// [`resume_from_checkpoint`]: SomService::resume_from_checkpoint
+    pub(crate) fn build_on(
+        layer: PackedLayer,
+        labels: Vec<Option<ObjectLabel>>,
+        unknown_threshold: Option<f64>,
+        initial_version: u64,
+        pool: Arc<WorkerPool>,
+        workers: usize,
     ) -> Self {
         assert_eq!(
             labels.len(),
@@ -851,14 +909,6 @@ impl SomService {
         if let Err(error) = bsom_signature::validate_env_dispatch() {
             panic!("{error}");
         }
-        let workers = if workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            workers
-        };
-        let queue_capacity = queue_capacity.unwrap_or_else(|| (workers * 4).max(16));
         let snapshot = Arc::new(SomSnapshot {
             version: initial_version,
             layer: Arc::new(layer),
@@ -868,7 +918,7 @@ impl SomService {
         let core = Arc::new(ServiceCore {
             latest: Mutex::new(snapshot),
             version: AtomicU64::new(initial_version),
-            pool: WorkerPool::spawn(workers, queue_capacity),
+            pool,
             workers,
         });
         SomService { core }
@@ -887,6 +937,23 @@ impl SomService {
         seed_data: &[(BinaryVector, ObjectLabel)],
         config: EngineConfig,
     ) -> (Self, Trainer) {
+        let workers = resolve_workers(config.workers);
+        let queue_capacity = resolve_queue_capacity(config.queue_capacity, workers);
+        let pool = Arc::new(WorkerPool::spawn(workers, queue_capacity));
+        Self::pair_train_while_serve_on(som, schedule, seed_data, config, pool, workers)
+    }
+
+    /// [`train_while_serve`](Self::train_while_serve) over an existing
+    /// worker pool — the registry's tenant-construction path. `workers` must
+    /// already be resolved (non-zero).
+    pub(crate) fn pair_train_while_serve_on(
+        som: BSom,
+        schedule: TrainSchedule,
+        seed_data: &[(BinaryVector, ObjectLabel)],
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+        workers: usize,
+    ) -> (Self, Trainer) {
         let mut stats = vec![DecayedLabelStats::default(); som.neuron_count()];
         for (signature, label) in seed_data {
             if let Ok(winner) = som.winner(signature) {
@@ -898,13 +965,13 @@ impl SomService {
             .iter()
             .map(DecayedLabelStats::majority_label)
             .collect();
-        let service = Self::build(
+        let service = Self::build_on(
             som.packed_layer().clone(),
             labels,
             config.unknown_threshold,
-            config.workers,
-            config.queue_capacity,
             1,
+            pool,
+            workers,
         );
         let trainer = Trainer {
             core: Arc::clone(&service.core),
@@ -945,8 +1012,31 @@ impl SomService {
         path: impl AsRef<Path>,
     ) -> Result<(Self, Trainer), CheckpointError> {
         let doc = checkpoint::read_doc(path.as_ref())?;
+        let initial_version = doc.service_version + 1;
+        let workers = resolve_workers(doc.config.workers);
+        let queue_capacity = resolve_queue_capacity(doc.config.queue_capacity, workers);
+        let pool = Arc::new(WorkerPool::spawn(workers, queue_capacity));
+        Ok(Self::pair_from_doc_on(doc, initial_version, pool, workers))
+    }
+
+    /// Rebuilds a service/trainer pair from an in-memory [`CheckpointDoc`]
+    /// over an existing pool, publishing the restored state as exactly
+    /// `initial_version`.
+    ///
+    /// The public [`resume_from_checkpoint`](Self::resume_from_checkpoint)
+    /// passes `doc.service_version + 1` (a restart is visible as a version
+    /// bump); the registry's evict→reload path passes `doc.service_version`
+    /// unchanged, because there the checkpointed layer **is** the published
+    /// snapshot (trainers are published at every tick end before they can be
+    /// evicted) and the round-trip must be invisible to clients.
+    pub(crate) fn pair_from_doc_on(
+        doc: CheckpointDoc,
+        initial_version: u64,
+        pool: Arc<WorkerPool>,
+        workers: usize,
+    ) -> (Self, Trainer) {
         let CheckpointDoc {
-            service_version,
+            service_version: _,
             som,
             schedule,
             epochs_run,
@@ -975,13 +1065,13 @@ impl SomService {
             .iter()
             .map(DecayedLabelStats::majority_label)
             .collect();
-        let service = Self::build(
+        let service = Self::build_on(
             som.packed_layer().clone(),
             labels,
             config.unknown_threshold,
-            config.workers,
-            config.queue_capacity,
-            service_version + 1,
+            initial_version,
+            pool,
+            workers,
         );
         let trainer = Trainer {
             core: Arc::clone(&service.core),
@@ -997,7 +1087,7 @@ impl SomService {
             config,
             poisoned: false,
         };
-        Ok((service, trainer))
+        (service, trainer)
     }
 
     /// A point-in-time view of the supervision state: workers alive vs
@@ -1197,6 +1287,49 @@ impl Trainer {
         self.poisoned
     }
 
+    /// Recovers a **poisoned** trainer in place by rebuilding its map from
+    /// the last *published* snapshot — the in-memory recovery path when no
+    /// checkpoint file exists (the registry exposes this as
+    /// `replace_trainer`). Usable on a healthy trainer too, where it rolls
+    /// uncommitted steps back to the published state.
+    ///
+    /// The published layer is by construction the last consistent state a
+    /// client could observe, so the rebuilt map can never carry the
+    /// half-applied update that caused the poisoning. Win statistics are
+    /// kept: they are recorded only after a training step returns, so a
+    /// panicking step never tears them.
+    ///
+    /// Recovery is deterministic but **not** bit-identical to a run that
+    /// never panicked: the rebuilt map restarts its xorshift64* stream from
+    /// the fixed [`BSom::from_weights`] seed, and steps fed since the last
+    /// publish are lost (they were never visible to clients). The epoch and
+    /// step clocks continue from where training stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Som`] if the published layer cannot be rebuilt into a
+    /// map (cannot happen for layers produced by a trainer, which are never
+    /// empty).
+    pub fn reset_from_snapshot(&mut self) -> Result<(), EngineError> {
+        let snapshot = self.core.snapshot();
+        let layer = snapshot.layer();
+        let mut weights = Vec::with_capacity(layer.neuron_count());
+        for index in 0..layer.neuron_count() {
+            let mut weight = TriStateVector::all_dont_care(layer.vector_len());
+            layer.copy_neuron_into(index, &mut weight);
+            weights.push(weight);
+        }
+        // `from_weights` resets the update probabilities and neighbour rule
+        // to the defaults; re-apply the map's own configuration.
+        let config = *self.som.config();
+        self.som = BSom::from_weights(weights)?
+            .with_neighbour_rule(config.neighbour_rule)
+            .with_update_probabilities(config.relax_probability, config.commit_probability);
+        self.steps_since_publish = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+
     /// Writes a crash-safe checkpoint of the **entire training state** —
     /// weights with their `#`-counts, the xorshift64* RNG position, the
     /// schedule position, the step clocks, the decayed label statistics
@@ -1217,7 +1350,15 @@ impl Trainer {
         &self,
         path: impl AsRef<Path>,
     ) -> Result<CheckpointInfo, CheckpointError> {
-        let doc = CheckpointDoc {
+        checkpoint::write_doc(path.as_ref(), &self.checkpoint_doc())
+    }
+
+    /// The full training state as an in-memory checkpoint document — what
+    /// [`write_checkpoint`](Self::write_checkpoint) frames to disk. The
+    /// registry uses this (via the same `write_doc` frames) to spill cold
+    /// tenants.
+    pub(crate) fn checkpoint_doc(&self) -> CheckpointDoc {
+        CheckpointDoc {
             service_version: self.core.version.load(Ordering::Acquire),
             som: self.som.clone(),
             schedule: self.schedule,
@@ -1237,8 +1378,7 @@ impl Trainer {
                         .collect(),
                 })
                 .collect(),
-        };
-        checkpoint::write_doc(path.as_ref(), &doc)
+        }
     }
 
     /// Advances the schedule to the next epoch and publishes — the epoch
@@ -1310,6 +1450,23 @@ impl Trainer {
             labels,
             self.unknown_threshold,
         )
+    }
+
+    /// Steps fed since the last publish — 0 means the published snapshot is
+    /// exactly the trainer's current state. The registry's tick scheduler
+    /// uses this to publish only tenants that actually moved.
+    pub(crate) fn steps_since_publish(&self) -> u64 {
+        self.steps_since_publish
+    }
+
+    /// [`publish`](Self::publish) only when steps were fed since the last
+    /// publish; returns the new version, or `None` when already clean.
+    pub(crate) fn publish_if_dirty(&mut self) -> Option<u64> {
+        if self.steps_since_publish == 0 {
+            None
+        } else {
+            Some(self.publish())
+        }
     }
 
     /// Clears the accumulated win statistics. Useful for windowed labelling

@@ -1,0 +1,218 @@
+//! Property tier for the registry scheduler: **arbitrary** interleavings of
+//! feed / tick / evict / reload / classify / drain across up to 8 tenants
+//! leave every tenant bit-identical to N fully independent standalone
+//! services replaying the same per-tenant schedule.
+//!
+//! Where `tests/tenant_isolation.rs` hand-picks adversarial schedules, this
+//! tier lets proptest generate them: the op sequence is the input, the
+//! differential is the property. Maps are kept tiny (6 neurons × 64 bits)
+//! and case counts low so the tier stays inside tier-1 time budgets.
+
+use std::path::PathBuf;
+
+use bsom_engine::{EngineConfig, MapRegistry, RegistryConfig, SomService, Trainer};
+use bsom_signature::BinaryVector;
+use bsom_som::{BSom, BSomConfig, ObjectLabel, TrainSchedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NEURONS: usize = 6;
+const VECTOR_LEN: usize = 64;
+const LABELS: usize = 3;
+const MAX_TENANTS: usize = 8;
+
+/// One step of a generated schedule. Tenant indices are taken modulo the
+/// case's tenant count, so every generated op is valid.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Queue one deterministic example for tenant `t`.
+    Feed(usize),
+    /// Flush everything pending with one unbounded tick.
+    Tick,
+    /// Spill tenant `t` to disk (no-op if already evicted).
+    Evict(usize),
+    /// Reload tenant `t` eagerly (no-op if resident).
+    Reload(usize),
+    /// Compare classify output for tenant `t` against its reference.
+    Classify(usize),
+    /// Flush tenant `t` alone via `drain_tenant`.
+    Drain(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted by hand (the offline proptest stand-in has no `prop_oneof`):
+    // feeds dominate so schedules actually train.
+    (0usize..10, 0..MAX_TENANTS).prop_map(|(kind, t)| match kind {
+        0..=3 => Op::Feed(t),
+        4 | 5 => Op::Tick,
+        6 => Op::Evict(t),
+        7 => Op::Reload(t),
+        8 => Op::Classify(t),
+        _ => Op::Drain(t),
+    })
+}
+
+fn temp_dir(tag: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bsom-registry-schedule-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn make_som(seed: u64) -> BSom {
+    BSom::new(
+        BSomConfig::new(NEURONS, VECTOR_LEN),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// The reference half: one standalone service pair per tenant plus the
+/// tenant's own pending queue, mirroring the registry's slot exactly.
+struct Reference {
+    service: SomService,
+    trainer: Trainer,
+    pending: Vec<(BinaryVector, ObjectLabel)>,
+}
+
+impl Reference {
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        for (signature, label) in self.pending.drain(..) {
+            self.trainer.feed(&signature, label).unwrap();
+        }
+        self.trainer.publish();
+    }
+}
+
+/// Replays `ops` against a registry and N independent services, diffing
+/// continuously (classify ops) and exhaustively at the end (weights,
+/// `#`-counts, versions).
+fn run_schedule(tenants: usize, ops: &[Op], case_seed: u64) -> Result<(), TestCaseError> {
+    let dir = temp_dir(case_seed);
+    let config = EngineConfig::with_workers(1);
+    let registry = MapRegistry::new(RegistryConfig::new(config).with_spill_dir(&dir));
+    let mut references = Vec::new();
+    for t in 0..tenants {
+        let seed = case_seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        registry
+            .create_tenant(
+                t as u64,
+                make_som(seed),
+                TrainSchedule::new(usize::MAX),
+                &[],
+            )
+            .unwrap();
+        let (service, trainer) = SomService::train_while_serve(
+            make_som(seed),
+            TrainSchedule::new(usize::MAX),
+            &[],
+            config,
+        );
+        references.push(Reference {
+            service,
+            trainer,
+            pending: Vec::new(),
+        });
+    }
+
+    let mut example_rng = StdRng::seed_from_u64(case_seed ^ 0xFEED);
+    let probes: Vec<BinaryVector> = {
+        let mut rng = StdRng::seed_from_u64(case_seed ^ 0x9081);
+        (0..3)
+            .map(|_| BinaryVector::random(VECTOR_LEN, &mut rng))
+            .collect()
+    };
+
+    for op in ops {
+        match op {
+            Op::Feed(t) => {
+                let t = t % tenants;
+                let label = ObjectLabel::new(example_rng.gen_range(0..LABELS));
+                let signature = BinaryVector::random(VECTOR_LEN, &mut example_rng);
+                registry.feed(t as u64, &signature, label).unwrap();
+                references[t].pending.push((signature, label));
+            }
+            Op::Tick => {
+                let report = registry.train_tick(u64::MAX);
+                prop_assert!(report.failures.is_empty(), "tick failed: {report:?}");
+                for reference in &mut references {
+                    reference.flush();
+                }
+            }
+            Op::Evict(t) => {
+                // Ok whether resident or already evicted; the reference side
+                // has no notion of residency at all — that is the property.
+                registry.evict((t % tenants) as u64).unwrap();
+            }
+            Op::Reload(t) => {
+                registry.reload((t % tenants) as u64).unwrap();
+            }
+            Op::Classify(t) => {
+                let t = t % tenants;
+                let got = registry.classify(t as u64, &probes).unwrap();
+                let reference = &references[t];
+                let want = reference
+                    .service
+                    .classify_pinned(&reference.service.snapshot(), &probes);
+                prop_assert_eq!(got, want);
+            }
+            Op::Drain(t) => {
+                let t = t % tenants;
+                let (steps, version) = registry.drain_tenant(t as u64).unwrap();
+                let reference = &mut references[t];
+                prop_assert_eq!(steps as usize, reference.pending.len());
+                reference.flush();
+                prop_assert_eq!(version, reference.service.version());
+            }
+        }
+    }
+
+    // Exhaustive end-state differential: maps (weights + config + RNG
+    // stream), `#`-count sidecars, versions and pending backlogs all match.
+    let mut expected_pending = 0;
+    for (t, reference) in references.iter().enumerate() {
+        let som = registry.tenant_som(t as u64).unwrap();
+        prop_assert_eq!(&som, reference.trainer.som());
+        prop_assert_eq!(
+            som.dont_care_counts(),
+            reference.trainer.som().dont_care_counts()
+        );
+        prop_assert_eq!(
+            registry.version(t as u64).unwrap(),
+            reference.service.version()
+        );
+        expected_pending += reference.pending.len();
+    }
+    prop_assert_eq!(registry.stats().pending_steps, expected_pending as u64);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The schedule property itself: any interleaving, any tenant count
+    /// 1..=8, the registry is indistinguishable from N independent services.
+    #[test]
+    fn arbitrary_schedules_match_independent_services(
+        tenants in 1..MAX_TENANTS + 1,
+        ops in prop::collection::vec(op_strategy(), 1..48),
+        case_seed in 0u64..1 << 48,
+    ) {
+        run_schedule(tenants, &ops, case_seed)?;
+    }
+
+    /// Degenerate schedules — all ops against one tenant — exercise the
+    /// rr_cursor wrap-around and repeated evict/reload of the same slot.
+    #[test]
+    fn single_tenant_schedules_match_a_single_service(
+        ops in prop::collection::vec(op_strategy(), 1..32),
+        case_seed in 0u64..1 << 48,
+    ) {
+        run_schedule(1, &ops, case_seed)?;
+    }
+}

@@ -1,0 +1,200 @@
+//! Threaded registry stress: classify / feed / tick / evict from many
+//! threads at once against one [`MapRegistry`], proving the facade's single
+//! lock plus shared worker pool hold up — no deadlock, no panic, no lost
+//! training work — while the LRU cap churns tenants through the spill
+//! directory. The CI `registry` job runs this on both dispatch legs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bsom_engine::{EngineConfig, MapRegistry, RegistryConfig};
+use bsom_signature::BinaryVector;
+use bsom_som::{BSom, BSomConfig, ObjectLabel, TrainSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TENANTS: usize = 16;
+const NEURONS: usize = 8;
+const VECTOR_LEN: usize = 64;
+const LABELS: usize = 3;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("bsom-registry-stress-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn build_registry(dir: &PathBuf, max_resident: usize) -> Arc<MapRegistry> {
+    let mut config = RegistryConfig::new(EngineConfig::with_workers(2)).with_spill_dir(dir);
+    if max_resident > 0 {
+        config = config.with_max_resident(max_resident);
+    }
+    let registry = Arc::new(MapRegistry::new(config));
+    let mut rng = StdRng::seed_from_u64(0x57E55);
+    let seed_data: Vec<(BinaryVector, ObjectLabel)> = (0..6)
+        .map(|i| {
+            (
+                BinaryVector::random(VECTOR_LEN, &mut rng),
+                ObjectLabel::new(i % LABELS),
+            )
+        })
+        .collect();
+    for t in 0..TENANTS {
+        let som = BSom::new(
+            BSomConfig::new(NEURONS, VECTOR_LEN),
+            &mut StdRng::seed_from_u64(t as u64),
+        );
+        registry
+            .create_tenant(t as u64, som, TrainSchedule::new(usize::MAX), &seed_data)
+            .unwrap();
+    }
+    registry
+}
+
+/// The main stress: 4 classifier threads, 2 feeder threads and a ticker
+/// thread hammer 16 tenants concurrently. Every classify must succeed (no
+/// tenant is ever unservable), and when the dust settles every queued
+/// example must have become exactly one training step.
+#[test]
+fn concurrent_classify_feed_and_tick_lose_nothing() {
+    let registry = build_registry(&temp_dir("main"), 0);
+    let fed = Arc::new(AtomicU64::new(0));
+    let feeding_done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    for worker in 0..4u64 {
+        let registry = Arc::clone(&registry);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xC1A551F + worker);
+            for _ in 0..200 {
+                let tenant = rng.gen_range(0..TENANTS) as u64;
+                let probes = vec![BinaryVector::random(VECTOR_LEN, &mut rng)];
+                let predictions = registry.classify(tenant, probes).unwrap();
+                assert_eq!(predictions.len(), 1);
+            }
+        }));
+    }
+    for worker in 0..2u64 {
+        let registry = Arc::clone(&registry);
+        let fed = Arc::clone(&fed);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xFEED + worker);
+            for _ in 0..300 {
+                let tenant = rng.gen_range(0..TENANTS) as u64;
+                let signature = BinaryVector::random(VECTOR_LEN, &mut rng);
+                let label = ObjectLabel::new(rng.gen_range(0..LABELS));
+                registry.feed(tenant, &signature, label).unwrap();
+                fed.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    {
+        let registry = Arc::clone(&registry);
+        let feeding_done = Arc::clone(&feeding_done);
+        handles.push(std::thread::spawn(move || loop {
+            let report = registry.train_tick(64);
+            assert!(report.failures.is_empty(), "{report:?}");
+            if report.steps == 0 && feeding_done.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::yield_now();
+        }));
+    }
+
+    // Feeders and classifiers come down first, then the ticker drains what
+    // is left and exits.
+    let ticker = handles.pop().unwrap();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    feeding_done.store(true, Ordering::Release);
+    ticker.join().unwrap();
+
+    let stats = registry.stats();
+    assert_eq!(stats.tenants, TENANTS);
+    assert_eq!(stats.pending_steps, 0, "queued examples were lost");
+    assert_eq!(
+        stats.steps_total,
+        fed.load(Ordering::Relaxed),
+        "steps != feeds"
+    );
+    let health = registry.health();
+    assert_eq!(health.workers_alive, health.workers_configured);
+    for t in 0..TENANTS {
+        assert!(!registry.is_poisoned(t as u64).unwrap());
+        assert!(registry.version(t as u64).unwrap() >= 1);
+    }
+}
+
+/// Same shape with a tight residency cap: the eviction machinery churns
+/// tenants to disk *while* other threads classify and feed them, and
+/// nothing is lost or left unservable.
+#[test]
+fn concurrent_traffic_under_lru_churn_stays_consistent() {
+    let registry = build_registry(&temp_dir("churn"), 4);
+    let fed = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+
+    for worker in 0..3u64 {
+        let registry = Arc::clone(&registry);
+        let fed = Arc::clone(&fed);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xD15C + worker);
+            for step in 0..150 {
+                let tenant = rng.gen_range(0..TENANTS) as u64;
+                match step % 3 {
+                    0 => {
+                        let probes = vec![BinaryVector::random(VECTOR_LEN, &mut rng)];
+                        registry.classify(tenant, probes).unwrap();
+                    }
+                    1 => {
+                        let signature = BinaryVector::random(VECTOR_LEN, &mut rng);
+                        registry
+                            .feed(
+                                tenant,
+                                &signature,
+                                ObjectLabel::new(rng.gen_range(0..LABELS)),
+                            )
+                            .unwrap();
+                        fed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        let report = registry.train_tick(32);
+                        assert!(report.failures.is_empty(), "{report:?}");
+                    }
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Drain the backlog, then check the books balance.
+    loop {
+        let report = registry.train_tick(u64::MAX);
+        assert!(report.failures.is_empty(), "{report:?}");
+        if report.steps == 0 {
+            break;
+        }
+    }
+    let stats = registry.stats();
+    assert_eq!(stats.pending_steps, 0);
+    assert_eq!(stats.steps_total, fed.load(Ordering::Relaxed));
+    assert!(stats.evictions_total > 0, "the cap never churned anything");
+    assert!(stats.resident <= 4, "residency cap violated at rest");
+    for t in 0..TENANTS {
+        let predictions = registry
+            .classify(
+                t as u64,
+                vec![BinaryVector::random(
+                    VECTOR_LEN,
+                    &mut StdRng::seed_from_u64(t as u64),
+                )],
+            )
+            .unwrap();
+        assert_eq!(predictions.len(), 1);
+    }
+}

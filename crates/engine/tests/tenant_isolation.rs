@@ -1,0 +1,507 @@
+//! The differential tenant-isolation tier: every tenant behind
+//! [`MapRegistry`] must be **bit-identical** to a standalone [`SomService`]
+//! fed the same per-tenant schedule — weights, `#`-counts, RNG stream,
+//! snapshot versions and classify outputs — no matter how the registry
+//! interleaves the tenants, and across evict→reload round trips.
+//!
+//! The reference harness exploits two facts:
+//!
+//! * Tenants are independent: the global interleaving of feeds is
+//!   irrelevant as long as each tenant sees its own examples in FIFO order.
+//! * With [`EngineConfig::publish_every_steps`] unset (the default), a
+//!   trainer only publishes when told to; `train_tick` publishes exactly
+//!   once per tenant that trained, at tick end. So the reference mirrors a
+//!   flushed tick with "feed everything, then one explicit `publish()`".
+
+use std::path::PathBuf;
+
+use bsom_engine::{EngineConfig, EngineError, MapRegistry, RegistryConfig, SomService, Trainer};
+use bsom_signature::BinaryVector;
+use bsom_som::{BSom, BSomConfig, ObjectLabel, TrainSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NEURONS: usize = 12;
+const VECTOR_LEN: usize = 96;
+const LABELS: usize = 3;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bsom-tenant-isolation-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn make_som(seed: u64) -> BSom {
+    BSom::new(
+        BSomConfig::new(NEURONS, VECTOR_LEN),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// A labelled stream that is deterministic per (seed, length) so the
+/// registry side and the reference side replay identical examples.
+fn stream(seed: u64, steps: usize) -> Vec<(BinaryVector, ObjectLabel)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            let label = ObjectLabel::new(rng.gen_range(0..LABELS));
+            (BinaryVector::random(VECTOR_LEN, &mut rng), label)
+        })
+        .collect()
+}
+
+fn engine_config() -> EngineConfig {
+    // publish_every_steps stays None: publishes happen only at tick end
+    // (registry) / via explicit publish() (reference).
+    EngineConfig::with_workers(2)
+}
+
+/// One standalone train-while-serve pair — the ground truth a registry
+/// tenant is diffed against.
+struct Reference {
+    service: SomService,
+    trainer: Trainer,
+}
+
+impl Reference {
+    fn new(seed: u64, seed_data: &[(BinaryVector, ObjectLabel)]) -> Reference {
+        let (service, trainer) = SomService::train_while_serve(
+            make_som(seed),
+            TrainSchedule::new(usize::MAX),
+            seed_data,
+            engine_config(),
+        );
+        Reference { service, trainer }
+    }
+
+    /// Mirrors one flushed registry tick: feed the whole round FIFO, then
+    /// publish exactly once (only if something was fed — `train_tick` never
+    /// publishes a tenant that trained zero steps).
+    fn mirror_tick(&mut self, round: &[(BinaryVector, ObjectLabel)]) {
+        for (signature, label) in round {
+            self.trainer.feed(signature, *label).unwrap();
+        }
+        if !round.is_empty() {
+            self.trainer.publish();
+        }
+    }
+}
+
+/// The full bit-identity check for one tenant: map equality (weights,
+/// config and RNG stream via `BSom: PartialEq`), the packed `#`-count
+/// sidecar, the published snapshot version, and classify outputs through
+/// the serving path.
+fn assert_tenant_matches(
+    registry: &MapRegistry,
+    id: &str,
+    reference: &Reference,
+    probes: &[BinaryVector],
+    context: &str,
+) {
+    let som = registry.tenant_som(id).unwrap();
+    assert_eq!(
+        &som,
+        reference.trainer.som(),
+        "{context}: tenant {id} diverged from its standalone reference"
+    );
+    assert_eq!(
+        som.dont_care_counts(),
+        reference.trainer.som().dont_care_counts(),
+        "{context}: tenant {id} #-count sidecar diverged"
+    );
+    assert_eq!(
+        registry.version(id).unwrap(),
+        reference.service.version(),
+        "{context}: tenant {id} snapshot version diverged"
+    );
+    let registry_predictions = registry.classify(id, probes).unwrap();
+    let reference_predictions = reference
+        .service
+        .classify_pinned(&reference.service.snapshot(), probes);
+    assert_eq!(
+        registry_predictions, reference_predictions,
+        "{context}: tenant {id} classify outputs diverged"
+    );
+}
+
+/// The core differential: four tenants, feeds interleaved in a shuffled
+/// global order across several ticks, diffed against standalone services
+/// after every tick.
+#[test]
+fn interleaved_schedule_is_bit_identical_to_standalone_services() {
+    const TENANTS: usize = 4;
+    const ROUNDS: usize = 5;
+    let seed_data = stream(0xC0FFEE, 8);
+    let probes: Vec<BinaryVector> = stream(0xBEEF, 6).into_iter().map(|(v, _)| v).collect();
+
+    let registry = MapRegistry::new(RegistryConfig::new(engine_config()));
+    let mut references = Vec::new();
+    for t in 0..TENANTS {
+        let seed = 100 + t as u64;
+        registry
+            .create_tenant(
+                format!("tenant-{t}"),
+                make_som(seed),
+                TrainSchedule::new(usize::MAX),
+                &seed_data,
+            )
+            .unwrap();
+        references.push(Reference::new(seed, &seed_data));
+    }
+
+    let mut order_rng = StdRng::seed_from_u64(0x0DDBA11);
+    let mut streams: Vec<_> = (0..TENANTS)
+        .map(|t| stream(7_000 + t as u64, ROUNDS * 9).into_iter())
+        .collect();
+
+    for round in 0..ROUNDS {
+        // Interleave this round's feeds in a shuffled global order; tenant 3
+        // sits out every other round so ticks see uneven participation.
+        let mut rounds: Vec<Vec<(BinaryVector, ObjectLabel)>> = vec![Vec::new(); TENANTS];
+        let mut slots: Vec<usize> = (0..TENANTS)
+            .filter(|&t| t != 3 || round % 2 == 0)
+            .flat_map(|t| std::iter::repeat_n(t, 3 + t))
+            .collect();
+        for i in (1..slots.len()).rev() {
+            slots.swap(i, order_rng.gen_range(0..=i));
+        }
+        for t in slots {
+            let (signature, label) = streams[t].next().unwrap();
+            registry
+                .feed(format!("tenant-{t}"), &signature, label)
+                .unwrap();
+            rounds[t].push((signature, label));
+        }
+
+        // A budget far above the pending total flushes every tenant, so the
+        // reference "feed all, publish once" mirror is exact.
+        let report = registry.train_tick(u64::MAX);
+        assert!(report.failures.is_empty(), "round {round}: {report:?}");
+        let fed: u64 = rounds.iter().map(|r| r.len() as u64).sum();
+        assert_eq!(report.steps, fed, "round {round} did not flush");
+
+        for (t, reference) in references.iter_mut().enumerate() {
+            reference.mirror_tick(&rounds[t]);
+            assert_tenant_matches(
+                &registry,
+                &format!("tenant-{t}"),
+                reference,
+                &probes,
+                &format!("after round {round}"),
+            );
+        }
+    }
+
+    let stats = registry.stats();
+    assert_eq!(stats.tenants, TENANTS);
+    assert_eq!(stats.resident, TENANTS);
+    assert_eq!(stats.pending_steps, 0);
+}
+
+/// Evict→reload round trips must be invisible to the differential: a tenant
+/// spilled to disk and transparently reloaded on its next tick stays
+/// bit-identical to a reference that never left memory, including version
+/// continuity (reload resumes at the checkpointed version, publishes
+/// continue from there).
+#[test]
+fn evict_reload_round_trip_is_bit_identical_and_version_continuous() {
+    let dir = temp_dir("roundtrip");
+    let seed_data = stream(0x5EED, 8);
+    let probes: Vec<BinaryVector> = stream(0x9999, 4).into_iter().map(|(v, _)| v).collect();
+
+    let registry = MapRegistry::new(RegistryConfig::new(engine_config()).with_spill_dir(&dir));
+    registry
+        .create_tenant(
+            "hot",
+            make_som(1),
+            TrainSchedule::new(usize::MAX),
+            &seed_data,
+        )
+        .unwrap();
+    registry
+        .create_tenant(
+            "cold",
+            make_som(2),
+            TrainSchedule::new(usize::MAX),
+            &seed_data,
+        )
+        .unwrap();
+    let mut hot = Reference::new(1, &seed_data);
+    let mut cold = Reference::new(2, &seed_data);
+
+    // Round 1: both train, then "cold" is evicted to disk.
+    let round1_hot = stream(11, 7);
+    let round1_cold = stream(12, 5);
+    for (signature, label) in &round1_hot {
+        registry.feed("hot", signature, *label).unwrap();
+    }
+    for (signature, label) in &round1_cold {
+        registry.feed("cold", signature, *label).unwrap();
+    }
+    registry.train_tick(u64::MAX);
+    hot.mirror_tick(&round1_hot);
+    cold.mirror_tick(&round1_cold);
+
+    registry.evict("cold").unwrap();
+    assert!(!registry.is_resident("cold").unwrap());
+    // Version is still readable while evicted (served from the spill frame).
+    let version_while_evicted = registry.version("cold").unwrap();
+    assert_eq!(version_while_evicted, cold.service.version());
+    // So is the map itself — `tenant_som` transparently reloads.
+    assert_eq!(&registry.tenant_som("cold").unwrap(), cold.trainer.som());
+
+    // Feeding an evicted tenant queues work; the next tick reloads it.
+    registry.evict("cold").unwrap();
+    let round2_cold = stream(13, 6);
+    for (signature, label) in &round2_cold {
+        registry.feed("cold", signature, *label).unwrap();
+    }
+    assert!(!registry.is_resident("cold").unwrap());
+    let report = registry.train_tick(u64::MAX);
+    assert!(report.failures.is_empty(), "{report:?}");
+    assert!(report.reloads >= 1, "tick must have reloaded `cold`");
+    assert!(registry.is_resident("cold").unwrap());
+    cold.mirror_tick(&round2_cold);
+
+    assert_tenant_matches(&registry, "cold", &cold, &probes, "after evict→reload");
+    assert_tenant_matches(&registry, "hot", &hot, &probes, "hot bystander");
+    assert_eq!(
+        registry.version("cold").unwrap(),
+        version_while_evicted + 1,
+        "exactly one publish since the evicted checkpoint"
+    );
+
+    // Classify against an evicted tenant also round-trips transparently.
+    registry.evict("cold").unwrap();
+    let evicted_predictions = registry.classify("cold", &probes).unwrap();
+    let reference_predictions = cold
+        .service
+        .classify_pinned(&cold.service.snapshot(), &probes);
+    assert_eq!(evicted_predictions, reference_predictions);
+
+    let stats = registry.stats();
+    assert!(stats.evictions_total >= 3);
+    assert!(stats.reloads_total >= 2);
+}
+
+/// LRU residency enforcement under a tight `max_resident` cap must not
+/// perturb any tenant: with room for only 2 of 5 tenants, several rounds of
+/// skewed traffic (tenant 0 hot, the rest cold) still leave every tenant
+/// bit-identical to its never-evicted reference.
+#[test]
+fn lru_thrashing_under_max_resident_preserves_bit_identity() {
+    const TENANTS: usize = 5;
+    let dir = temp_dir("lru");
+    let seed_data = stream(0xFACE, 6);
+    let probes: Vec<BinaryVector> = stream(0x7777, 4).into_iter().map(|(v, _)| v).collect();
+
+    let registry = MapRegistry::new(
+        RegistryConfig::new(engine_config())
+            .with_spill_dir(&dir)
+            .with_max_resident(2),
+    );
+    let mut references = Vec::new();
+    for t in 0..TENANTS {
+        let seed = 500 + t as u64;
+        registry
+            .create_tenant(
+                format!("tenant-{t}"),
+                make_som(seed),
+                TrainSchedule::new(usize::MAX),
+                &seed_data,
+            )
+            .unwrap();
+        references.push(Reference::new(seed, &seed_data));
+    }
+    assert!(registry.stats().resident <= 2);
+
+    let mut streams: Vec<_> = (0..TENANTS)
+        .map(|t| stream(9_000 + t as u64, 64).into_iter())
+        .collect();
+    for round in 0..4 {
+        let mut rounds: Vec<Vec<(BinaryVector, ObjectLabel)>> = vec![Vec::new(); TENANTS];
+        // Skew: tenant 0 feeds every round, tenant `1 + round % 4` rotates in.
+        for t in [0, 1 + round % (TENANTS - 1)] {
+            for _ in 0..4 {
+                let (signature, label) = streams[t].next().unwrap();
+                registry
+                    .feed(format!("tenant-{t}"), &signature, label)
+                    .unwrap();
+                rounds[t].push((signature, label));
+            }
+        }
+        let report = registry.train_tick(u64::MAX);
+        assert!(report.failures.is_empty(), "round {round}: {report:?}");
+        for (t, reference) in references.iter_mut().enumerate() {
+            reference.mirror_tick(&rounds[t]);
+        }
+        assert!(
+            registry.stats().resident <= 2,
+            "round {round}: residency cap violated"
+        );
+    }
+
+    for (t, reference) in references.iter().enumerate() {
+        assert_tenant_matches(
+            &registry,
+            &format!("tenant-{t}"),
+            reference,
+            &probes,
+            "after LRU thrash",
+        );
+    }
+    assert!(registry.stats().evictions_total > 0, "cap never evicted");
+}
+
+/// RNG-stream isolation: training one tenant hard must leave an untouched
+/// sibling's map — including its private RNG state — bit-identical to a
+/// reference that also saw zero feeds.
+#[test]
+fn untouched_tenants_share_nothing_with_trained_neighbours() {
+    let seed_data = stream(0xAB, 6);
+    let registry = MapRegistry::new(RegistryConfig::new(engine_config()));
+    registry
+        .create_tenant(
+            "busy",
+            make_som(21),
+            TrainSchedule::new(usize::MAX),
+            &seed_data,
+        )
+        .unwrap();
+    registry
+        .create_tenant(
+            "idle",
+            make_som(22),
+            TrainSchedule::new(usize::MAX),
+            &seed_data,
+        )
+        .unwrap();
+    let idle_reference = Reference::new(22, &seed_data);
+
+    for (signature, label) in stream(77, 120) {
+        registry.feed("busy", &signature, label).unwrap();
+    }
+    let report = registry.train_tick(u64::MAX);
+    assert_eq!(report.steps, 120);
+    assert_eq!(report.tenants_trained, 1);
+
+    assert_eq!(
+        &registry.tenant_som("idle").unwrap(),
+        idle_reference.trainer.som()
+    );
+    assert_eq!(
+        registry.version("idle").unwrap(),
+        idle_reference.service.version()
+    );
+    assert_eq!(
+        registry.version("idle").unwrap(),
+        1,
+        "idle tenant never republished"
+    );
+}
+
+/// The fair scheduler spreads a small step budget round-robin: no tenant
+/// starves, leftover pending work carries to the next tick, and the final
+/// state is *still* bit-identical to the references (budgeted ticks change
+/// publish cadence but never per-tenant feed order). Versions advance once
+/// per tick a tenant trained in.
+#[test]
+fn budgeted_ticks_are_fair_and_still_bit_identical_at_the_end() {
+    const TENANTS: usize = 3;
+    const PER_TENANT: usize = 10;
+    let registry = MapRegistry::new(RegistryConfig::new(engine_config()));
+    let mut references = Vec::new();
+    let mut streams = Vec::new();
+    for t in 0..TENANTS {
+        let seed = 300 + t as u64;
+        registry
+            .create_tenant(
+                format!("tenant-{t}"),
+                make_som(seed),
+                TrainSchedule::new(usize::MAX),
+                &[],
+            )
+            .unwrap();
+        references.push(Reference::new(seed, &[]));
+        let examples = stream(4_000 + t as u64, PER_TENANT);
+        for (signature, label) in &examples {
+            registry
+                .feed(format!("tenant-{t}"), signature, *label)
+                .unwrap();
+        }
+        streams.push(examples);
+    }
+
+    // Budget of 6 over 3 tenants with 10 pending each: the fair scheduler
+    // gives every tenant exactly 2 steps per tick, for 5 ticks.
+    let mut ticks = 0;
+    let mut mirrored = [0usize; TENANTS];
+    loop {
+        let report = registry.train_tick(6);
+        if report.steps == 0 {
+            break;
+        }
+        ticks += 1;
+        assert!(ticks <= 5, "budget arithmetic drifted");
+        assert_eq!(report.steps, 6, "tick {ticks} under-used its budget");
+        assert_eq!(
+            report.tenants_trained, TENANTS,
+            "tick {ticks} starved a tenant"
+        );
+        for (t, reference) in references.iter_mut().enumerate() {
+            let fed = &streams[t][mirrored[t]..mirrored[t] + 2];
+            reference.mirror_tick(fed);
+            mirrored[t] += 2;
+        }
+    }
+    assert_eq!(ticks, 5);
+    assert_eq!(registry.stats().pending_steps, 0);
+
+    let probes: Vec<BinaryVector> = stream(0x1111, 4).into_iter().map(|(v, _)| v).collect();
+    for (t, reference) in references.iter().enumerate() {
+        assert_tenant_matches(
+            &registry,
+            &format!("tenant-{t}"),
+            reference,
+            &probes,
+            "after budgeted ticks",
+        );
+        // 5 ticks × one publish each on top of the initial v1.
+        assert_eq!(registry.version(format!("tenant-{t}")).unwrap(), 6);
+    }
+}
+
+/// `drain_tenant` flushes exactly the tenant's pending queue and reports
+/// the published version — and the flush is bit-identical to the reference.
+#[test]
+fn drain_tenant_flushes_and_reports_the_published_version() {
+    let registry = MapRegistry::new(RegistryConfig::new(engine_config()));
+    registry
+        .create_tenant("t", make_som(31), TrainSchedule::new(usize::MAX), &[])
+        .unwrap();
+    let mut reference = Reference::new(31, &[]);
+
+    let examples = stream(55, 9);
+    for (signature, label) in &examples {
+        registry.feed("t", signature, *label).unwrap();
+    }
+    let (steps, version) = registry.drain_tenant("t").unwrap();
+    reference.mirror_tick(&examples);
+
+    assert_eq!(steps, 9);
+    assert_eq!(version, reference.service.version());
+    assert_eq!(&registry.tenant_som("t").unwrap(), reference.trainer.som());
+
+    // Draining an empty queue is a no-op that still reports the version.
+    let (steps, version_again) = registry.drain_tenant("t").unwrap();
+    assert_eq!(steps, 0);
+    assert_eq!(version_again, version);
+
+    assert!(matches!(
+        registry.drain_tenant("missing"),
+        Err(EngineError::UnknownTenant { .. })
+    ));
+}

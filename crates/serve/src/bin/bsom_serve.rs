@@ -12,6 +12,12 @@
 //! the trainer and writes a crash-safe checkpoint before the drain response
 //! goes out. With `--addr-file PATH` the bound address (useful with port 0)
 //! is written for scripts to pick up.
+//!
+//! With `--tenants N` the binary fronts a [`MapRegistry`] instead of one
+//! map: N tenants named `tenant-0` .. `tenant-{N-1}` (format-1 frames route
+//! to `tenant-0`), a training pump thread spreading `--tick-budget` steps
+//! per tick fairly across tenants, and optional LRU eviction to
+//! `--spill-dir` when more than `--max-resident` tenants are resident.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -19,9 +25,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bsom_engine::{EngineConfig, MapRegistry, RegistryConfig};
 use bsom_serve::bench::{bench_service, synthetic_corpus};
 use bsom_serve::scheduler::SchedulerConfig;
 use bsom_serve::server::{DrainHook, ServeConfig, Server};
+use bsom_som::{BSom, BSomConfig, TrainSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 struct Args {
     addr: String,
@@ -35,6 +45,10 @@ struct Args {
     max_delay_micros: u64,
     queue_capacity: usize,
     batch_of_one: bool,
+    tenants: usize,
+    max_resident: usize,
+    spill_dir: Option<String>,
+    tick_budget: u64,
 }
 
 impl Args {
@@ -51,13 +65,18 @@ impl Args {
             max_delay_micros: 1000,
             queue_capacity: 1024,
             batch_of_one: false,
+            tenants: 0,
+            max_resident: 0,
+            spill_dir: None,
+            tick_budget: 256,
         }
     }
 }
 
 const USAGE: &str = "usage: bsom-serve [--addr HOST:PORT] [--addr-file PATH] \
 [--checkpoint PATH] [--neurons N] [--vector-len BITS] [--labels N] [--seed N] \
-[--max-batch SIGS] [--max-delay-micros N] [--queue-capacity N] [--batch-of-one]";
+[--max-batch SIGS] [--max-delay-micros N] [--queue-capacity N] [--batch-of-one] \
+[--tenants N] [--max-resident N] [--spill-dir PATH] [--tick-budget STEPS]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::defaults();
@@ -79,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
             "--max-delay-micros" => args.max_delay_micros = parse(&value("--max-delay-micros")?)?,
             "--queue-capacity" => args.queue_capacity = parse(&value("--queue-capacity")?)?,
             "--batch-of-one" => args.batch_of_one = true,
+            "--tenants" => args.tenants = parse(&value("--tenants")?)?,
+            "--max-resident" => args.max_resident = parse(&value("--max-resident")?)?,
+            "--spill-dir" => args.spill_dir = Some(value("--spill-dir")?),
+            "--tick-budget" => args.tick_budget = parse(&value("--tick-budget")?)?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -92,6 +115,108 @@ where
 {
     raw.parse()
         .map_err(|e| format!("cannot parse {raw:?}: {e}"))
+}
+
+/// The multi-tenant path: a [`MapRegistry`] of `--tenants` synthetic maps
+/// behind [`Server::bind_registry`], with a training pump thread draining
+/// the tenants' pending queues fairly (`--tick-budget` steps per tick).
+fn run_registry(args: &Args, dispatch: bsom_signature::Dispatch) -> ExitCode {
+    if args.max_resident > 0 && args.spill_dir.is_none() {
+        eprintln!("bsom-serve: --max-resident needs --spill-dir to evict into\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut config = RegistryConfig::new(EngineConfig::default().with_publish_every_steps(64));
+    if let Some(dir) = &args.spill_dir {
+        if let Err(error) = std::fs::create_dir_all(dir) {
+            eprintln!("bsom-serve: cannot create spill dir {dir}: {error}");
+            return ExitCode::from(2);
+        }
+        config = config.with_spill_dir(dir);
+    }
+    if args.max_resident > 0 {
+        config = config.with_max_resident(args.max_resident);
+    }
+    let registry = Arc::new(MapRegistry::new(config));
+    let corpus = synthetic_corpus(args.vector_len, args.labels, 8, 24, args.seed);
+    for tenant in 0..args.tenants {
+        let som = BSom::new(
+            BSomConfig::new(args.neurons, args.vector_len),
+            &mut StdRng::seed_from_u64(args.seed.wrapping_add(tenant as u64)),
+        );
+        if let Err(error) = registry.create_tenant(
+            format!("tenant-{tenant}"),
+            som,
+            TrainSchedule::new(usize::MAX),
+            &corpus,
+        ) {
+            eprintln!("bsom-serve: cannot create tenant-{tenant}: {error}");
+            return ExitCode::from(1);
+        }
+    }
+
+    // The pump is what turns wire-fed examples into training steps; the
+    // drain hook stops it, after which the server's own drain path flushes
+    // whatever is still pending.
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump_stop = Arc::clone(&stop);
+    let pump_registry = Arc::clone(&registry);
+    let budget = args.tick_budget;
+    let pump = std::thread::spawn(move || {
+        while !pump_stop.load(Ordering::Relaxed) {
+            let report = pump_registry.train_tick(budget);
+            for (tenant, error) in &report.failures {
+                eprintln!("bsom-serve: tenant {tenant} failed a training step: {error}");
+            }
+            if report.steps == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    });
+    let drain_hook: DrainHook = Box::new(move || {
+        stop.store(true, Ordering::Relaxed);
+        let _ = pump.join();
+        false
+    });
+
+    let server = match Server::bind_registry(
+        Arc::clone(&registry),
+        "tenant-0",
+        args.addr.as_str(),
+        ServeConfig::default(),
+        Some(drain_hook),
+    ) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("bsom-serve: cannot bind {}: {error}", args.addr);
+            return ExitCode::from(1);
+        }
+    };
+    let local_addr: SocketAddr = server.local_addr();
+    if let Some(path) = &args.addr_file {
+        if let Err(error) = std::fs::write(path, local_addr.to_string()) {
+            eprintln!("bsom-serve: cannot write --addr-file {path}: {error}");
+            return ExitCode::from(1);
+        }
+    }
+    eprintln!(
+        "bsom-serve: serving {} tenants of {} neurons x {} bits on {local_addr} \
+         (dispatch {dispatch:?}, max_resident {}); send a drain frame to stop",
+        args.tenants, args.neurons, args.vector_len, args.max_resident
+    );
+
+    let summary = server.wait_until_drained();
+    server.join();
+    let stats = registry.stats();
+    eprintln!(
+        "bsom-serve: drained cleanly — {} training steps flushed, {} total steps, \
+         {} evictions, {} reloads, final default-tenant snapshot v{}",
+        summary.requests_flushed,
+        stats.steps_total,
+        stats.evictions_total,
+        stats.reloads_total,
+        summary.final_version
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -110,6 +235,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.tenants > 0 {
+        return run_registry(&args, dispatch);
+    }
 
     let corpus = synthetic_corpus(args.vector_len, args.labels, 32, 24, args.seed);
     let (service, trainer) = bench_service(args.neurons, args.vector_len, args.seed, &corpus);

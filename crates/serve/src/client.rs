@@ -92,9 +92,19 @@ pub struct SendHalf {
 }
 
 impl SendHalf {
-    /// Sends one classify request.
+    /// Sends one classify request against the default tenant.
     pub fn send_classify(&mut self, signatures: &[BinaryVector]) -> Result<(), WireError> {
         self.send_frame(&wire::encode_classify_request(signatures))
+    }
+
+    /// Sends one classify request against `tenant` (`None` = default
+    /// tenant, byte-identical to [`send_classify`](Self::send_classify)).
+    pub fn send_classify_tenant(
+        &mut self,
+        tenant: Option<&str>,
+        signatures: &[BinaryVector],
+    ) -> Result<(), WireError> {
+        self.send_frame(&wire::encode_classify_request_for(tenant, signatures))
     }
 
     /// Sends one pre-encoded frame — load generators encode once and replay.
@@ -165,9 +175,47 @@ impl ServeClient {
         &mut self,
         signatures: &[BinaryVector],
     ) -> Result<Vec<Prediction>, ClientError> {
-        self.send.send_classify(signatures)?;
+        self.classify_tenant(None, signatures)
+    }
+
+    /// [`classify`](Self::classify) against a named tenant of a registry
+    /// server. `None` is the default tenant and emits a format-1 frame, so
+    /// this method also works against pre-tenant servers.
+    pub fn classify_tenant(
+        &mut self,
+        tenant: Option<&str>,
+        signatures: &[BinaryVector],
+    ) -> Result<Vec<Prediction>, ClientError> {
+        self.send.send_classify_tenant(tenant, signatures)?;
         match self.recv.recv()?.ok_or(ClientError::Disconnected)? {
             WireMessage::ClassifyResponse { predictions } => Ok(predictions),
+            WireMessage::OverloadedResponse {
+                queue_depth,
+                queue_capacity,
+            } => Err(ClientError::Overloaded {
+                queue_depth,
+                queue_capacity,
+            }),
+            WireMessage::ErrorResponse { code, message } => {
+                Err(ClientError::Rejected { code, message })
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Feeds labelled training examples to a tenant of a registry server
+    /// (`None` = default tenant); returns how many the server queued.
+    pub fn train(
+        &mut self,
+        tenant: Option<&str>,
+        examples: &[(BinaryVector, u64)],
+    ) -> Result<u64, ClientError> {
+        let message = WireMessage::TrainRequest {
+            tenant: tenant.map(str::to_string),
+            examples: examples.to_vec(),
+        };
+        match self.request(&message)? {
+            WireMessage::TrainResponse { accepted } => Ok(accepted),
             WireMessage::OverloadedResponse {
                 queue_depth,
                 queue_capacity,
@@ -195,7 +243,18 @@ impl ServeClient {
 
     /// Asks the server to drain gracefully; returns what the drain did.
     pub fn drain(&mut self) -> Result<DrainSummary, ClientError> {
-        match self.request(&WireMessage::DrainRequest)? {
+        self.drain_request(None)
+    }
+
+    /// Asks a registry server to flush one tenant's queued training work;
+    /// the server keeps running. [`DrainSummary::requests_flushed`] counts
+    /// the training steps flushed.
+    pub fn drain_tenant(&mut self, tenant: &str) -> Result<DrainSummary, ClientError> {
+        self.drain_request(Some(tenant.to_string()))
+    }
+
+    fn drain_request(&mut self, tenant: Option<String>) -> Result<DrainSummary, ClientError> {
+        match self.request(&WireMessage::DrainRequest { tenant })? {
             WireMessage::DrainResponse(summary) => Ok(summary),
             WireMessage::ErrorResponse { code, message } => {
                 Err(ClientError::Rejected { code, message })

@@ -16,7 +16,10 @@
 //! * [`server`] — the `std::net` listener, per-connection reader/writer
 //!   threads (responses strictly in request order, so clients may
 //!   pipeline), the wire health endpoint, and graceful drain with an
-//!   optional checkpoint hook.
+//!   optional checkpoint hook. [`Server::bind_registry`] fronts a whole
+//!   [`MapRegistry`](bsom_engine::MapRegistry) — format-2 frames address
+//!   tenants by id, format-1 frames keep working against the default
+//!   tenant.
 //! * [`client`] — a blocking client, splittable for pipelining.
 //! * [`loadgen`] — the open-loop (coordinated-omission-free) and
 //!   closed-loop load harness behind the `loadgen` binary.

@@ -145,7 +145,7 @@ struct StatsInner {
 }
 
 /// A point-in-time copy of the scheduler counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedulerSnapshot {
     /// Requests waiting in the pending queue right now.
     pub pending: usize,

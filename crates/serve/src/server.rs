@@ -32,7 +32,8 @@ use std::thread::{Builder, JoinHandle};
 use std::time::Duration;
 use std::{fmt, io};
 
-use bsom_engine::{faultpoint, SomService};
+use bsom_engine::{faultpoint, EngineError, MapRegistry, SomService, TenantId};
+use bsom_som::ObjectLabel;
 
 use crate::scheduler::{BatchReply, ClassifyJob, MicroBatcher, SchedulerConfig, SchedulerSnapshot};
 use crate::wire::{self, DrainSummary, ErrorCode, WireHealth, WireMessage};
@@ -80,9 +81,29 @@ enum Pending {
     Wait(Receiver<BatchReply>),
 }
 
+/// What the front-end serves: one map, or many behind a registry.
+enum Backend {
+    /// The classic single-map path: classify requests flow through the
+    /// micro-batching scheduler; tenant-addressed and train frames are
+    /// rejected typed.
+    Single {
+        service: Arc<SomService>,
+        batcher: MicroBatcher,
+    },
+    /// The multi-tenant path: classify requests route to
+    /// [`MapRegistry::classify`] per tenant (a frame without a tenant id
+    /// goes to `default_tenant`), train frames feed the tenant's pending
+    /// queue, and a tenant-addressed drain flushes just that tenant.
+    /// Classification runs inline on the connection's reader thread —
+    /// cross-tenant batches cannot coalesce, so there is no scheduler.
+    Registry {
+        registry: Arc<MapRegistry>,
+        default_tenant: TenantId,
+    },
+}
+
 struct ServerShared {
-    service: Arc<SomService>,
-    batcher: MicroBatcher,
+    backend: Backend,
     config: ServeConfig,
     draining: AtomicBool,
     drain_done: Mutex<Option<DrainSummary>>,
@@ -124,13 +145,49 @@ impl Server {
         config: ServeConfig,
         drain_hook: Option<DrainHook>,
     ) -> io::Result<Server> {
+        let batcher = MicroBatcher::new(service.recognizer(), config.scheduler.clone());
+        Self::bind_backend(
+            Backend::Single { service, batcher },
+            addr,
+            config,
+            drain_hook,
+        )
+    }
+
+    /// Binds `addr` and serves every tenant of `registry`. Frames without a
+    /// tenant id (including every format-1 frame from a pre-tenant client)
+    /// route to `default_tenant`, which must already exist in the registry.
+    ///
+    /// The server only *routes*: it feeds train requests into tenants'
+    /// pending queues and answers classifies from published snapshots.
+    /// Driving [`MapRegistry::train_tick`] is the embedder's job (the
+    /// `bsom-serve` binary runs a training pump thread), except that a
+    /// tenant-addressed drain flushes that tenant synchronously.
+    pub fn bind_registry(
+        registry: Arc<MapRegistry>,
+        default_tenant: impl Into<TenantId>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        drain_hook: Option<DrainHook>,
+    ) -> io::Result<Server> {
+        let backend = Backend::Registry {
+            registry,
+            default_tenant: default_tenant.into(),
+        };
+        Self::bind_backend(backend, addr, config, drain_hook)
+    }
+
+    fn bind_backend(
+        backend: Backend,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        drain_hook: Option<DrainHook>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let batcher = MicroBatcher::new(service.recognizer(), config.scheduler.clone());
         let shared = Arc::new(ServerShared {
-            service,
-            batcher,
+            backend,
             config,
             draining: AtomicBool::new(false),
             drain_done: Mutex::new(None),
@@ -161,9 +218,13 @@ impl Server {
         build_health(&self.shared)
     }
 
-    /// The scheduler's counters.
+    /// The scheduler's counters. A registry-backed server has no scheduler
+    /// (cross-tenant batches cannot coalesce) and reports all zeros.
     pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
-        self.shared.batcher.snapshot()
+        match &self.shared.backend {
+            Backend::Single { batcher, .. } => batcher.snapshot(),
+            Backend::Registry { .. } => SchedulerSnapshot::default(),
+        }
     }
 
     /// Drains gracefully: stop accepting, flush admitted requests, run the
@@ -276,10 +337,21 @@ fn spawn_connection(shared: &Arc<ServerShared>, stream: TcpStream) -> io::Result
 }
 
 fn build_health(shared: &ServerShared) -> WireHealth {
-    let service = shared.service.health();
-    let scheduler = shared.batcher.snapshot();
+    let (service, scheduler, snapshot_version) = match &shared.backend {
+        Backend::Single { service, batcher } => {
+            (service.health(), batcher.snapshot(), service.version())
+        }
+        Backend::Registry {
+            registry,
+            default_tenant,
+        } => (
+            registry.health(),
+            SchedulerSnapshot::default(),
+            registry.version(default_tenant.clone()).unwrap_or(0),
+        ),
+    };
     WireHealth {
-        snapshot_version: shared.service.version(),
+        snapshot_version,
         workers_configured: service.workers_configured as u64,
         workers_alive: service.workers_alive as u64,
         engine_queue_depth: service.queue_depth as u64,
@@ -318,17 +390,70 @@ fn begin_drain(shared: &ServerShared) -> DrainSummary {
     // New classify requests are now rejected and the accept loop is on its
     // way out; everything already admitted flushes below.
     faultpoint::hit("service.drain");
-    let requests_flushed = shared.batcher.drain();
+    let (requests_flushed, final_version) = match &shared.backend {
+        Backend::Single { service, batcher } => (batcher.drain(), service.version()),
+        Backend::Registry {
+            registry,
+            default_tenant,
+        } => {
+            // Flush every tenant's pending training work; a tenant whose
+            // flush fails (torn spill file, poisoned trainer) keeps its
+            // queue — the drain is best-effort per tenant, never partial
+            // within one.
+            let mut flushed = 0;
+            for id in registry.tenant_ids() {
+                if let Ok((steps, _version)) = registry.drain_tenant(id) {
+                    flushed += steps;
+                }
+            }
+            (
+                flushed,
+                registry.version(default_tenant.clone()).unwrap_or(0),
+            )
+        }
+    };
     let hook = lock_recovering(&shared.drain_hook).take();
     let checkpoint_written = hook.map(|hook| hook()).unwrap_or(false);
     let summary = DrainSummary {
         requests_flushed,
         checkpoint_written,
-        final_version: shared.service.version(),
+        final_version,
     };
     *lock_recovering(&shared.drain_done) = Some(summary.clone());
     shared.drain_cv.notify_all();
     summary
+}
+
+/// Maps an engine failure to its wire response: tenant addressing mistakes
+/// are the client's fault ([`ErrorCode::Malformed`]), an over-full engine
+/// queue is an overload shed, everything else is internal.
+fn engine_error_response(error: EngineError) -> WireMessage {
+    match error {
+        EngineError::Overloaded {
+            queue_depth,
+            queue_capacity,
+        } => WireMessage::OverloadedResponse {
+            queue_depth: queue_depth as u64,
+            queue_capacity: queue_capacity as u64,
+        },
+        EngineError::UnknownTenant { .. } | EngineError::DuplicateTenant { .. } => {
+            WireMessage::ErrorResponse {
+                code: ErrorCode::Malformed,
+                message: error.to_string(),
+            }
+        }
+        other => WireMessage::ErrorResponse {
+            code: ErrorCode::Internal,
+            message: other.to_string(),
+        },
+    }
+}
+
+/// Resolves a frame's optional tenant id against the registry's default.
+fn resolve_tenant(tenant: Option<String>, default_tenant: &TenantId) -> TenantId {
+    tenant
+        .map(TenantId::from)
+        .unwrap_or_else(|| default_tenant.clone())
 }
 
 fn read_loop(stream: TcpStream, shared: Arc<ServerShared>, out: SyncSender<Pending>) {
@@ -336,7 +461,7 @@ fn read_loop(stream: TcpStream, shared: Arc<ServerShared>, out: SyncSender<Pendi
     loop {
         match wire::read_message(&mut reader) {
             Ok(None) => return, // clean EOF
-            Ok(Some(WireMessage::ClassifyRequest { signatures })) => {
+            Ok(Some(WireMessage::ClassifyRequest { tenant, signatures })) => {
                 if shared.draining.load(Ordering::SeqCst) {
                     let rejected = Pending::Ready(WireMessage::ErrorResponse {
                         code: ErrorCode::Draining,
@@ -347,24 +472,93 @@ fn read_loop(stream: TcpStream, shared: Arc<ServerShared>, out: SyncSender<Pendi
                     }
                     continue;
                 }
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let job = ClassifyJob {
-                    signatures,
-                    reply: reply_tx,
-                };
-                let pending = match shared.batcher.submit(job) {
-                    Ok(()) => Pending::Wait(reply_rx),
-                    Err(_job) => {
-                        // Admission control: the scheduler's bounded queue is
-                        // full. Same typed response the engine queue produces.
-                        let scheduler = shared.batcher.snapshot();
-                        Pending::Ready(WireMessage::OverloadedResponse {
-                            queue_depth: scheduler.pending as u64,
-                            queue_capacity: scheduler.queue_capacity as u64,
+                let pending = match &shared.backend {
+                    Backend::Single { batcher, .. } => {
+                        if tenant.is_some() {
+                            Pending::Ready(WireMessage::ErrorResponse {
+                                code: ErrorCode::Malformed,
+                                message: "this server fronts a single map; tenant \
+                                          addressing needs a registry server"
+                                    .to_string(),
+                            })
+                        } else {
+                            let (reply_tx, reply_rx) = mpsc::channel();
+                            let job = ClassifyJob {
+                                signatures,
+                                reply: reply_tx,
+                            };
+                            match batcher.submit(job) {
+                                Ok(()) => Pending::Wait(reply_rx),
+                                Err(_job) => {
+                                    // Admission control: the scheduler's
+                                    // bounded queue is full. Same typed
+                                    // response the engine queue produces.
+                                    let scheduler = batcher.snapshot();
+                                    Pending::Ready(WireMessage::OverloadedResponse {
+                                        queue_depth: scheduler.pending as u64,
+                                        queue_capacity: scheduler.queue_capacity as u64,
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    Backend::Registry {
+                        registry,
+                        default_tenant,
+                    } => {
+                        let id = resolve_tenant(tenant, default_tenant);
+                        Pending::Ready(match registry.classify(id, signatures) {
+                            Ok(predictions) => WireMessage::ClassifyResponse { predictions },
+                            Err(error) => engine_error_response(error),
                         })
                     }
                 };
                 if out.send(pending).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(WireMessage::TrainRequest { tenant, examples })) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    let rejected = Pending::Ready(WireMessage::ErrorResponse {
+                        code: ErrorCode::Draining,
+                        message: "server is draining; no new train requests".to_string(),
+                    });
+                    if out.send(rejected).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                let response = match &shared.backend {
+                    Backend::Single { .. } => WireMessage::ErrorResponse {
+                        code: ErrorCode::Malformed,
+                        message: "this server fronts a single map; training over the \
+                                  wire needs a registry server"
+                            .to_string(),
+                    },
+                    Backend::Registry {
+                        registry,
+                        default_tenant,
+                    } => {
+                        let id = resolve_tenant(tenant, default_tenant);
+                        let mut accepted = 0u64;
+                        let mut failure = None;
+                        for (signature, label) in &examples {
+                            let label = ObjectLabel::new(*label as usize);
+                            match registry.feed(id.clone(), signature, label) {
+                                Ok(()) => accepted += 1,
+                                Err(error) => {
+                                    failure = Some(error);
+                                    break;
+                                }
+                            }
+                        }
+                        match failure {
+                            None => WireMessage::TrainResponse { accepted },
+                            Some(error) => engine_error_response(error),
+                        }
+                    }
+                };
+                if out.send(Pending::Ready(response)).is_err() {
                     return;
                 }
             }
@@ -375,15 +569,41 @@ fn read_loop(stream: TcpStream, shared: Arc<ServerShared>, out: SyncSender<Pendi
                     return;
                 }
             }
-            Ok(Some(WireMessage::DrainRequest)) => {
-                // Blocks until the flush + hook finish; the response is
-                // queued *behind* this connection's earlier classify
-                // responses, so the requester sees its own verdicts first.
-                let summary = begin_drain(&shared);
-                if out
-                    .send(Pending::Ready(WireMessage::DrainResponse(summary)))
-                    .is_err()
-                {
+            Ok(Some(WireMessage::DrainRequest { tenant })) => {
+                let response = match (&shared.backend, tenant) {
+                    (Backend::Single { .. }, Some(_)) => WireMessage::ErrorResponse {
+                        code: ErrorCode::Malformed,
+                        message: "this server fronts a single map; tenant drains need \
+                                  a registry server"
+                            .to_string(),
+                    },
+                    (
+                        Backend::Registry {
+                            registry,
+                            default_tenant: _,
+                        },
+                        Some(tenant),
+                    ) => {
+                        // A tenant drain flushes just that tenant's pending
+                        // queue — the server keeps running.
+                        match registry.drain_tenant(tenant) {
+                            Ok((steps_flushed, final_version)) => {
+                                WireMessage::DrainResponse(DrainSummary {
+                                    requests_flushed: steps_flushed,
+                                    checkpoint_written: false,
+                                    final_version,
+                                })
+                            }
+                            Err(error) => engine_error_response(error),
+                        }
+                    }
+                    // Blocks until the flush + hook finish; the response is
+                    // queued *behind* this connection's earlier classify
+                    // responses, so the requester sees its own verdicts
+                    // first.
+                    (_, None) => WireMessage::DrainResponse(begin_drain(&shared)),
+                };
+                if out.send(Pending::Ready(response)).is_err() {
                     return;
                 }
             }

@@ -8,7 +8,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"BSOMWIRE"
-//! 8       4     format version, u32 LE (currently 1)
+//! 8       4     format version, u32 LE (1 or 2)
 //! 12      1     message kind (see below)
 //! 13      8     payload length L, u64 LE
 //! 21      L     payload (kind-specific, fixed-width LE fields)
@@ -22,6 +22,28 @@
 //! [`BinaryVector::from_words`] without per-bit repacking — the zero-copy
 //! path into a `SignatureBatch` — and rejects any frame whose tail bits
 //! violate the packing invariant.
+//!
+//! # Format 2: tenant addressing
+//!
+//! Format 2 frames front the multi-tenant
+//! [`MapRegistry`](bsom_engine::registry::MapRegistry): every *request*
+//! payload that routes to a tenant (classify, train, drain) opens with a
+//! tenant-id prefix — a `u32` length followed by that many UTF-8 bytes
+//! (≤ [`MAX_TENANT_ID_BYTES`]), where length 0 means the server's default
+//! tenant. Response payloads are unchanged (the connection knows which
+//! request a response answers). Format 2 also adds the train request /
+//! response kinds, which do not exist in format 1.
+//!
+//! Compatibility is strictly one-way and proven by `tests/wire_corruption.rs`:
+//!
+//! * The encoder emits format 1 whenever the message is expressible in it
+//!   (no tenant, no train kind), byte-identical to the format-1 encoder, so
+//!   old servers keep working with new default-tenant clients.
+//! * This decoder accepts both formats; a format-1 frame simply has no
+//!   tenant field and routes to the default tenant.
+//! * An old (format-1-only) decoder rejects every format-2 frame with a
+//!   typed [`WireError::UnsupportedFormat`] before reading any payload —
+//!   emulated by [`decode_message_with_max_format`].
 
 use std::error::Error;
 use std::fmt;
@@ -34,8 +56,19 @@ use serde::{Deserialize, Serialize};
 /// Magic bytes opening every frame.
 pub const WIRE_MAGIC: [u8; 8] = *b"BSOMWIRE";
 
-/// Current wire format version.
+/// The baseline wire format version: no tenant addressing.
 pub const WIRE_FORMAT: u32 = 1;
+
+/// The tenant-addressed wire format version (see the [module docs](self)
+/// §"Format 2"). The encoder uses it only for messages format 1 cannot
+/// express; the decoder accepts both.
+pub const WIRE_FORMAT_TENANT: u32 = 2;
+
+/// Longest tenant id (in UTF-8 bytes) a format-2 frame may carry.
+pub const MAX_TENANT_ID_BYTES: usize = 128;
+
+/// Most labelled examples one train request may carry.
+pub const MAX_TRAIN_EXAMPLES: u32 = 4096;
 
 /// Fixed frame header length: magic (8) + format (4) + kind (1) + payload
 /// length (8).
@@ -73,9 +106,13 @@ mod kind {
     pub const CLASSIFY_REQUEST: u8 = 0x01;
     pub const HEALTH_REQUEST: u8 = 0x02;
     pub const DRAIN_REQUEST: u8 = 0x03;
+    /// Format 2 only: feed labelled examples to a tenant.
+    pub const TRAIN_REQUEST: u8 = 0x04;
     pub const CLASSIFY_RESPONSE: u8 = 0x81;
     pub const HEALTH_RESPONSE: u8 = 0x82;
     pub const DRAIN_RESPONSE: u8 = 0x83;
+    /// Format 2 only: acknowledgement of a train request.
+    pub const TRAIN_RESPONSE: u8 = 0x84;
     pub const OVERLOADED_RESPONSE: u8 = 0x8E;
     pub const ERROR_RESPONSE: u8 = 0x8F;
 }
@@ -96,7 +133,8 @@ pub enum WireError {
         /// The bytes found instead.
         found: [u8; 8],
     },
-    /// The format version is not [`WIRE_FORMAT`].
+    /// The format version is outside the decoder's supported range
+    /// ([`WIRE_FORMAT`]..=[`WIRE_FORMAT_TENANT`]).
     UnsupportedFormat {
         /// The version found.
         found: u32,
@@ -153,7 +191,7 @@ impl fmt::Display for WireError {
             WireError::UnsupportedFormat { found } => {
                 write!(
                     f,
-                    "unsupported wire format {found} (expected {WIRE_FORMAT})"
+                    "unsupported wire format {found} (expected {WIRE_FORMAT}..={WIRE_FORMAT_TENANT})"
                 )
             }
             WireError::UnknownKind { found } => write!(f, "unknown message kind {found:#04x}"),
@@ -287,21 +325,45 @@ pub struct DrainSummary {
 }
 
 /// One decoded wire message.
+///
+/// Tenant fields (`tenant: Option<String>`) address the multi-tenant
+/// registry: `None` is the server's default tenant and encodes as a plain
+/// format-1 frame; `Some(id)` requires a format-2 frame. A decoded format-1
+/// frame always carries `tenant: None`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMessage {
     /// Classify a batch of signatures.
     ClassifyRequest {
+        /// The tenant to classify against (`None` = default tenant).
+        tenant: Option<String>,
         /// The signatures to classify, in request order.
         signatures: Vec<BinaryVector>,
     },
     /// Ask for a [`WireHealth`] report.
     HealthRequest,
-    /// Ask the server to drain gracefully.
-    DrainRequest,
+    /// Ask the server to drain gracefully — or, with a tenant on a registry
+    /// server, flush just that tenant's queued training work.
+    DrainRequest {
+        /// The tenant to drain (`None` = the whole server).
+        tenant: Option<String>,
+    },
+    /// Feed labelled training examples to a tenant (format 2 only).
+    TrainRequest {
+        /// The tenant to train (`None` = default tenant).
+        tenant: Option<String>,
+        /// `(signature, label id)` pairs, in feed order.
+        examples: Vec<(BinaryVector, u64)>,
+    },
     /// Per-signature verdicts, in request order.
     ClassifyResponse {
         /// One prediction per requested signature.
         predictions: Vec<Prediction>,
+    },
+    /// Acknowledgement of a [`TrainRequest`](WireMessage::TrainRequest):
+    /// the examples are queued for the tenant's trainer (format 2 only).
+    TrainResponse {
+        /// Examples accepted into the tenant's pending queue.
+        accepted: u64,
     },
     /// The health report.
     HealthResponse(Box<WireHealth>),
@@ -405,10 +467,61 @@ impl<'a> Dec<'a> {
     }
 }
 
-fn encode_payload(message: &WireMessage) -> (u8, Vec<u8>) {
+/// Writes the format-2 tenant-id prefix: `u32` length, then the UTF-8
+/// bytes. `None` — the default tenant — encodes as length 0.
+///
+/// # Panics
+///
+/// Panics if the id is empty (spell the default tenant as `None`) or longer
+/// than [`MAX_TENANT_ID_BYTES`] — both are caller bugs, not wire conditions.
+fn encode_tenant(enc: &mut Enc, tenant: &Option<String>) {
+    match tenant {
+        None => enc.u32(0),
+        Some(id) => {
+            assert!(
+                !id.is_empty(),
+                "empty tenant id: spell the default tenant as None"
+            );
+            assert!(
+                id.len() <= MAX_TENANT_ID_BYTES,
+                "tenant id of {} bytes exceeds the {MAX_TENANT_ID_BYTES}-byte cap",
+                id.len()
+            );
+            enc.str(id);
+        }
+    }
+}
+
+/// Reads the format-2 tenant-id prefix; length 0 decodes as `None`.
+fn decode_tenant(dec: &mut Dec<'_>) -> Result<Option<String>, WireError> {
+    let len = dec.u32()? as usize;
+    if len == 0 {
+        return Ok(None);
+    }
+    if len > MAX_TENANT_ID_BYTES {
+        return Err(malformed(format!(
+            "tenant id of {len} bytes exceeds the {MAX_TENANT_ID_BYTES}-byte cap"
+        )));
+    }
+    let bytes = dec.take(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map(Some)
+        .map_err(|_| malformed("tenant id is not utf-8"))
+}
+
+/// Encodes a message's payload, returning `(kind, payload, format)`. The
+/// format is [`WIRE_FORMAT`] whenever the message is expressible in it —
+/// byte-identical to the pre-tenant encoder — and [`WIRE_FORMAT_TENANT`]
+/// only when a tenant id or a train kind forces it.
+fn encode_payload(message: &WireMessage) -> (u8, Vec<u8>, u32) {
     let mut enc = Enc(Vec::new());
+    let mut format = WIRE_FORMAT;
     let kind = match message {
-        WireMessage::ClassifyRequest { signatures } => {
+        WireMessage::ClassifyRequest { tenant, signatures } => {
+            if tenant.is_some() {
+                format = WIRE_FORMAT_TENANT;
+                encode_tenant(&mut enc, tenant);
+            }
             enc.u32(signatures.len() as u32);
             let vector_len = signatures.first().map(|s| s.len()).unwrap_or(0);
             enc.u32(vector_len as u32);
@@ -420,7 +533,34 @@ fn encode_payload(message: &WireMessage) -> (u8, Vec<u8>) {
             kind::CLASSIFY_REQUEST
         }
         WireMessage::HealthRequest => kind::HEALTH_REQUEST,
-        WireMessage::DrainRequest => kind::DRAIN_REQUEST,
+        WireMessage::DrainRequest { tenant } => {
+            if tenant.is_some() {
+                format = WIRE_FORMAT_TENANT;
+                encode_tenant(&mut enc, tenant);
+            }
+            kind::DRAIN_REQUEST
+        }
+        WireMessage::TrainRequest { tenant, examples } => {
+            // Train kinds do not exist in format 1, so the prefix is always
+            // present (length 0 for the default tenant).
+            format = WIRE_FORMAT_TENANT;
+            encode_tenant(&mut enc, tenant);
+            enc.u32(examples.len() as u32);
+            let vector_len = examples.first().map(|(s, _)| s.len()).unwrap_or(0);
+            enc.u32(vector_len as u32);
+            for (signature, label) in examples {
+                enc.u64(*label);
+                for &word in signature.as_words() {
+                    enc.u64(word);
+                }
+            }
+            kind::TRAIN_REQUEST
+        }
+        WireMessage::TrainResponse { accepted } => {
+            format = WIRE_FORMAT_TENANT;
+            enc.u64(*accepted);
+            kind::TRAIN_RESPONSE
+        }
         WireMessage::ClassifyResponse { predictions } => {
             enc.u32(predictions.len() as u32);
             for prediction in predictions {
@@ -488,13 +628,18 @@ fn encode_payload(message: &WireMessage) -> (u8, Vec<u8>) {
             kind::ERROR_RESPONSE
         }
     };
-    (kind, enc.0)
+    (kind, enc.0, format)
 }
 
-fn decode_payload(kind: u8, payload: &[u8]) -> Result<WireMessage, WireError> {
+fn decode_payload(format: u32, kind: u8, payload: &[u8]) -> Result<WireMessage, WireError> {
     let mut dec = Dec::new(payload);
     let message = match kind {
         kind::CLASSIFY_REQUEST => {
+            let tenant = if format >= WIRE_FORMAT_TENANT {
+                decode_tenant(&mut dec)?
+            } else {
+                None
+            };
             let count = dec.u32()?;
             if count > MAX_REQUEST_SIGNATURES {
                 return Err(malformed(format!(
@@ -527,10 +672,57 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<WireMessage, WireError> {
                     })?;
                 signatures.push(signature);
             }
-            WireMessage::ClassifyRequest { signatures }
+            WireMessage::ClassifyRequest { tenant, signatures }
         }
         kind::HEALTH_REQUEST => WireMessage::HealthRequest,
-        kind::DRAIN_REQUEST => WireMessage::DrainRequest,
+        kind::DRAIN_REQUEST => {
+            let tenant = if format >= WIRE_FORMAT_TENANT {
+                decode_tenant(&mut dec)?
+            } else {
+                None
+            };
+            WireMessage::DrainRequest { tenant }
+        }
+        kind::TRAIN_REQUEST if format >= WIRE_FORMAT_TENANT => {
+            let tenant = decode_tenant(&mut dec)?;
+            let count = dec.u32()?;
+            if count > MAX_TRAIN_EXAMPLES {
+                return Err(malformed(format!(
+                    "{count} examples exceeds the per-request cap of {MAX_TRAIN_EXAMPLES}"
+                )));
+            }
+            let vector_len = dec.u32()?;
+            if vector_len > MAX_VECTOR_BITS {
+                return Err(malformed(format!(
+                    "{vector_len}-bit signatures exceed the {MAX_VECTOR_BITS}-bit cap"
+                )));
+            }
+            let words_per = (vector_len as usize).div_ceil(64);
+            let mut examples = Vec::with_capacity(count as usize);
+            for index in 0..count {
+                let label = dec.u64()?;
+                let raw = dec.take(words_per * 8)?;
+                let words: Vec<u64> = raw
+                    .chunks_exact(8)
+                    .map(|chunk| {
+                        let mut bytes = [0u8; 8];
+                        bytes.copy_from_slice(chunk);
+                        u64::from_le_bytes(bytes)
+                    })
+                    .collect();
+                let signature =
+                    BinaryVector::from_words(words, vector_len as usize).map_err(|e| {
+                        malformed(format!(
+                            "example {index} violates the packing invariant: {e}"
+                        ))
+                    })?;
+                examples.push((signature, label));
+            }
+            WireMessage::TrainRequest { tenant, examples }
+        }
+        kind::TRAIN_RESPONSE if format >= WIRE_FORMAT_TENANT => WireMessage::TrainResponse {
+            accepted: dec.u64()?,
+        },
         kind::CLASSIFY_RESPONSE => {
             let count = dec.u32()?;
             if count > MAX_REQUEST_SIGNATURES {
@@ -598,11 +790,12 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<WireMessage, WireError> {
     Ok(message)
 }
 
-/// Seals `payload` into a complete frame: header, payload, checksum.
-fn seal_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+/// Seals `payload` into a complete frame: header (stamped with `format`),
+/// payload, checksum.
+fn seal_frame(format: u32, kind: u8, payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(WIRE_HEADER_LEN + payload.len() + WIRE_CHECKSUM_LEN);
     frame.extend_from_slice(&WIRE_MAGIC);
-    frame.extend_from_slice(&WIRE_FORMAT.to_le_bytes());
+    frame.extend_from_slice(&format.to_le_bytes());
     frame.push(kind);
     frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     frame.extend_from_slice(payload);
@@ -612,16 +805,37 @@ fn seal_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Encodes `message` into one complete frame (header + payload + checksum).
+/// The frame is stamped format 1 unless the message needs tenant addressing
+/// (see [`encode_payload`]).
 pub fn encode_message(message: &WireMessage) -> Vec<u8> {
-    let (kind, payload) = encode_payload(message);
-    seal_frame(kind, &payload)
+    let (kind, payload, format) = encode_payload(message);
+    seal_frame(format, kind, &payload)
 }
 
-/// Encodes a classify request straight from a signature slice — no
-/// intermediate [`WireMessage`], so load generators can pre-encode frames
-/// once and replay them.
+/// Encodes a default-tenant classify request straight from a signature
+/// slice — no intermediate [`WireMessage`], so load generators can
+/// pre-encode frames once and replay them.
 pub fn encode_classify_request(signatures: &[BinaryVector]) -> Vec<u8> {
+    encode_classify_request_for(None, signatures)
+}
+
+/// Encodes a classify request for `tenant` straight from a signature slice.
+/// `None` — the default tenant — produces a format-1 frame byte-identical
+/// to [`encode_classify_request`].
+///
+/// # Panics
+///
+/// Panics if `tenant` is `Some` of an empty or over-long
+/// (> [`MAX_TENANT_ID_BYTES`]) id — caller bugs, not wire conditions.
+pub fn encode_classify_request_for(tenant: Option<&str>, signatures: &[BinaryVector]) -> Vec<u8> {
     let mut enc = Enc(Vec::new());
+    let format = match tenant {
+        None => WIRE_FORMAT,
+        Some(id) => {
+            encode_tenant(&mut enc, &Some(id.to_string()));
+            WIRE_FORMAT_TENANT
+        }
+    };
     enc.u32(signatures.len() as u32);
     let vector_len = signatures.first().map(|s| s.len()).unwrap_or(0);
     enc.u32(vector_len as u32);
@@ -630,18 +844,23 @@ pub fn encode_classify_request(signatures: &[BinaryVector]) -> Vec<u8> {
             enc.u64(word);
         }
     }
-    seal_frame(kind::CLASSIFY_REQUEST, &enc.0)
+    seal_frame(format, kind::CLASSIFY_REQUEST, &enc.0)
 }
 
-/// Validates a frame header, returning `(kind, payload_len)`.
-fn decode_header(header: &[u8; WIRE_HEADER_LEN]) -> Result<(u8, usize), WireError> {
+/// Validates a frame header, returning `(format, kind, payload_len)`.
+/// `max_format` bounds the accepted format range — [`WIRE_FORMAT_TENANT`]
+/// for this decoder, [`WIRE_FORMAT`] to emulate a pre-tenant peer.
+fn decode_header(
+    header: &[u8; WIRE_HEADER_LEN],
+    max_format: u32,
+) -> Result<(u32, u8, usize), WireError> {
     if header[..8] != WIRE_MAGIC {
         let mut found = [0u8; 8];
         found.copy_from_slice(&header[..8]);
         return Err(WireError::BadMagic { found });
     }
     let format = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
-    if format != WIRE_FORMAT {
+    if format < WIRE_FORMAT || format > max_format {
         return Err(WireError::UnsupportedFormat { found: format });
     }
     let kind = header[12];
@@ -654,18 +873,30 @@ fn decode_header(header: &[u8; WIRE_HEADER_LEN]) -> Result<(u8, usize), WireErro
             max: MAX_WIRE_PAYLOAD,
         });
     }
-    Ok((kind, declared as usize))
+    Ok((format, kind, declared as usize))
 }
 
 /// Decodes one frame from the front of `bytes`, returning the message and
 /// the number of bytes consumed (for buffers that may hold further frames).
 pub fn decode_message(bytes: &[u8]) -> Result<(WireMessage, usize), WireError> {
+    decode_message_with_max_format(bytes, WIRE_FORMAT_TENANT)
+}
+
+/// [`decode_message`] with an explicit format ceiling: passing
+/// [`WIRE_FORMAT`] emulates a pre-tenant decoder, which must reject every
+/// format-2 frame with a typed [`WireError::UnsupportedFormat`] *before*
+/// touching the payload — the backward-compatibility contract the
+/// cross-decode matrix in `tests/wire_corruption.rs` pins down.
+pub fn decode_message_with_max_format(
+    bytes: &[u8],
+    max_format: u32,
+) -> Result<(WireMessage, usize), WireError> {
     if bytes.len() < WIRE_HEADER_LEN {
         return Err(WireError::TooShort { len: bytes.len() });
     }
     let mut header = [0u8; WIRE_HEADER_LEN];
     header.copy_from_slice(&bytes[..WIRE_HEADER_LEN]);
-    let (kind, payload_len) = decode_header(&header)?;
+    let (format, kind, payload_len) = decode_header(&header, max_format)?;
     let total = WIRE_HEADER_LEN + payload_len + WIRE_CHECKSUM_LEN;
     if bytes.len() < total {
         return Err(WireError::Truncated {
@@ -681,7 +912,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<(WireMessage, usize), WireError> {
     if stored != computed {
         return Err(WireError::ChecksumMismatch { stored, computed });
     }
-    let message = decode_payload(kind, &body[WIRE_HEADER_LEN..])?;
+    let message = decode_payload(format, kind, &body[WIRE_HEADER_LEN..])?;
     Ok((message, total))
 }
 
@@ -717,7 +948,7 @@ pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<WireMessage>, Wire
             Err(e) => return Err(WireError::Io(e)),
         }
     }
-    let (kind, payload_len) = decode_header(&header)?;
+    let (format, kind, payload_len) = decode_header(&header, WIRE_FORMAT_TENANT)?;
     let mut rest = vec![0u8; payload_len + WIRE_CHECKSUM_LEN];
     reader.read_exact(&mut rest).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -741,7 +972,7 @@ pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<WireMessage>, Wire
     if stored != computed {
         return Err(WireError::ChecksumMismatch { stored, computed });
     }
-    decode_payload(kind, &body[WIRE_HEADER_LEN..]).map(Some)
+    decode_payload(format, kind, &body[WIRE_HEADER_LEN..]).map(Some)
 }
 
 /// Writes one frame to a stream.
@@ -761,13 +992,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         vec![
             WireMessage::ClassifyRequest {
+                tenant: None,
                 signatures: (0..3)
                     .map(|_| BinaryVector::random(768, &mut rng))
                     .collect(),
             },
-            WireMessage::ClassifyRequest { signatures: vec![] },
+            WireMessage::ClassifyRequest {
+                tenant: Some("tenant-a".to_string()),
+                signatures: (0..2)
+                    .map(|_| BinaryVector::random(768, &mut rng))
+                    .collect(),
+            },
+            WireMessage::ClassifyRequest {
+                tenant: None,
+                signatures: vec![],
+            },
             WireMessage::HealthRequest,
-            WireMessage::DrainRequest,
+            WireMessage::DrainRequest { tenant: None },
+            WireMessage::DrainRequest {
+                tenant: Some("tenant-b".to_string()),
+            },
+            WireMessage::TrainRequest {
+                tenant: None,
+                examples: vec![(BinaryVector::random(80, &mut rng), 2)],
+            },
+            WireMessage::TrainRequest {
+                tenant: Some("tenant-c".to_string()),
+                examples: (0..3)
+                    .map(|i| (BinaryVector::random(80, &mut rng), i % 2))
+                    .collect(),
+            },
+            WireMessage::TrainResponse { accepted: 3 },
             WireMessage::ClassifyResponse {
                 predictions: vec![
                     Prediction::Unknown,
@@ -835,15 +1090,109 @@ mod tests {
             .collect();
         assert_eq!(
             encode_classify_request(&signatures),
-            encode_message(&WireMessage::ClassifyRequest { signatures })
+            encode_message(&WireMessage::ClassifyRequest {
+                tenant: None,
+                signatures: signatures.clone(),
+            })
         );
+        assert_eq!(
+            encode_classify_request_for(Some("t9"), &signatures),
+            encode_message(&WireMessage::ClassifyRequest {
+                tenant: Some("t9".to_string()),
+                signatures,
+            })
+        );
+    }
+
+    #[test]
+    fn default_tenant_messages_encode_as_format_1_byte_identically() {
+        // The compatibility contract: a new client talking to the default
+        // tenant emits the exact bytes a pre-tenant client would.
+        let mut rng = StdRng::seed_from_u64(29);
+        let signatures: Vec<BinaryVector> =
+            (0..2).map(|_| BinaryVector::random(96, &mut rng)).collect();
+        for message in [
+            WireMessage::ClassifyRequest {
+                tenant: None,
+                signatures,
+            },
+            WireMessage::DrainRequest { tenant: None },
+        ] {
+            let frame = encode_message(&message);
+            let format = u32::from_le_bytes([frame[8], frame[9], frame[10], frame[11]]);
+            assert_eq!(format, WIRE_FORMAT, "default tenant must stay format 1");
+        }
+        // And tenant-addressed (or train) messages are stamped format 2.
+        for message in [
+            WireMessage::ClassifyRequest {
+                tenant: Some("t".to_string()),
+                signatures: vec![],
+            },
+            WireMessage::DrainRequest {
+                tenant: Some("t".to_string()),
+            },
+            WireMessage::TrainRequest {
+                tenant: None,
+                examples: vec![],
+            },
+            WireMessage::TrainResponse { accepted: 0 },
+        ] {
+            let frame = encode_message(&message);
+            let format = u32::from_le_bytes([frame[8], frame[9], frame[10], frame[11]]);
+            assert_eq!(format, WIRE_FORMAT_TENANT);
+        }
+    }
+
+    #[test]
+    fn pre_tenant_decoder_rejects_format_2_with_a_typed_error() {
+        let frame = encode_message(&WireMessage::ClassifyRequest {
+            tenant: Some("tenant-x".to_string()),
+            signatures: vec![],
+        });
+        assert!(matches!(
+            decode_message_with_max_format(&frame, WIRE_FORMAT),
+            Err(WireError::UnsupportedFormat { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn oversized_tenant_ids_are_rejected_typed() {
+        // Build a format-2 classify frame whose tenant length claims more
+        // bytes than the cap; the decoder must object before reading them.
+        let mut enc = Enc(Vec::new());
+        enc.u32((MAX_TENANT_ID_BYTES + 1) as u32);
+        enc.0
+            .extend(std::iter::repeat_n(b'a', MAX_TENANT_ID_BYTES + 1));
+        enc.u32(0); // count
+        enc.u32(0); // vector_len
+        let frame = seal_frame(WIRE_FORMAT_TENANT, 0x01, &enc.0);
+        assert!(matches!(
+            decode_message_exact(&frame),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn train_kinds_are_unknown_in_format_1_frames() {
+        // A format-1 frame carrying a train kind is a protocol violation:
+        // the kind does not exist below format 2.
+        let frame = seal_frame(WIRE_FORMAT, 0x04, &[]);
+        assert!(matches!(
+            decode_message_exact(&frame),
+            Err(WireError::UnknownKind { found: 0x04 })
+        ));
+        let frame = seal_frame(WIRE_FORMAT, 0x84, &[]);
+        assert!(matches!(
+            decode_message_exact(&frame),
+            Err(WireError::UnknownKind { found: 0x84 })
+        ));
     }
 
     #[test]
     fn clean_eof_is_none_and_concatenated_frames_both_decode() {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&encode_message(&WireMessage::HealthRequest));
-        bytes.extend_from_slice(&encode_message(&WireMessage::DrainRequest));
+        bytes.extend_from_slice(&encode_message(&WireMessage::DrainRequest { tenant: None }));
         let mut cursor = std::io::Cursor::new(bytes);
         assert_eq!(
             read_message(&mut cursor).unwrap(),
@@ -851,7 +1200,7 @@ mod tests {
         );
         assert_eq!(
             read_message(&mut cursor).unwrap(),
-            Some(WireMessage::DrainRequest)
+            Some(WireMessage::DrainRequest { tenant: None })
         );
         assert_eq!(read_message(&mut cursor).unwrap(), None);
     }
@@ -877,6 +1226,7 @@ mod tests {
         // beyond `len` and must be rejected by the packing validation.
         let signature = BinaryVector::zeros(100);
         let frame = encode_message(&WireMessage::ClassifyRequest {
+            tenant: None,
             signatures: vec![signature],
         });
         // Payload layout: count u32 | vector_len u32 | word0 | word1.

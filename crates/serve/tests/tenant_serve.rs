@@ -1,0 +1,304 @@
+//! End-to-end tenant serving: a [`Server::bind_registry`] front-end over a
+//! real TCP socket, driven through format-2 frames (tenant-addressed
+//! classify / train / drain) *and* through a format-1 pre-tenant client —
+//! proving the wire-format-2 rollout is invisible to old clients.
+//!
+//! The load-bearing differential: examples fed **over the wire** to a
+//! tenant must leave its map bit-identical to a standalone in-process
+//! [`SomService`] trained on the same examples.
+
+use bsom_engine::{EngineConfig, MapRegistry, RegistryConfig, SomService, TenantId, Trainer};
+use bsom_serve::wire::ErrorCode;
+use bsom_serve::{ClientError, ServeClient, ServeConfig, Server};
+use bsom_signature::BinaryVector;
+use bsom_som::{BSom, BSomConfig, ObjectLabel, TrainSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const NEURONS: usize = 10;
+const VECTOR_LEN: usize = 128;
+const LABELS: usize = 3;
+const TENANTS: usize = 3;
+
+fn make_som(seed: u64) -> BSom {
+    BSom::new(
+        BSomConfig::new(NEURONS, VECTOR_LEN),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+fn seed_data(seed: u64, count: usize) -> Vec<(BinaryVector, ObjectLabel)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            (
+                BinaryVector::random(VECTOR_LEN, &mut rng),
+                ObjectLabel::new(i % LABELS),
+            )
+        })
+        .collect()
+}
+
+fn probes(seed: u64, count: usize) -> Vec<BinaryVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| BinaryVector::random(VECTOR_LEN, &mut rng))
+        .collect()
+}
+
+/// Wire-shaped training examples (labels as raw `u64`s, the way
+/// `TrainRequest` carries them).
+fn wire_examples(seed: u64, count: usize) -> Vec<(BinaryVector, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                BinaryVector::random(VECTOR_LEN, &mut rng),
+                rng.gen_range(0..LABELS) as u64,
+            )
+        })
+        .collect()
+}
+
+/// A registry of `TENANTS` tenants (`tenant-0` is the default) behind a
+/// loopback server. Tenant `t` is seeded from map seed `t`.
+fn registry_server() -> (Server, Arc<MapRegistry>) {
+    let registry = Arc::new(MapRegistry::new(RegistryConfig::new(
+        EngineConfig::with_workers(2),
+    )));
+    let corpus = seed_data(0x5EED, 6);
+    for t in 0..TENANTS {
+        registry
+            .create_tenant(
+                format!("tenant-{t}"),
+                make_som(t as u64),
+                TrainSchedule::new(usize::MAX),
+                &corpus,
+            )
+            .unwrap();
+    }
+    let server = Server::bind_registry(
+        Arc::clone(&registry),
+        "tenant-0",
+        "127.0.0.1:0",
+        ServeConfig::default(),
+        None,
+    )
+    .expect("bind loopback");
+    (server, registry)
+}
+
+#[test]
+fn tenant_addressed_classify_matches_in_process_bit_for_bit() {
+    let (server, registry) = registry_server();
+    let signatures = probes(41, 12);
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    for t in 0..TENANTS {
+        let id = format!("tenant-{t}");
+        let direct = registry.classify(id.as_str(), &signatures).unwrap();
+        let over_wire = client
+            .classify_tenant(Some(&id), &signatures)
+            .expect("tenant classify over the wire");
+        assert_eq!(over_wire, direct, "tenant {id} diverged over the wire");
+    }
+    // The maps differ, so addressing must matter: at least one pair of
+    // tenants answers differently for the same probes.
+    let answers: Vec<_> = (0..TENANTS)
+        .map(|t| {
+            registry
+                .classify(format!("tenant-{t}"), &signatures)
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        answers.windows(2).any(|w| w[0] != w[1]),
+        "distinct tenants should not all answer identically"
+    );
+    server.join();
+}
+
+/// The backward-compatibility proof: a client that only speaks format 1
+/// (no tenant field anywhere) gets routed to the default tenant and sees a
+/// fully working server — classify, health and drain.
+#[test]
+fn format_1_client_works_against_a_registry_server() {
+    let (server, registry) = registry_server();
+    let signatures = probes(43, 8);
+    let default_direct = registry.classify("tenant-0", &signatures).unwrap();
+
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    // `classify` with no tenant emits byte-for-byte the pre-tenant format-1
+    // frame (proven in wire.rs tests); here it must route to tenant-0.
+    let over_wire = client.classify(&signatures).expect("format-1 classify");
+    assert_eq!(over_wire, default_direct);
+
+    let health = client.health().expect("format-1 health");
+    assert!(!health.draining);
+    assert_eq!(
+        health.snapshot_version,
+        registry.version("tenant-0").unwrap()
+    );
+    assert_eq!(health.workers_alive, health.workers_configured);
+
+    let summary = client.drain().expect("format-1 drain");
+    assert!(!summary.checkpoint_written);
+    assert_eq!(summary.final_version, registry.version("tenant-0").unwrap());
+    server.join();
+}
+
+/// The wire-to-weights differential: examples trained through
+/// `TrainRequest` + `DrainRequest{tenant}` leave the tenant's map
+/// bit-identical to a standalone service fed the same examples in process.
+#[test]
+fn training_over_the_wire_is_bit_identical_to_in_process_training() {
+    let (server, registry) = registry_server();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let examples = wire_examples(47, 20);
+
+    let accepted = client
+        .train(Some("tenant-1"), &examples)
+        .expect("train over the wire");
+    assert_eq!(accepted, examples.len() as u64);
+    // Feeds queue; the tenant-scoped drain flushes them into steps.
+    let summary = client.drain_tenant("tenant-1").expect("tenant drain");
+    assert_eq!(summary.requests_flushed, examples.len() as u64);
+    assert!(
+        !summary.checkpoint_written,
+        "tenant drain writes no checkpoint"
+    );
+
+    // Reference: same map seed, same seed corpus, same examples, in process.
+    let (reference_service, mut reference_trainer): (SomService, Trainer) =
+        SomService::train_while_serve(
+            make_som(1),
+            TrainSchedule::new(usize::MAX),
+            &seed_data(0x5EED, 6),
+            EngineConfig::with_workers(2),
+        );
+    for (signature, label) in &examples {
+        reference_trainer
+            .feed(signature, ObjectLabel::new(*label as usize))
+            .unwrap();
+    }
+    reference_trainer.publish();
+
+    assert_eq!(
+        &registry.tenant_som("tenant-1").unwrap(),
+        reference_trainer.som(),
+        "wire-trained map diverged from in-process training"
+    );
+    assert_eq!(summary.final_version, reference_service.version());
+    assert_eq!(
+        registry.version("tenant-1").unwrap(),
+        reference_service.version()
+    );
+
+    // And the freshly trained weights serve over the wire immediately.
+    let signatures = probes(53, 6);
+    let over_wire = client
+        .classify_tenant(Some("tenant-1"), &signatures)
+        .expect("post-train classify");
+    let direct = reference_service.classify_pinned(&reference_service.snapshot(), &signatures);
+    assert_eq!(over_wire, direct);
+
+    // An untouched sibling was not perturbed by any of this.
+    assert_eq!(registry.version("tenant-2").unwrap(), 1);
+    server.join();
+}
+
+#[test]
+fn unknown_tenants_and_misdirected_requests_are_rejected_typed() {
+    let (server, _registry) = registry_server();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    match client.classify_tenant(Some("no-such-tenant"), &probes(59, 1)) {
+        Err(ClientError::Rejected { code, message }) => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert!(message.contains("no-such-tenant"), "{message}");
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    match client.train(Some("no-such-tenant"), &wire_examples(61, 2)) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    match client.drain_tenant("no-such-tenant") {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    // The connection survives every rejection.
+    let predictions = client
+        .classify_tenant(Some("tenant-2"), &probes(67, 2))
+        .expect("rejections must not wedge the connection");
+    assert_eq!(predictions.len(), 2);
+    server.join();
+}
+
+/// A global (tenant-less) drain flushes **every** tenant's queued work and
+/// shuts the server down; further training is refused typed.
+#[test]
+fn global_drain_flushes_every_tenant_and_stops_training() {
+    let (server, registry) = registry_server();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let first = wire_examples(71, 5);
+    let second = wire_examples(73, 7);
+    client
+        .train(Some("tenant-0"), &first)
+        .expect("train tenant-0");
+    client
+        .train(Some("tenant-2"), &second)
+        .expect("train tenant-2");
+
+    let summary = client.drain().expect("global drain");
+    assert_eq!(
+        summary.requests_flushed,
+        (first.len() + second.len()) as u64
+    );
+    assert_eq!(
+        registry.stats().pending_steps,
+        0,
+        "a tenant kept its backlog"
+    );
+    assert_eq!(registry.version("tenant-0").unwrap(), 2);
+    assert_eq!(registry.version("tenant-2").unwrap(), 2);
+
+    match client.train(Some("tenant-0"), &wire_examples(79, 1)) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::Draining),
+        other => panic!("post-drain training must be refused, got {other:?}"),
+    }
+    server.join();
+}
+
+/// `TenantId` round-trips through the wire by its string rendering; `u64`
+/// tenant ids created in process are addressable as their decimal strings.
+#[test]
+fn numeric_tenant_ids_are_addressable_by_decimal_string() {
+    let registry = Arc::new(MapRegistry::new(RegistryConfig::new(
+        EngineConfig::with_workers(1),
+    )));
+    registry
+        .create_tenant(42u64, make_som(9), TrainSchedule::new(usize::MAX), &[])
+        .unwrap();
+    let server = Server::bind_registry(
+        Arc::clone(&registry),
+        TenantId::from(42u64),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+        None,
+    )
+    .expect("bind loopback");
+
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let signatures = probes(83, 3);
+    let by_name = client
+        .classify_tenant(Some("42"), &signatures)
+        .expect("decimal-addressed classify");
+    let by_default = client
+        .classify(&signatures)
+        .expect("default-tenant classify");
+    assert_eq!(by_name, by_default);
+    server.join();
+}

@@ -10,8 +10,9 @@
 use std::io::Cursor;
 
 use bsom_serve::wire::{
-    self, checksum, decode_message, decode_message_exact, encode_message, read_message, WireError,
-    WireMessage, MAX_WIRE_PAYLOAD, WIRE_CHECKSUM_LEN, WIRE_HEADER_LEN,
+    self, checksum, decode_message, decode_message_exact, decode_message_with_max_format,
+    encode_message, read_message, WireError, WireMessage, MAX_WIRE_PAYLOAD, WIRE_CHECKSUM_LEN,
+    WIRE_FORMAT, WIRE_FORMAT_TENANT, WIRE_HEADER_LEN,
 };
 use bsom_signature::BinaryVector;
 use proptest::prelude::*;
@@ -30,13 +31,30 @@ fn pristine_frame() -> Vec<u8> {
     wire::encode_classify_request(&[a, b])
 }
 
+/// The format-2 siblings: a tenant-addressed classify and a train request.
+/// Together they cover every format-2-only decode path (tenant prefix,
+/// train payload).
+fn pristine_tenant_frames() -> Vec<Vec<u8>> {
+    let mut a = BinaryVector::zeros(100);
+    for i in (0..100).step_by(5) {
+        a.set(i, true);
+    }
+    let classify = wire::encode_classify_request_for(Some("tenant-α"), &[a.clone()]);
+    let train = encode_message(&WireMessage::TrainRequest {
+        tenant: Some("tenant-α".to_string()),
+        examples: vec![(a, 3)],
+    });
+    vec![classify, train]
+}
+
 #[test]
 fn the_pristine_frame_decodes() {
     let frame = pristine_frame();
     let message = decode_message_exact(&frame).expect("pristine frame must decode");
-    let WireMessage::ClassifyRequest { signatures } = &message else {
+    let WireMessage::ClassifyRequest { tenant, signatures } = &message else {
         panic!("expected a classify request, got {message:?}");
     };
+    assert_eq!(tenant, &None);
     assert_eq!(signatures.len(), 2);
     assert_eq!(signatures[0].len(), 100);
     assert!(signatures[0].bit(99));
@@ -46,6 +64,24 @@ fn the_pristine_frame_decodes() {
         .expect("stream decode must succeed")
         .expect("a full frame is not EOF");
     assert_eq!(streamed, message);
+}
+
+#[test]
+fn the_pristine_tenant_frames_decode() {
+    let frames = pristine_tenant_frames();
+    let classify = decode_message_exact(&frames[0]).expect("tenant classify must decode");
+    let WireMessage::ClassifyRequest { tenant, signatures } = &classify else {
+        panic!("expected a classify request, got {classify:?}");
+    };
+    assert_eq!(tenant.as_deref(), Some("tenant-α"));
+    assert_eq!(signatures.len(), 1);
+    let train = decode_message_exact(&frames[1]).expect("train request must decode");
+    let WireMessage::TrainRequest { tenant, examples } = &train else {
+        panic!("expected a train request, got {train:?}");
+    };
+    assert_eq!(tenant.as_deref(), Some("tenant-α"));
+    assert_eq!(examples.len(), 1);
+    assert_eq!(examples[0].1, 3);
 }
 
 #[test]
@@ -74,6 +110,103 @@ fn every_single_bit_flip_is_rejected() {
             assert!(read_message(&mut cursor).is_err(), "byte {byte} bit {bit}");
         }
     }
+}
+
+#[test]
+fn every_single_bit_flip_of_a_format_2_frame_is_rejected() {
+    for frame in pristine_tenant_frames() {
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut corrupted = frame.clone();
+                corrupted[byte] ^= 1 << bit;
+                let err = decode_message_exact(&corrupted)
+                    .expect_err(&format!("flip of byte {byte} bit {bit} must not decode"));
+                if byte < 8 {
+                    assert!(
+                        matches!(err, WireError::BadMagic { .. }),
+                        "byte {byte}: {err}"
+                    );
+                } else if (8..12).contains(&byte) {
+                    // No single flip of the format field 2 can reach the
+                    // other valid format 1 (they differ in two bits), so
+                    // every flip is an unsupported format — caught before
+                    // the checksum is even computed.
+                    assert!(
+                        matches!(err, WireError::UnsupportedFormat { .. }),
+                        "byte {byte}: {err}"
+                    );
+                } else if byte >= frame.len() - WIRE_CHECKSUM_LEN {
+                    assert!(
+                        matches!(err, WireError::ChecksumMismatch { .. }),
+                        "byte {byte}: {err}"
+                    );
+                }
+                let mut cursor = Cursor::new(corrupted);
+                assert!(read_message(&mut cursor).is_err(), "byte {byte} bit {bit}");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_of_a_format_2_frame_is_rejected() {
+    for frame in pristine_tenant_frames() {
+        for len in 1..frame.len() {
+            let err = decode_message_exact(&frame[..len])
+                .expect_err(&format!("truncation to {len} bytes must not decode"));
+            assert!(
+                matches!(
+                    err,
+                    WireError::TooShort { .. } | WireError::Truncated { .. }
+                ),
+                "len {len}: {err}"
+            );
+        }
+    }
+}
+
+/// The cross-decode compatibility matrix the module docs promise:
+///
+/// |                      | format-1 frame           | format-2 frame        |
+/// |----------------------|--------------------------|-----------------------|
+/// | pre-tenant decoder   | decodes                  | `UnsupportedFormat`   |
+/// | this decoder         | decodes, default tenant  | decodes, tenant id    |
+#[test]
+fn format_cross_decode_matrix() {
+    let v1 = pristine_frame();
+    let v2 = &pristine_tenant_frames()[0];
+
+    // Old decoder × old frame: decodes, no tenant.
+    let (message, _) =
+        decode_message_with_max_format(&v1, WIRE_FORMAT).expect("v1 frame on a v1 decoder");
+    assert!(matches!(
+        message,
+        WireMessage::ClassifyRequest { tenant: None, .. }
+    ));
+
+    // Old decoder × new frame: typed rejection, never a misread.
+    let err = decode_message_with_max_format(v2, WIRE_FORMAT)
+        .expect_err("a pre-tenant decoder must reject format 2");
+    assert!(
+        matches!(err, WireError::UnsupportedFormat { found: 2 }),
+        "{err}"
+    );
+
+    // New decoder × old frame: decodes, routed to the default tenant.
+    let (message, _) =
+        decode_message_with_max_format(&v1, WIRE_FORMAT_TENANT).expect("v1 frame on a v2 decoder");
+    assert!(matches!(
+        message,
+        WireMessage::ClassifyRequest { tenant: None, .. }
+    ));
+
+    // New decoder × new frame: decodes with the tenant id intact.
+    let (message, _) =
+        decode_message_with_max_format(v2, WIRE_FORMAT_TENANT).expect("v2 frame on a v2 decoder");
+    let WireMessage::ClassifyRequest { tenant, .. } = message else {
+        panic!("expected a classify request");
+    };
+    assert_eq!(tenant.as_deref(), Some("tenant-α"));
 }
 
 #[test]

@@ -1,0 +1,181 @@
+//! Thousands of users, one process: a fleet of per-user bSOM maps behind
+//! [`MapRegistry`].
+//!
+//! The paper trains one 40-neuron map per camera view; the "millions of
+//! users" deployment story turns into *many small maps*, not one big one.
+//! This example runs 100 independent tenants behind the registry facade:
+//! every tenant gets its own map, its own RNG stream, its own version
+//! counter — and the fair round-robin `train_tick` interleaves their
+//! training on one thread while classify traffic keeps being served from
+//! published snapshots.
+//!
+//! Traffic is deliberately skewed (a few hot tenants, a long cold tail),
+//! and the registry's residency cap is set far below the tenant count, so
+//! the LRU evictor keeps spilling cold tenants to validating checkpoint
+//! frames on disk. The punchline: an evicted tenant is *indistinguishable*
+//! from a resident one — touching it transparently reloads the spill frame
+//! and classification picks up with bit-identical weights, which the
+//! example proves by diffing a spilled tenant's map against a copy taken
+//! before eviction.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use bsom_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TENANTS: usize = 100;
+const NEURONS: usize = 12;
+const VECTOR_LEN: usize = 256;
+const LABELS: usize = 4;
+const MAX_RESIDENT: usize = 16;
+const ROUNDS: usize = 40;
+
+/// Deterministic per-tenant example stream: the caller hands in tenant
+/// `t`'s own seeded RNG, so every tenant trains toward a different map.
+fn example(rng: &mut StdRng) -> (BinaryVector, ObjectLabel) {
+    (
+        BinaryVector::random(VECTOR_LEN, rng),
+        ObjectLabel::new(rng.gen_range(0..LABELS)),
+    )
+}
+
+fn main() {
+    let spill_dir = std::env::temp_dir().join(format!("bsom-multi-tenant-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("the OS temp directory is writable");
+
+    // A registry with a tight residency cap: at most 16 of the 100 tenants
+    // keep their trainer in memory; the rest live as validating checkpoint
+    // frames under the spill directory until traffic touches them again.
+    let registry = MapRegistry::new(
+        RegistryConfig::new(EngineConfig::with_workers(2))
+            .with_max_resident(MAX_RESIDENT)
+            .with_spill_dir(&spill_dir),
+    );
+    for t in 0..TENANTS {
+        let som = BSom::new(
+            BSomConfig::new(NEURONS, VECTOR_LEN),
+            &mut StdRng::seed_from_u64(t as u64),
+        );
+        registry
+            .create_tenant(t as u64, som, TrainSchedule::new(usize::MAX), &[])
+            .expect("fresh tenant ids are unique");
+    }
+    println!(
+        "created {TENANTS} tenants ({NEURONS} neurons x {VECTOR_LEN} bits each), \
+         residency cap {MAX_RESIDENT}"
+    );
+
+    // Skewed traffic: tenant 0 is the hottest, the tail is nearly idle.
+    // Zipf-ish without the ceremony — tenant t gets traffic with weight
+    // 1/(1+t), sampled deterministically.
+    let mut traffic_rng = StdRng::seed_from_u64(0x7EA7);
+    let mut streams: Vec<StdRng> = (0..TENANTS)
+        .map(|t| StdRng::seed_from_u64(0xFEED ^ t as u64))
+        .collect();
+    let weights: Vec<f64> = (0..TENANTS).map(|t| 1.0 / (1.0 + t as f64)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let pick_tenant = move |rng: &mut StdRng| -> usize {
+        let mut roll = rng.gen::<f64>() * total_weight;
+        for (t, w) in weights.iter().enumerate() {
+            roll -= w;
+            if roll <= 0.0 {
+                return t;
+            }
+        }
+        TENANTS - 1
+    };
+
+    for round in 0..ROUNDS {
+        // ~200 feeds per round, skewed; then one budgeted tick trains a
+        // fair slice of whatever queued and publishes every trained tenant.
+        for _ in 0..200 {
+            let t = pick_tenant(&mut traffic_rng);
+            let (signature, label) = example(&mut streams[t]);
+            registry
+                .feed(t as u64, &signature, label)
+                .expect("every tenant exists");
+        }
+        let report = registry.train_tick(128);
+        assert!(report.failures.is_empty(), "tick failed: {report:?}");
+        if round % 10 == 9 {
+            let stats = registry.stats();
+            println!(
+                "round {:>2}: {:>5} steps trained, {:>4} pending, {:>2} resident, \
+                 {:>3} evictions so far",
+                round + 1,
+                stats.steps_total,
+                stats.pending_steps,
+                stats.resident,
+                stats.evictions_total
+            );
+        }
+    }
+    // Drain the backlog so every queued example becomes a training step.
+    loop {
+        let report = registry.train_tick(u64::MAX);
+        assert!(report.failures.is_empty(), "drain tick failed: {report:?}");
+        if report.steps == 0 {
+            break;
+        }
+    }
+
+    let stats = registry.stats();
+    println!(
+        "fleet settled: {} steps total, {} resident of {} tenants, \
+         {} evictions, {} reloads",
+        stats.steps_total,
+        stats.resident,
+        stats.tenants,
+        stats.evictions_total,
+        stats.reloads_total
+    );
+    assert!(
+        stats.resident <= MAX_RESIDENT,
+        "residency cap violated at rest"
+    );
+    assert!(
+        stats.evictions_total > 0,
+        "a 16-slot cap over 100 tenants must have evicted someone"
+    );
+
+    // The eviction round-trip, made explicit: pick a cold tenant, copy its
+    // map, force it out, prove the spill frame brings back the same bits.
+    let cold = (TENANTS - 1) as u64;
+    let before = registry.tenant_som(cold).expect("cold tenant exists");
+    let version_before = registry.version(cold).expect("cold tenant exists");
+    registry.evict(cold).expect("a healthy tenant evicts");
+    assert!(
+        !registry.is_resident(cold).expect("cold tenant exists"),
+        "tenant should be spilled now"
+    );
+    // Classify traffic against the evicted tenant transparently reloads it.
+    let probe = vec![BinaryVector::random(
+        VECTOR_LEN,
+        &mut StdRng::seed_from_u64(0x0B5E),
+    )];
+    let predictions = registry
+        .classify(cold, probe)
+        .expect("an evicted tenant still serves");
+    let after = registry.tenant_som(cold).expect("cold tenant exists");
+    assert_eq!(
+        before, after,
+        "the spill round-trip must be bit-identical (weights, config, RNG stream)"
+    );
+    assert_eq!(
+        registry.version(cold).expect("cold tenant exists"),
+        version_before,
+        "reloading is not a new version — nothing trained"
+    );
+    println!(
+        "eviction round-trip: tenant {cold} spilled, reloaded on touch, \
+         map bit-identical at version {version_before}, predicted {:?}",
+        predictions[0]
+    );
+
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}

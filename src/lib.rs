@@ -64,7 +64,8 @@ pub use bsom_vision as vision;
 pub mod prelude {
     pub use bsom_dataset::{AppearanceModel, CorruptionConfig, DatasetConfig, SurveillanceDataset};
     pub use bsom_engine::{
-        CheckpointError, EngineConfig, EngineError, Recognizer, ServiceHealth, SomService, Trainer,
+        CheckpointError, EngineConfig, EngineError, MapRegistry, Recognizer, RegistryConfig,
+        ServiceHealth, SomService, TenantId, Trainer,
     };
     pub use bsom_fpga::{FpgaBSom, FpgaConfig, ResourceReport};
     pub use bsom_serve::{SchedulerConfig, ServeClient, ServeConfig, Server};
